@@ -1,0 +1,110 @@
+//! Criterion benchmarks of the dense kernels (wall-clock of the real Rust
+//! implementations — distinct from the *simulated* times the experiments
+//! report; useful for tracking regressions in the compute substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mf_dense::{
+    gemm, matrix::random_spd, potrf, syrk_lower, trsm_right_lower_trans, DenseMat, Transpose,
+};
+
+fn rand_mat(rows: usize, cols: usize, seed: u64) -> DenseMat<f64> {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    DenseMat::from_fn(rows, cols, |_, _| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    })
+}
+
+fn bench_potrf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("potrf");
+    for n in [64usize, 128, 256] {
+        let a0 = random_spd::<f64>(n, 7);
+        g.throughput(Throughput::Elements((n * n * n / 3) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || a0.clone(),
+                |mut a| potrf(n, a.as_mut_slice(), n).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_syrk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("syrk");
+    for (n, k) in [(128usize, 64usize), (256, 128), (512, 64)] {
+        let a = rand_mat(n, k, 3);
+        let c0 = rand_mat(n, n, 4);
+        g.throughput(Throughput::Elements((n * n * k) as u64));
+        g.bench_with_input(BenchmarkId::new("nk", format!("{n}x{k}")), &(n, k), |b, &(n, k)| {
+            b.iter_batched(
+                || c0.clone(),
+                |mut cc| syrk_lower(n, k, -1.0, a.as_slice(), n, 1.0, cc.as_mut_slice(), n),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trsm");
+    for (m, k) in [(256usize, 64usize), (512, 128)] {
+        let mut l = random_spd::<f64>(k, 5);
+        potrf(k, l.as_mut_slice(), k).unwrap();
+        let b0 = rand_mat(m, k, 6);
+        g.throughput(Throughput::Elements((m * k * k) as u64));
+        g.bench_with_input(BenchmarkId::new("mk", format!("{m}x{k}")), &(m, k), |b, &(m, k)| {
+            b.iter_batched(
+                || b0.clone(),
+                |mut x| trsm_right_lower_trans(m, k, l.as_slice(), k, x.as_mut_slice(), m),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_nt");
+    for n in [64usize, 128, 256] {
+        let a = rand_mat(n, n, 8);
+        let b = rand_mat(n, n, 9);
+        let c0 = rand_mat(n, n, 10);
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter_batched(
+                || c0.clone(),
+                |mut cc| {
+                    gemm(
+                        Transpose::No,
+                        Transpose::Yes,
+                        n,
+                        n,
+                        n,
+                        -1.0,
+                        a.as_slice(),
+                        n,
+                        b.as_slice(),
+                        n,
+                        1.0,
+                        cc.as_mut_slice(),
+                        n,
+                    )
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_potrf, bench_syrk, bench_trsm, bench_gemm
+}
+criterion_main!(benches);

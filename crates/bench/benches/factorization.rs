@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the end-to-end numeric factorization (wall
+//! clock) and of the timing-only policy estimator used by the map figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mf_core::{
+    estimate_fu_time, factor_permuted, FactorOptions, PolicyKind, PolicySelector,
+};
+use mf_gpusim::Machine;
+use mf_matgen::{laplacian_3d, Stencil};
+use mf_sparse::symbolic::analyze;
+use mf_sparse::{AmalgamationOptions, OrderingKind, SymCsc};
+
+fn bench_factor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("numeric_factorization");
+    for nx in [10usize, 14] {
+        let a = laplacian_3d(nx, nx, nx, Stencil::Faces);
+        let analysis =
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        let a32: SymCsc<f32> = analysis.permuted.0.cast();
+        for p in [PolicyKind::P1, PolicyKind::P4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{p}"), nx * nx * nx),
+                &p,
+                |b, &p| {
+                    b.iter(|| {
+                        let mut machine = Machine::paper_node();
+                        let opts = FactorOptions {
+                            selector: PolicySelector::Fixed(p),
+                            ..Default::default()
+                        };
+                        factor_permuted(
+                            &a32,
+                            &analysis.symbolic,
+                            &analysis.perm,
+                            &mut machine,
+                            &opts,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_time_estimator");
+    let mut machine = Machine::paper_node();
+    for (m, k) in [(500usize, 200usize), (5000, 2000)] {
+        g.bench_with_input(BenchmarkId::new("P4", format!("{m}x{k}")), &(m, k), |b, &(m, k)| {
+            b.iter(|| estimate_fu_time(&mut machine, m, k, PolicyKind::P4, 64, false))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_factor, bench_estimator
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the symbolic phase: ordering, elimination tree,
+//! supernode detection, symbolic factorization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mf_sparse::symbolic::analyze;
+use mf_sparse::{
+    column_counts, elimination_tree, order, AmalgamationOptions, OrderingKind,
+};
+use mf_matgen::{laplacian_3d, Stencil};
+
+fn bench_orderings(c: &mut Criterion) {
+    let a = laplacian_3d(16, 16, 16, Stencil::Faces);
+    let mut g = c.benchmark_group("ordering");
+    for kind in [OrderingKind::Rcm, OrderingKind::NestedDissection] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &k| {
+            b.iter(|| order(&a, k))
+        });
+    }
+    g.finish();
+}
+
+fn bench_etree_and_counts(c: &mut Criterion) {
+    let a = laplacian_3d(18, 18, 18, Stencil::Faces);
+    c.bench_function("etree+colcounts", |b| {
+        b.iter(|| {
+            let t = elimination_tree(&a);
+            column_counts(&a, &t)
+        })
+    });
+}
+
+fn bench_full_analysis(c: &mut Criterion) {
+    let a = laplacian_3d(14, 14, 14, Stencil::Full);
+    c.bench_function("full_analysis_nd_amalgamated", |b| {
+        b.iter(|| analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_orderings, bench_etree_and_counts, bench_full_analysis
+}
+criterion_main!(benches);

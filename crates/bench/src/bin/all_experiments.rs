@@ -1,0 +1,27 @@
+//! Runs every experiment in sequence, sharing one suite build.
+fn main() {
+    let cfg = mf_bench::ExpConfig::from_env();
+    let mut cache = None;
+    use mf_bench::experiments as e;
+    let funcs: Vec<(&str, fn(&mf_bench::ExpConfig, &mut Option<mf_bench::SuiteData>) -> mf_bench::Report)> = vec![
+        ("setup", e::exp_setup),
+        ("fig2", e::exp_fig2),
+        ("table3", e::exp_table3),
+        ("fig3", e::exp_fig3),
+        ("fig4", e::exp_fig4),
+        ("fig56", e::exp_fig56),
+        ("table4", e::exp_table4),
+        ("fig78", e::exp_fig78),
+        ("table5", e::exp_table5),
+        ("fig1011", e::exp_fig1011),
+        ("fig1213", e::exp_fig1213),
+        ("fig14", e::exp_fig14),
+        ("table7", e::exp_table7),
+        ("tile_ablation", e::exp_tile_ablation),
+        ("ablations", e::exp_ablations),
+    ];
+    for (name, f) in funcs {
+        eprintln!("[all_experiments] running {name}…");
+        f(&cfg, &mut cache).finish(&cfg.out_dir);
+    }
+}

@@ -1,0 +1,6 @@
+//! Reproduces the corresponding paper artifact; see DESIGN.md §3.
+fn main() {
+    let cfg = mf_bench::ExpConfig::from_env();
+    let mut cache = None;
+    mf_bench::experiments::exp_fig56(&cfg, &mut cache).finish(&cfg.out_dir);
+}

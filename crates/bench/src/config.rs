@@ -1,0 +1,42 @@
+//! Experiment configuration from environment variables.
+
+/// Global experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Linear matrix-suite scale (1.0 = full stand-in sizes).
+    pub scale: f64,
+    /// Fast smoke mode (small grids, fewer sweep points).
+    pub quick: bool,
+    /// Output directory for reports.
+    pub out_dir: String,
+}
+
+impl ExpConfig {
+    /// Read configuration from `MF_SCALE`, `MF_QUICK`, `MF_OUT`.
+    pub fn from_env() -> Self {
+        let quick = std::env::var("MF_QUICK").map(|v| v == "1").unwrap_or(false);
+        let scale = std::env::var("MF_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(if quick { 0.3 } else { 0.5 });
+        let out_dir = std::env::var("MF_OUT").unwrap_or_else(|_| "reports".to_string());
+        ExpConfig { scale, quick, out_dir }
+    }
+
+    /// A small configuration for tests.
+    pub fn test_small() -> Self {
+        ExpConfig { scale: 0.22, quick: true, out_dir: std::env::temp_dir().display().to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ExpConfig::test_small();
+        assert!(c.scale > 0.0 && c.scale <= 1.0);
+        assert!(c.quick);
+    }
+}

@@ -1,0 +1,114 @@
+//! Report accumulation and output.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// A text report that prints to stdout and lands in the output directory.
+#[derive(Debug)]
+pub struct Report {
+    name: String,
+    body: String,
+}
+
+impl Report {
+    /// Start a report named `name` (becomes `<out>/<name>.txt`).
+    pub fn new(name: &str) -> Self {
+        let mut r = Report { name: name.to_string(), body: String::new() };
+        r.line(&format!("==== {name} ===="));
+        r
+    }
+
+    /// Append a line.
+    pub fn line(&mut self, s: &str) {
+        self.body.push_str(s);
+        self.body.push('\n');
+    }
+
+    /// Append a formatted section header.
+    pub fn section(&mut self, s: &str) {
+        self.line("");
+        self.line(&format!("-- {s} --"));
+    }
+
+    /// Append a simple aligned table: `header` then `rows`.
+    pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) {
+        let ncol = header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut line = String::new();
+        for (i, h) in header.iter().enumerate() {
+            let _ = write!(line, "{:>w$}  ", h, w = width[i]);
+        }
+        self.line(line.trim_end());
+        for row in rows {
+            let mut line = String::new();
+            for (i, c) in row.iter().enumerate() {
+                let _ = write!(line, "{:>w$}  ", c, w = width[i]);
+            }
+            self.line(line.trim_end());
+        }
+    }
+
+    /// The accumulated text.
+    pub fn text(&self) -> &str {
+        &self.body
+    }
+
+    /// Print to stdout and write to `<out_dir>/<name>.txt`.
+    pub fn finish(&self, out_dir: &str) {
+        println!("{}", self.body);
+        if std::fs::create_dir_all(out_dir).is_ok() {
+            let path = format!("{}/{}.txt", out_dir, self.name);
+            if let Ok(mut f) = std::fs::File::create(&path) {
+                let _ = f.write_all(self.body.as_bytes());
+                eprintln!("[report written to {path}]");
+            }
+        }
+    }
+}
+
+/// Format seconds with an engineering suffix.
+pub fn fmt_time(t: f64) -> String {
+    if t >= 1.0 {
+        format!("{t:.2} s")
+    } else if t >= 1e-3 {
+        format!("{:.2} ms", t * 1e3)
+    } else if t >= 1e-6 {
+        format!("{:.2} µs", t * 1e6)
+    } else {
+        format!("{:.0} ns", t * 1e9)
+    }
+}
+
+/// Format a rate in GFlop/s.
+pub fn fmt_gf(rate: f64) -> String {
+    format!("{:.2}", rate / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut r = Report::new("t");
+        r.table(&["a", "bbb"], &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]]);
+        assert!(r.text().contains("333"));
+        assert!(r.text().lines().count() >= 4);
+    }
+
+    #[test]
+    fn time_formats() {
+        assert_eq!(fmt_time(2.5), "2.50 s");
+        assert_eq!(fmt_time(2.5e-3), "2.50 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.50 µs");
+        assert_eq!(fmt_time(3e-9), "3 ns");
+    }
+}

@@ -1,0 +1,378 @@
+//! The supernodal multifrontal factorization driver.
+//!
+//! Performs the postorder traversal of the supernodal elimination tree,
+//! assembling each frontal matrix (extend-add), executing its factor-update
+//! under the policy chosen by the active [`PolicySelector`], and harvesting
+//! the factor panels and per-call timing records.
+
+use crate::features::LinearPolicyModel;
+use crate::frontal::{assemble_front, extract_panel, extract_update, UpdateMatrix};
+use crate::fu::{execute_fu, FuContext, FuError, DEFAULT_PANEL_WIDTH};
+use crate::pinned_pool::PinnedPool;
+use crate::policy::{BaselineThresholds, PolicyKind};
+use crate::stats::{FactorStats, FuRecord};
+use mf_dense::{FuFlops, Scalar};
+use mf_gpusim::Machine;
+use mf_sparse::symbolic::SymbolicFactor;
+use mf_sparse::{Permutation, SymCsc};
+
+/// How the policy for each factor-update call is chosen.
+#[derive(Debug, Clone)]
+pub enum PolicySelector {
+    /// Always the same policy (the paper's per-policy columns in Table VII).
+    Fixed(PolicyKind),
+    /// Op-count thresholds (the baseline hybrid `P_BH`, §V-B1).
+    Baseline(BaselineThresholds),
+    /// The trained linear classifier (the model hybrid `P_MH`, §VI).
+    Model(LinearPolicyModel),
+    /// A per-supernode oracle (the ideal hybrid `P_IH` — built from
+    /// retrospective per-policy timings).
+    Oracle(Vec<PolicyKind>),
+}
+
+impl PolicySelector {
+    /// Choose a policy for supernode `sn` with front dims `(m, k)`.
+    pub fn choose(&self, sn: usize, m: usize, k: usize) -> PolicyKind {
+        match self {
+            PolicySelector::Fixed(p) => *p,
+            PolicySelector::Baseline(b) => b.choose(FuFlops::new(m, k).total()),
+            PolicySelector::Model(model) => model.predict(m, k),
+            PolicySelector::Oracle(table) => table[sn],
+        }
+    }
+}
+
+/// Options controlling a numeric factorization run.
+#[derive(Debug, Clone)]
+pub struct FactorOptions {
+    /// Policy selection scheme.
+    pub selector: PolicySelector,
+    /// P4 panel width `w` (Figure 9).
+    pub panel_width: usize,
+    /// Use the copy-optimized P4 transfer plan (§VI-C).
+    pub copy_optimized: bool,
+    /// Collect per-call [`FuRecord`]s (adds no simulated time).
+    pub record_stats: bool,
+    /// Use the growth-only pinned-buffer reuse policy (§V-A2); disable for
+    /// the allocation-cost ablation.
+    pub pinned_reuse: bool,
+}
+
+impl Default for FactorOptions {
+    fn default() -> Self {
+        FactorOptions {
+            selector: PolicySelector::Fixed(PolicyKind::P1),
+            panel_width: DEFAULT_PANEL_WIDTH,
+            copy_optimized: false,
+            record_stats: false,
+            pinned_reuse: true,
+        }
+    }
+}
+
+/// Numeric factorization failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorError {
+    /// Non-positive pivot at this column of the *permuted* matrix.
+    NotPositiveDefinite {
+        /// Global (permuted) column index.
+        column: usize,
+    },
+}
+
+impl std::fmt::Display for FactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorError::NotPositiveDefinite { column } => {
+                write!(f, "matrix is not positive definite (pivot failure at permuted column {column})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// The Cholesky factor in supernodal panel form: `P·A·Pᵀ = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor<T> {
+    /// Symbolic structure shared with the analysis.
+    pub symbolic: SymbolicFactor,
+    /// The fill-reducing permutation used (`perm[new] = old`).
+    pub perm: Permutation,
+    /// Per-supernode factor panels (`front_size × k`, column-major, leading
+    /// dimension `front_size`; rows follow `symbolic.supernodes[s].rows`).
+    pub panels: Vec<Vec<T>>,
+}
+
+impl<T: Scalar> CholeskyFactor<T> {
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.symbolic.n
+    }
+
+    /// Entry `L[i, j]` of the factor (permuted indices; zero if outside the
+    /// structure). Test/inspection helper — solves use the panels directly.
+    pub fn l_entry(&self, i: usize, j: usize) -> T {
+        if i < j {
+            return T::ZERO;
+        }
+        let sn = self.symbolic.col_to_sn[j];
+        let info = &self.symbolic.supernodes[sn];
+        let s = info.front_size();
+        let lc = j - info.col_start;
+        let lr = if i < info.col_end {
+            i - info.col_start
+        } else {
+            match info.rows[info.k()..].binary_search(&i) {
+                Ok(pos) => info.k() + pos,
+                Err(_) => return T::ZERO,
+            }
+        };
+        self.panels[sn][lr + lc * s]
+    }
+}
+
+/// Factor an already-permuted matrix on the given machine.
+///
+/// `a` must be the permuted matrix `P·A·Pᵀ` whose structure `symbolic`
+/// describes. Use [`crate::solver::SpdSolver`] for the one-call user API.
+pub fn factor_permuted<T: Scalar>(
+    a: &SymCsc<T>,
+    symbolic: &SymbolicFactor,
+    perm: &Permutation,
+    machine: &mut Machine,
+    opts: &FactorOptions,
+) -> Result<(CholeskyFactor<T>, FactorStats), FactorError> {
+    let nsn = symbolic.num_supernodes();
+    let mut pool =
+        if opts.pinned_reuse { PinnedPool::new(2) } else { PinnedPool::without_reuse(2) };
+    let mut updates: Vec<Option<UpdateMatrix<T>>> = (0..nsn).map(|_| None).collect();
+    let mut panels: Vec<Vec<T>> = vec![Vec::new(); nsn];
+    let mut stats = FactorStats::default();
+    machine.set_recording(opts.record_stats);
+
+    for &sn in &symbolic.postorder {
+        let info = &symbolic.supernodes[sn];
+        let (m, k) = (info.m(), info.k());
+
+        // Gather children updates (consumed by the extend-add).
+        let children: Vec<UpdateMatrix<T>> = symbolic.children[sn]
+            .iter()
+            .map(|&c| updates[c].take().expect("child update must exist in postorder"))
+            .collect();
+        let mut front = assemble_front(a, info, &children, &mut machine.host);
+        drop(children);
+        let t_assemble_records = if opts.record_stats { machine.take_records() } else { Vec::new() };
+
+        let policy = opts.selector.choose(sn, m, k);
+        let t0 = machine.host.now();
+        let mut ctx = FuContext {
+            machine,
+            pool: &mut pool,
+            panel_width: opts.panel_width,
+            copy_optimized: opts.copy_optimized,
+            timing_only: false,
+        };
+        let outcome = execute_fu(&mut front, policy, &mut ctx).map_err(|e| match e {
+            FuError::NotPositiveDefinite { local_column } => {
+                FactorError::NotPositiveDefinite { column: info.col_start + local_column }
+            }
+        })?;
+        let t1 = machine.host.now();
+
+        if outcome.oom_fallback {
+            stats.oom_fallbacks += 1;
+        }
+        if opts.record_stats {
+            let mut rec = FuRecord {
+                sn,
+                m,
+                k,
+                policy: outcome.executed,
+                total: t1 - t0,
+                t_potrf: 0.0,
+                t_trsm: 0.0,
+                t_syrk: 0.0,
+                t_copy: 0.0,
+                t_assemble: 0.0,
+            };
+            rec.absorb(&t_assemble_records);
+            rec.absorb(&machine.take_records());
+            stats.records.push(rec);
+        }
+
+        panels[sn] = extract_panel(&front, &mut machine.host);
+        if m > 0 {
+            updates[sn] = Some(extract_update(&front, info, &mut machine.host));
+        }
+    }
+
+    stats.total_time = machine.elapsed();
+    machine.set_recording(false);
+    Ok((
+        CholeskyFactor { symbolic: symbolic.clone(), perm: perm.clone(), panels },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_matgen::{laplacian_2d, laplacian_3d, Stencil};
+    use mf_sparse::symbolic::analyze;
+    use mf_sparse::{AmalgamationOptions, OrderingKind};
+
+    fn factor_grid(
+        selector: PolicySelector,
+        nx: usize,
+        ny: usize,
+    ) -> (CholeskyFactor<f64>, FactorStats, SymCsc<f64>) {
+        let a = laplacian_2d(nx, ny, Stencil::Faces);
+        let analysis = analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        let mut machine = Machine::paper_node();
+        let opts = FactorOptions { selector, record_stats: true, ..Default::default() };
+        let (f, s) = factor_permuted(
+            &analysis.permuted.0,
+            &analysis.symbolic,
+            &analysis.perm,
+            &mut machine,
+            &opts,
+        )
+        .unwrap();
+        (f, s, a)
+    }
+
+    /// ‖P·A·Pᵀ − L·Lᵀ‖∞ over the structure of A (cheap reconstruction check).
+    fn reconstruction_error(f: &CholeskyFactor<f64>, a: &SymCsc<f64>) -> f64 {
+        let pa = f.perm.permute_sym(a);
+        let n = pa.order();
+        let mut max = 0.0f64;
+        for j in 0..n {
+            for (&i, &v) in pa.col_rows(j).iter().zip(pa.col_vals(j)) {
+                // (L·Lᵀ)[i,j] = Σ_l L[i,l]·L[j,l], l ≤ min(i,j) = j.
+                let mut dot = 0.0;
+                for l in 0..=j {
+                    let lj = f.l_entry(j, l);
+                    if lj != 0.0 {
+                        dot += f.l_entry(i, l) * lj;
+                    }
+                }
+                max = max.max((dot - v).abs());
+            }
+        }
+        max
+    }
+
+    #[test]
+    fn p1_factorization_reconstructs_matrix() {
+        let (f, stats, a) = factor_grid(PolicySelector::Fixed(PolicyKind::P1), 12, 12);
+        assert!(stats.total_time > 0.0);
+        assert_eq!(stats.oom_fallbacks, 0);
+        let err = reconstruction_error(&f, &a);
+        assert!(err < 1e-9, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn gpu_policies_reconstruct_at_f32_accuracy() {
+        for p in [PolicyKind::P2, PolicyKind::P3, PolicyKind::P4] {
+            let (f, _, a) = factor_grid(PolicySelector::Fixed(p), 10, 10);
+            let err = reconstruction_error(&f, &a);
+            assert!(err < 1e-2, "{p} reconstruction error {err}");
+            assert!(err > 0.0);
+        }
+    }
+
+    #[test]
+    fn stats_cover_every_supernode() {
+        let (f, stats, _) = factor_grid(PolicySelector::Fixed(PolicyKind::P1), 14, 9);
+        assert_eq!(stats.records.len(), f.symbolic.num_supernodes());
+        assert!(stats.records.iter().all(|r| r.total > 0.0));
+        // P1 runs must have zero copy time.
+        assert!(stats.records.iter().all(|r| r.t_copy == 0.0));
+    }
+
+    #[test]
+    fn baseline_hybrid_uses_multiple_policies_on_3d() {
+        let a = laplacian_3d(9, 9, 9, Stencil::Faces);
+        let analysis = analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        let mut machine = Machine::paper_node();
+        let opts = FactorOptions {
+            selector: PolicySelector::Baseline(BaselineThresholds::default()),
+            record_stats: true,
+            ..Default::default()
+        };
+        let (_, stats) = factor_permuted(
+            &analysis.permuted.0,
+            &analysis.symbolic,
+            &analysis.perm,
+            &mut machine,
+            &opts,
+        )
+        .unwrap();
+        let counts = stats.policy_counts();
+        assert!(counts[0] > 0, "small fronts should use P1: {counts:?}");
+    }
+
+    #[test]
+    fn oracle_selector_uses_table() {
+        let a = laplacian_2d(8, 8, Stencil::Faces);
+        let analysis = analyze(&a, OrderingKind::NestedDissection, None);
+        let nsn = analysis.symbolic.num_supernodes();
+        let table = vec![PolicyKind::P2; nsn];
+        let mut machine = Machine::paper_node();
+        let opts = FactorOptions {
+            selector: PolicySelector::Oracle(table),
+            record_stats: true,
+            ..Default::default()
+        };
+        let (_, stats) = factor_permuted(
+            &analysis.permuted.0,
+            &analysis.symbolic,
+            &analysis.perm,
+            &mut machine,
+            &opts,
+        )
+        .unwrap();
+        assert!(stats.records.iter().all(|r| r.policy == PolicyKind::P2));
+    }
+
+    #[test]
+    fn indefinite_matrix_reports_global_column() {
+        use mf_sparse::Triplet;
+        let mut t = Triplet::new(6);
+        for i in 0..6 {
+            t.push(i, i, if i == 3 { -5.0 } else { 4.0 });
+            if i + 1 < 6 {
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        let a = t.assemble();
+        let analysis = analyze(&a, OrderingKind::Natural, None);
+        let mut machine = Machine::paper_node();
+        let err = factor_permuted(
+            &analysis.permuted.0,
+            &analysis.symbolic,
+            &analysis.perm,
+            &mut machine,
+            &FactorOptions::default(),
+        )
+        .unwrap_err();
+        match err {
+            FactorError::NotPositiveDefinite { column } => {
+                // Natural ordering ⇒ permuted column == original column 3
+                // (the first non-positive pivot may surface at 3 exactly).
+                assert_eq!(column, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn l_entry_outside_structure_is_zero() {
+        let (f, _, _) = factor_grid(PolicySelector::Fixed(PolicyKind::P1), 6, 6);
+        assert_eq!(f.l_entry(0, 5), 0.0, "upper triangle");
+        // Diagonal is positive everywhere.
+        for j in 0..f.order() {
+            assert!(f.l_entry(j, j) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Feature representation and the linear policy model (Section VI-B).
+//!
+//! The paper's feature vector for a factor-update call with dimensions
+//! `(m, k)` is `[m, k, m/k, m², mk, k², k³, mk²]` plus a bias term. The
+//! trained multinomial logistic classifier reduces at prediction time to the
+//! linear rule of Eq. (5): `ŷ(A) = argmax_j x(A)·θ_j` — an `O(d·r)`
+//! overhead per call. Training lives in `mf-autotune`; the model itself
+//! lives here so the factorization loop can consult it without a dependency
+//! cycle.
+
+use crate::policy::PolicyKind;
+
+/// Number of features including the bias term.
+pub const NUM_FEATURES: usize = 12;
+
+/// The paper's feature map `[m, k, m/k, m², mk, k², k³, mk²]` plus bias,
+/// augmented with `ln(1+m)`, `ln(1+k)` and `ln(1+N_total)`.
+///
+/// The logarithmic features are a deliberate deviation from the paper's raw
+/// polynomial set (documented in DESIGN.md): after z-score standardisation,
+/// raw polynomials spanning ten orders of magnitude collapse almost all
+/// calls onto a single point, making op-count *thresholds* — the very
+/// structure the best-policy map has — inexpressible by a linear boundary.
+/// A log of the total op count makes every baseline-hybrid-style threshold
+/// linearly separable while keeping the paper's original features available
+/// to the classifier.
+pub fn raw_features(m: usize, k: usize) -> [f64; NUM_FEATURES] {
+    let mf = m as f64;
+    let kf = k as f64;
+    let ratio = if k == 0 { 0.0 } else { mf / kf };
+    let ops = kf * kf * kf / 3.0 + mf * kf * kf + mf * mf * kf;
+    [
+        1.0,
+        mf,
+        kf,
+        ratio,
+        mf * mf,
+        mf * kf,
+        kf * kf,
+        kf * kf * kf,
+        mf * kf * kf,
+        (1.0 + mf).ln(),
+        (1.0 + kf).ln(),
+        (1.0 + ops).ln(),
+    ]
+}
+
+/// A trained linear policy classifier: per-class weight vectors over the
+/// standardized feature space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearPolicyModel {
+    /// Per-feature means used for standardization (bias untouched).
+    pub mean: [f64; NUM_FEATURES],
+    /// Per-feature standard deviations (bias untouched).
+    pub std: [f64; NUM_FEATURES],
+    /// Class weight matrix, `theta[class][feature]`, one row per policy.
+    pub theta: Vec<[f64; NUM_FEATURES]>,
+}
+
+impl LinearPolicyModel {
+    /// A model that always predicts `p` (useful as a degenerate baseline and
+    /// in tests).
+    pub fn constant(p: PolicyKind) -> Self {
+        let mut theta = vec![[0.0; NUM_FEATURES]; PolicyKind::ALL.len()];
+        theta[p.index()][0] = 1.0;
+        LinearPolicyModel { mean: [0.0; NUM_FEATURES], std: [1.0; NUM_FEATURES], theta }
+    }
+
+    /// Standardize a raw feature vector.
+    pub fn standardize(&self, x: &[f64; NUM_FEATURES]) -> [f64; NUM_FEATURES] {
+        let mut z = [0.0; NUM_FEATURES];
+        z[0] = 1.0;
+        for i in 1..NUM_FEATURES {
+            let s = if self.std[i] > 0.0 { self.std[i] } else { 1.0 };
+            z[i] = (x[i] - self.mean[i]) / s;
+        }
+        z
+    }
+
+    /// Per-class linear scores for a call (Eq. 5's `x·θ_j`).
+    pub fn scores(&self, m: usize, k: usize) -> Vec<f64> {
+        let z = self.standardize(&raw_features(m, k));
+        self.theta
+            .iter()
+            .map(|row| row.iter().zip(&z).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Predict the best policy for a factor-update of dimensions `(m, k)`.
+    pub fn predict(&self, m: usize, k: usize) -> PolicyKind {
+        let s = self.scores(m, k);
+        let mut best = 0;
+        for (j, &v) in s.iter().enumerate() {
+            if v > s[best] {
+                best = j;
+            }
+        }
+        PolicyKind::from_index(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_vector_matches_paper_definition_plus_logs() {
+        let x = raw_features(10, 4);
+        assert_eq!(&x[..9], &[1.0, 10.0, 4.0, 2.5, 100.0, 40.0, 16.0, 64.0, 160.0]);
+        let ops: f64 = 64.0 / 3.0 + 160.0 + 400.0;
+        assert!((x[9] - 11f64.ln()).abs() < 1e-12);
+        assert!((x[10] - 5f64.ln()).abs() < 1e-12);
+        assert!((x[11] - (1.0f64 + ops).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_k_does_not_divide_by_zero() {
+        let x = raw_features(5, 0);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert_eq!(x[3], 0.0);
+    }
+
+    #[test]
+    fn constant_model_predicts_constantly() {
+        for p in PolicyKind::ALL {
+            let m = LinearPolicyModel::constant(p);
+            assert_eq!(m.predict(0, 10), p);
+            assert_eq!(m.predict(5000, 800), p);
+        }
+    }
+
+    #[test]
+    fn standardization_centers_and_scales() {
+        let mut model = LinearPolicyModel::constant(PolicyKind::P1);
+        model.mean[1] = 100.0;
+        model.std[1] = 50.0;
+        let z = model.standardize(&raw_features(200, 1));
+        assert!((z[1] - 2.0).abs() < 1e-12);
+        assert_eq!(z[0], 1.0, "bias survives standardization");
+    }
+
+    #[test]
+    fn prediction_follows_scores() {
+        // Hand-build a model that selects by m: theta rows score m.
+        let mut model = LinearPolicyModel::constant(PolicyKind::P1);
+        model.theta = vec![[0.0; NUM_FEATURES]; 4];
+        model.theta[0][0] = 1.0; // P1 constant score 1
+        model.theta[3][1] = 0.01; // P4 score grows with m
+        assert_eq!(model.predict(10, 10), PolicyKind::P1);
+        assert_eq!(model.predict(1000, 10), PolicyKind::P4);
+    }
+}

@@ -1,0 +1,248 @@
+//! Frontal and update matrices, assembly, and the extend-add operation.
+//!
+//! A frontal matrix is stored as a dense `s × s` column-major buffer of
+//! which only the lower triangle is referenced (`s = k + m`). Columns
+//! `0..k` form the factor panel `[L₁; L₂]`; the trailing `m × m` block is
+//! the update matrix `Uⁿ` passed to the parent's extend-add.
+
+use mf_dense::Scalar;
+use mf_gpusim::HostClock;
+use mf_sparse::symbolic::SupernodeInfo;
+use mf_sparse::SymCsc;
+
+/// Host memory bandwidth used to charge assembly/extend-add time
+/// (bytes/s) — calibrated to streaming axpy/gather rates of the paper's
+/// FB-DIMM Xeon node.
+pub const ASSEMBLY_BW: f64 = 6.0e9;
+
+/// A dense frontal matrix.
+#[derive(Debug, Clone)]
+pub struct Front<T> {
+    /// Front order `s = k + m`.
+    pub s: usize,
+    /// Pivot-block width `k`.
+    pub k: usize,
+    /// `s × s` column-major storage (lower triangle significant).
+    pub data: Vec<T>,
+}
+
+impl<T: Scalar> Front<T> {
+    /// Update-matrix size `m`.
+    pub fn m(&self) -> usize {
+        self.s - self.k
+    }
+
+    /// Entry accessor (test helper).
+    pub fn at(&self, i: usize, j: usize) -> T {
+        self.data[i + j * self.s]
+    }
+}
+
+/// An update matrix awaiting extend-add into its parent front.
+#[derive(Debug, Clone)]
+pub struct UpdateMatrix<T> {
+    /// Global row indices (sorted) of the `m` rows/columns.
+    pub rows: Vec<usize>,
+    /// `m × m` column-major storage (lower triangle significant).
+    pub data: Vec<T>,
+}
+
+impl<T: Scalar> UpdateMatrix<T> {
+    /// Size `m`.
+    pub fn m(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Assemble the frontal matrix of `info`: zero-init, scatter the entries of
+/// `A` belonging to the supernode's columns, then extend-add every child
+/// update matrix. Charges host assembly time.
+pub fn assemble_front<T: Scalar>(
+    a: &SymCsc<T>,
+    info: &SupernodeInfo,
+    children: &[UpdateMatrix<T>],
+    host: &mut HostClock,
+) -> Front<T> {
+    let s = info.front_size();
+    let k = info.k();
+    let mut data = vec![T::ZERO; s * s];
+
+    // Position of each global row in the front (info.rows is sorted only in
+    // its tail; the first k entries are the contiguous pivot columns).
+    let local_of = |row: usize| -> usize {
+        if row < info.col_end {
+            debug_assert!(row >= info.col_start);
+            row - info.col_start
+        } else {
+            k + info.rows[k..].binary_search(&row).expect("row must be in front structure")
+        }
+    };
+
+    // Scatter A's entries (lower triangle) for the pivot columns.
+    let mut scattered = 0usize;
+    for (lc, c) in (info.col_start..info.col_end).enumerate() {
+        for (&i, &v) in a.col_rows(c).iter().zip(a.col_vals(c)) {
+            debug_assert!(i >= c);
+            let lr = local_of(i);
+            data[lr + lc * s] += v;
+            scattered += 1;
+        }
+    }
+
+    // Extend-add children.
+    let mut extended = 0usize;
+    for child in children {
+        let m = child.m();
+        // Relative indices: child rows into front-local rows (two-pointer
+        // would also work; binary search keeps it simple and is O(m log s)).
+        let rel: Vec<usize> = child.rows.iter().map(|&r| local_of(r)).collect();
+        for j in 0..m {
+            let cj = rel[j];
+            let src = &child.data[j * m..];
+            for i in j..m {
+                data[rel[i] + cj * s] += src[i];
+            }
+        }
+        extended += m * (m + 1) / 2;
+    }
+
+    // Charge: read+write per scattered/extended entry plus zero-fill.
+    let bytes = (scattered + extended) * 2 * T::BYTES + s * s * T::BYTES / 2;
+    host.charge_memop(bytes, ASSEMBLY_BW);
+
+    Front { s, k, data }
+}
+
+/// Extract the update matrix (trailing `m × m` lower block) from a factored
+/// front. Charges copy-out time.
+pub fn extract_update<T: Scalar>(
+    front: &Front<T>,
+    info: &SupernodeInfo,
+    host: &mut HostClock,
+) -> UpdateMatrix<T> {
+    let s = front.s;
+    let k = front.k;
+    let m = s - k;
+    let mut data = vec![T::ZERO; m * m];
+    for j in 0..m {
+        let src = &front.data[(k + j) * s + k + j..(k + j) * s + s];
+        data[j * m + j..(j + 1) * m].copy_from_slice(src);
+    }
+    host.charge_memop(m * (m + 1) / 2 * T::BYTES, ASSEMBLY_BW);
+    UpdateMatrix { rows: info.update_rows().to_vec(), data }
+}
+
+/// Extract the factor panel (`s × k`, columns `0..k` of the front) into the
+/// factor storage. Charges copy-out time.
+pub fn extract_panel<T: Scalar>(front: &Front<T>, host: &mut HostClock) -> Vec<T> {
+    let s = front.s;
+    let k = front.k;
+    let panel = front.data[..s * k].to_vec();
+    host.charge_memop(s * k * T::BYTES, ASSEMBLY_BW);
+    panel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_sparse::symbolic::SupernodeInfo;
+    use mf_sparse::Triplet;
+
+    fn info(col_start: usize, col_end: usize, update_rows: Vec<usize>) -> SupernodeInfo {
+        let mut rows: Vec<usize> = (col_start..col_end).collect();
+        rows.extend(update_rows);
+        SupernodeInfo { col_start, col_end, rows, parent: usize::MAX }
+    }
+
+    #[test]
+    fn assembles_a_entries_into_correct_slots() {
+        // 4×4 matrix, supernode covering columns 0..2 with update rows {3}.
+        let mut t = Triplet::new(4);
+        t.push(0, 0, 4.0);
+        t.push(1, 0, -1.0);
+        t.push(3, 0, -2.0);
+        t.push(1, 1, 5.0);
+        t.push(3, 1, -3.0);
+        t.push(2, 2, 6.0);
+        t.push(3, 3, 7.0);
+        let a = t.assemble();
+        let inf = info(0, 2, vec![3]);
+        let mut host = HostClock::new(mf_gpusim::xeon_5160_core());
+        let f = assemble_front(&a, &inf, &[], &mut host);
+        assert_eq!(f.s, 3);
+        assert_eq!(f.k, 2);
+        assert_eq!(f.at(0, 0), 4.0);
+        assert_eq!(f.at(1, 0), -1.0);
+        assert_eq!(f.at(2, 0), -2.0); // row 3 → local 2
+        assert_eq!(f.at(1, 1), 5.0);
+        assert_eq!(f.at(2, 1), -3.0);
+        assert_eq!(f.at(2, 2), 0.0, "A(3,3) belongs to a later supernode");
+        assert!(host.now() > 0.0);
+    }
+
+    #[test]
+    fn extend_add_scatters_child_update() {
+        let mut t = Triplet::new(5);
+        for i in 0..5 {
+            t.push(i, i, 1.0);
+        }
+        let a = t.assemble();
+        // Parent supernode: columns 2..4, update row 4.
+        let inf = info(2, 4, vec![4]);
+        let child = UpdateMatrix {
+            rows: vec![2, 4],
+            data: vec![10.0, 20.0, 0.0, 30.0], // lower: (2,2)=10, (4,2)=20, (4,4)=30
+        };
+        let mut host = HostClock::new(mf_gpusim::xeon_5160_core());
+        let f = assemble_front(&a, &inf, &[child], &mut host);
+        // Local rows: 2→0, 3→1, 4→2.
+        assert_eq!(f.at(0, 0), 1.0 + 10.0);
+        assert_eq!(f.at(2, 0), 20.0);
+        // A(4,4) belongs to a later supernode — only the child lands here.
+        assert_eq!(f.at(2, 2), 30.0);
+        assert_eq!(f.at(1, 1), 1.0);
+    }
+
+    #[test]
+    fn multiple_children_accumulate() {
+        let mut t = Triplet::new(3);
+        for i in 0..3 {
+            t.push(i, i, 0.0);
+        }
+        let a = t.assemble();
+        let inf = info(0, 2, vec![2]);
+        let c1 = UpdateMatrix { rows: vec![0, 2], data: vec![1.0, 2.0, 0.0, 3.0] };
+        let c2 = UpdateMatrix { rows: vec![0, 1], data: vec![5.0, 6.0, 0.0, 7.0] };
+        let mut host = HostClock::new(mf_gpusim::xeon_5160_core());
+        let f = assemble_front(&a, &inf, &[c1, c2], &mut host);
+        assert_eq!(f.at(0, 0), 6.0); // 1 + 5
+        assert_eq!(f.at(2, 0), 2.0);
+        assert_eq!(f.at(1, 0), 6.0);
+        assert_eq!(f.at(1, 1), 7.0);
+        assert_eq!(f.at(2, 2), 3.0);
+    }
+
+    #[test]
+    fn extract_update_and_panel_roundtrip() {
+        let inf = info(0, 2, vec![3, 7]);
+        let s = 4;
+        let mut f = Front { s, k: 2, data: vec![0.0f64; 16] };
+        // Fill lower triangle with recognisable values.
+        for j in 0..s {
+            for i in j..s {
+                f.data[i + j * s] = (10 * i + j) as f64;
+            }
+        }
+        let mut host = HostClock::new(mf_gpusim::xeon_5160_core());
+        let u = extract_update(&f, &inf, &mut host);
+        assert_eq!(u.rows, vec![3, 7]);
+        assert_eq!(u.m(), 2);
+        assert_eq!(u.data[0], 22.0); // front (2,2)
+        assert_eq!(u.data[1], 32.0); // front (3,2)
+        assert_eq!(u.data[3], 33.0); // front (3,3)
+        let p = extract_panel(&f, &mut host);
+        assert_eq!(p.len(), 8);
+        assert_eq!(p[1], 10.0);
+        assert_eq!(p[4 + 1], 11.0);
+    }
+}

@@ -1,0 +1,881 @@
+//! The factor-update (F-U) executor: one dense Cholesky step of a frontal
+//! matrix under each of the four policies of Table VI.
+//!
+//! Policy implementations follow the paper's workflow optimizations
+//! (Section V-A):
+//!
+//! * **P2** — `potrf`/`trsm` on the CPU; `syrk` on the GPU computed in
+//!   block-columns whose device→host downloads overlap the next block's
+//!   compute (copy engine ∥ compute engine).
+//! * **P3** — the unfactored sub-panel `A₂` uploads *while* the CPU runs
+//!   `potrf`; the factored `L₂` downloads *while* the GPU runs `syrk`.
+//! * **P4** — the overlapped panel algorithm of Figure 9: a lightweight
+//!   `w × w` device `potrf` kernel, a spanning `trsm`, then `syrk`/`gemm`
+//!   trailing updates, entirely on the device. With `copy_optimized` only
+//!   the panel and update regions cross PCIe instead of the full `s × s`
+//!   front (the optimization the paper credits for P4 winning at moderate
+//!   sizes in the multi-GPU runs).
+//!
+//! All GPU arithmetic is f32 (the paper's choice on the T10); host fronts
+//! may be f64, converted at the staging boundary — exactly the
+//! mixed-precision scheme whose lost digits the paper recovers with
+//! iterative refinement.
+
+use crate::frontal::Front;
+use crate::pinned_pool::PinnedPool;
+use crate::policy::PolicyKind;
+use mf_dense::{potrf, syrk_lower, trsm_right_lower_trans, Scalar};
+use mf_gpusim::{CopyMode, DevMat, Gpu, HostClock, KernelKind, Machine};
+
+/// Width of the device panels in the P4 algorithm (Figure 9's `w`).
+pub const DEFAULT_PANEL_WIDTH: usize = 64;
+
+/// Block-column width for P2's overlapped `syrk` downloads.
+const P2_DOWNLOAD_BLOCK: usize = 512;
+
+/// Pinned staging slot ids.
+const SLOT_PANEL: usize = 0;
+const SLOT_UPDATE: usize = 1;
+
+/// Stream ids on the device.
+const S_COMPUTE: usize = 0;
+const S_COPY: usize = 1;
+
+/// Failure of a factor-update step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuError {
+    /// Non-positive pivot at this front-local column.
+    NotPositiveDefinite {
+        /// Column within the pivot block (0-based).
+        local_column: usize,
+    },
+}
+
+/// Execution context shared across the factorization's F-U calls.
+#[derive(Debug)]
+pub struct FuContext<'a> {
+    /// The worker's host+device timelines.
+    pub machine: &'a mut Machine,
+    /// Pinned staging buffers (growth-only reuse per §V-A2).
+    pub pool: &'a mut PinnedPool,
+    /// P4 panel width `w`.
+    pub panel_width: usize,
+    /// Use the copy-optimized P4 transfer plan.
+    pub copy_optimized: bool,
+    /// Timing-only mode: charge every cost but skip all numeric work and
+    /// data movement. Requires the machine's GPU and the pool to be in
+    /// virtual mode (see [`estimate_fu_time`]). The front may be a dummy.
+    pub timing_only: bool,
+}
+
+/// Outcome of an F-U call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuOutcome {
+    /// Policy that actually ran (may differ from the request on device OOM
+    /// or on a CPU-only machine).
+    pub executed: PolicyKind,
+    /// Whether a device OOM forced a fallback.
+    pub oom_fallback: bool,
+}
+
+/// Run one factor-update on `front` under `policy`. On device OOM the call
+/// transparently falls back to P1 and reports it in the outcome.
+pub fn execute_fu<T: Scalar>(
+    front: &mut Front<T>,
+    policy: PolicyKind,
+    ctx: &mut FuContext<'_>,
+) -> Result<FuOutcome, FuError> {
+    let requested = if ctx.machine.gpu.is_some() { policy } else { PolicyKind::P1 };
+    let attempt = match requested {
+        PolicyKind::P1 => {
+            fu_p1(front, ctx)?;
+            return Ok(FuOutcome { executed: PolicyKind::P1, oom_fallback: false });
+        }
+        PolicyKind::P2 => fu_p2(front, ctx),
+        PolicyKind::P3 => fu_p3(front, ctx),
+        PolicyKind::P4 => fu_p4(front, ctx),
+    };
+    match attempt {
+        Ok(()) => Ok(FuOutcome { executed: requested, oom_fallback: false }),
+        Err(GpuFuError::NotPd(c)) => Err(FuError::NotPositiveDefinite { local_column: c }),
+        Err(GpuFuError::Oom) => {
+            fu_p1(front, ctx)?;
+            Ok(FuOutcome { executed: PolicyKind::P1, oom_fallback: true })
+        }
+    }
+}
+
+enum GpuFuError {
+    NotPd(usize),
+    Oom,
+}
+
+impl From<mf_gpusim::DeviceOom> for GpuFuError {
+    fn from(_: mf_gpusim::DeviceOom) -> Self {
+        GpuFuError::Oom
+    }
+}
+
+impl From<FuError> for GpuFuError {
+    fn from(e: FuError) -> Self {
+        match e {
+            FuError::NotPositiveDefinite { local_column } => GpuFuError::NotPd(local_column),
+        }
+    }
+}
+
+/// Estimate the simulated time of one factor-update of dimensions `(m, k)`
+/// under `policy`, without computing anything — the device and staging pool
+/// run in virtual mode and the front is a dummy. This powers the paper's
+/// policy-map and speedup-map figures (12, 13, 14), whose `(m, k)` ranges
+/// are far beyond what real numerics could cover.
+///
+/// The machine's clocks are reset before and after, so a long-lived machine
+/// can be reused across many estimates.
+pub fn estimate_fu_time(
+    machine: &mut Machine,
+    m: usize,
+    k: usize,
+    policy: PolicyKind,
+    panel_width: usize,
+    copy_optimized: bool,
+) -> f64 {
+    machine.reset();
+    if let Some(g) = machine.gpu.as_mut() {
+        g.set_virtual(true);
+    }
+    let mut pool = PinnedPool::new(2);
+    pool.set_virtual(true);
+    let mut front = Front { s: m + k, k, data: Vec::<f32>::new() };
+    // Warm-up pass: grow the pinned pool to this call's footprint so the
+    // measured pass sees the steady-state cost (in a factorization the pool
+    // amortises growth across thousands of calls; a cold-pool estimate
+    // would bias against the policies with large staging footprints).
+    {
+        let mut ctx = FuContext {
+            machine,
+            pool: &mut pool,
+            panel_width,
+            copy_optimized,
+            timing_only: true,
+        };
+        execute_fu(&mut front, policy, &mut ctx)
+            .expect("timing-only execution cannot fail numerically");
+    }
+    machine.reset();
+    let mut ctx = FuContext {
+        machine,
+        pool: &mut pool,
+        panel_width,
+        copy_optimized,
+        timing_only: true,
+    };
+    let out = execute_fu(&mut front, policy, &mut ctx)
+        .expect("timing-only execution cannot fail numerically");
+    let _ = out;
+    let t = machine.elapsed();
+    if let Some(g) = machine.gpu.as_mut() {
+        g.set_virtual(false);
+    }
+    machine.reset();
+    t
+}
+
+// ----- shared CPU pieces ----------------------------------------------------
+
+/// Pack the `k × k` pivot block (lower triangle) out of the front.
+fn pack_pivot_block<T: Scalar>(front: &Front<T>) -> Vec<T> {
+    let (s, k) = (front.s, front.k);
+    let mut l1 = vec![T::ZERO; k * k];
+    for j in 0..k {
+        for i in j..k {
+            l1[i + j * k] = front.data[i + j * s];
+        }
+    }
+    l1
+}
+
+/// Pack the `m × k` sub-diagonal panel out of the front.
+fn pack_subpanel<T: Scalar>(front: &Front<T>) -> Vec<T> {
+    let (s, k) = (front.s, front.k);
+    let m = s - k;
+    let mut p = vec![T::ZERO; m * k];
+    for j in 0..k {
+        p[j * m..(j + 1) * m].copy_from_slice(&front.data[j * s + k..j * s + s]);
+    }
+    p
+}
+
+fn cpu_potrf<T: Scalar>(
+    front: &mut Front<T>,
+    host: &mut HostClock,
+    timing_only: bool,
+) -> Result<(), FuError> {
+    let (s, k) = (front.s, front.k);
+    if !timing_only {
+        potrf(k, &mut front.data, s)
+            .map_err(|e| FuError::NotPositiveDefinite { local_column: e.column })?;
+    }
+    host.charge_kernel(KernelKind::Potrf, 0, k, 0);
+    Ok(())
+}
+
+fn cpu_trsm<T: Scalar>(front: &mut Front<T>, host: &mut HostClock, timing_only: bool) {
+    let (s, k) = (front.s, front.k);
+    let m = s - k;
+    if m == 0 {
+        return;
+    }
+    if !timing_only {
+        let l1 = pack_pivot_block(front);
+        trsm_right_lower_trans(m, k, &l1, k, &mut front.data[k..], s);
+    }
+    host.charge_kernel(KernelKind::Trsm, m, 0, k);
+}
+
+fn cpu_syrk<T: Scalar>(front: &mut Front<T>, host: &mut HostClock, timing_only: bool) {
+    let (s, k) = (front.s, front.k);
+    let m = s - k;
+    if m == 0 {
+        return;
+    }
+    if !timing_only {
+        let panel = pack_subpanel(front);
+        syrk_lower(m, k, -T::ONE, &panel, m, T::ONE, &mut front.data[k + k * s..], s);
+    }
+    host.charge_kernel(KernelKind::Syrk, 0, m, k);
+}
+
+fn fu_p1<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(), FuError> {
+    let timing = ctx.timing_only;
+    let host = &mut ctx.machine.host;
+    cpu_potrf(front, host, timing)?;
+    cpu_trsm(front, host, timing);
+    cpu_syrk(front, host, timing);
+    Ok(())
+}
+
+// ----- staging helpers ------------------------------------------------------
+
+fn stage_to_f32<T: Scalar>(src: &[T], dst: &mut [f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = s.to_f64() as f32;
+    }
+}
+
+fn unstage_from_f32<T: Scalar>(src: &[f32], dst: &mut [T]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = T::from_f64(*s as f64);
+    }
+}
+
+/// Stage a `rows × cols` sub-block of the front (top-left at `(row0, col0)`)
+/// into a packed f32 buffer with leading dimension `rows`.
+fn stage_block<T: Scalar>(
+    front: &Front<T>,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    dst: &mut [f32],
+) {
+    let s = front.s;
+    for j in 0..cols {
+        let src = &front.data[(col0 + j) * s + row0..(col0 + j) * s + row0 + rows];
+        stage_to_f32(src, &mut dst[j * rows..(j + 1) * rows]);
+    }
+}
+
+/// Unstage a packed f32 buffer back into a front sub-block.
+fn unstage_block<T: Scalar>(
+    front: &mut Front<T>,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    src: &[f32],
+) {
+    let s = front.s;
+    for j in 0..cols {
+        let dst = &mut front.data[(col0 + j) * s + row0..(col0 + j) * s + row0 + rows];
+        unstage_from_f32(&src[j * rows..(j + 1) * rows], dst);
+    }
+}
+
+/// Apply a device-computed `−L₂·L₂ᵀ` (staged in `w`, `m × m`, lower) to the
+/// front's update block: `U += w`. Charges host time.
+fn apply_update_block<T: Scalar>(
+    front: &mut Front<T>,
+    w: &[f32],
+    host: &mut HostClock,
+    timing_only: bool,
+) {
+    let (s, k) = (front.s, front.k);
+    let m = s - k;
+    if !timing_only {
+        for j in 0..m {
+            let dst = &mut front.data[(k + j) * s + k + j..(k + j) * s + s];
+            let src = &w[j * m + j..(j + 1) * m];
+            for (d, &v) in dst.iter_mut().zip(src) {
+                *d += T::from_f64(v as f64);
+            }
+        }
+    }
+    host.charge_memop(m * (m + 1) / 2 * 2 * T::BYTES, crate::frontal::ASSEMBLY_BW);
+}
+
+/// Destructure the context into independently borrowable pieces. Panics if
+/// the machine has no GPU (callers check before dispatching GPU policies).
+fn split_ctx<'b>(ctx: &'b mut FuContext<'_>) -> (&'b mut HostClock, &'b mut Gpu, &'b mut PinnedPool) {
+    let machine = &mut *ctx.machine;
+    let host = &mut machine.host;
+    let gpu = machine.gpu.as_mut().expect("GPU policy dispatched on a CPU-only machine");
+    (host, gpu, ctx.pool)
+}
+
+// ----- P2 --------------------------------------------------------------------
+
+fn fu_p2<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(), GpuFuError> {
+    let (s, k) = (front.s, front.k);
+    let m = s - k;
+    let timing = ctx.timing_only;
+    cpu_potrf(front, &mut ctx.machine.host, timing)?;
+    cpu_trsm(front, &mut ctx.machine.host, timing);
+    if m == 0 {
+        return Ok(());
+    }
+
+    let (host, gpu, pool) = split_ctx(ctx);
+    let d_l2 = gpu.alloc(m * k)?;
+    let d_w = match gpu.alloc(m * m) {
+        Ok(b) => b,
+        Err(_) => {
+            gpu.free(d_l2);
+            return Err(GpuFuError::Oom);
+        }
+    };
+    let compute = gpu.stream(S_COMPUTE);
+    let copy = gpu.stream(S_COPY);
+
+    // Upload L₂ via pinned staging.
+    pool.acquire(SLOT_PANEL, m * k, host);
+    if !timing {
+        stage_block(front, k, 0, m, k, pool.slot_mut(SLOT_PANEL));
+    }
+    gpu.h2d(compute, DevMat::whole(d_l2, m), m, k, pool.slot(SLOT_PANEL), m, true, CopyMode::Async, host);
+
+    // W = −L₂·L₂ᵀ in block columns, each downloaded while the next computes.
+    pool.acquire(SLOT_UPDATE, m * m, host);
+    let lv = DevMat::whole(d_l2, m);
+    let wv = DevMat::whole(d_w, m);
+    let mut j0 = 0;
+    while j0 < m {
+        let jb = P2_DOWNLOAD_BLOCK.min(m - j0);
+        gpu.syrk(compute, lv.offset(j0, 0), wv.offset(j0, j0), jb, k, host);
+        let below = m - j0 - jb;
+        if below > 0 {
+            gpu.gemm_nt(
+                compute,
+                lv.offset(j0 + jb, 0),
+                lv.offset(j0, 0),
+                wv.offset(j0 + jb, j0),
+                below,
+                jb,
+                k,
+                host,
+            );
+        }
+        let ev = gpu.record_event(compute);
+        gpu.wait_event(copy, ev);
+        let stage = pool.slot_mut(SLOT_UPDATE);
+        let dst = if timing { &mut [][..] } else { &mut stage[j0 + j0 * m..] };
+        gpu.d2h(copy, wv.offset(j0, j0), m - j0, jb, dst, m, true, CopyMode::Async, host);
+        j0 += jb;
+    }
+    gpu.sync_all(host);
+    gpu.free(d_l2);
+    gpu.free(d_w);
+
+    let w = if timing { Vec::new() } else { pool.slot(SLOT_UPDATE)[..m * m].to_vec() };
+    apply_update_block(front, &w, host, timing);
+    pool.release(SLOT_UPDATE, host);
+    pool.release(SLOT_PANEL, host);
+    Ok(())
+}
+
+// ----- P3 --------------------------------------------------------------------
+
+fn fu_p3<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(), GpuFuError> {
+    let (s, k) = (front.s, front.k);
+    let m = s - k;
+    let timing = ctx.timing_only;
+    if m == 0 {
+        return Ok(cpu_potrf(front, &mut ctx.machine.host, timing)?);
+    }
+    let (host, gpu, pool) = split_ctx(ctx);
+    let d_panel = gpu.alloc(m * k)?;
+    let d_l1 = match gpu.alloc(k * k) {
+        Ok(b) => b,
+        Err(_) => {
+            gpu.free(d_panel);
+            return Err(GpuFuError::Oom);
+        }
+    };
+    let d_w = match gpu.alloc(m * m) {
+        Ok(b) => b,
+        Err(_) => {
+            gpu.free(d_panel);
+            gpu.free(d_l1);
+            return Err(GpuFuError::Oom);
+        }
+    };
+    let compute = gpu.stream(S_COMPUTE);
+    let copy = gpu.stream(S_COPY);
+    let pv = DevMat::whole(d_panel, m);
+    let l1v = DevMat::whole(d_l1, k);
+    let wv = DevMat::whole(d_w, m);
+
+    // Upload the unfactored sub-panel A₂ — overlaps the CPU potrf below.
+    pool.acquire(SLOT_PANEL, m * k, host);
+    if !timing {
+        stage_block(front, k, 0, m, k, pool.slot_mut(SLOT_PANEL));
+    }
+    gpu.h2d(copy, pv, m, k, pool.slot(SLOT_PANEL), m, true, CopyMode::Async, host);
+
+    // CPU potrf of the pivot block (overlapping the A₂ upload).
+    if let Err(e) = cpu_potrf(front, host, timing) {
+        gpu.free(d_panel);
+        gpu.free(d_l1);
+        gpu.free(d_w);
+        return Err(e.into());
+    }
+
+    // Upload the factored L₁.
+    pool.acquire(SLOT_UPDATE, (k * k).max(m * m), host);
+    if !timing {
+        stage_block(front, 0, 0, k, k, pool.slot_mut(SLOT_UPDATE));
+    }
+    gpu.h2d(copy, l1v, k, k, pool.slot(SLOT_UPDATE), k, true, CopyMode::Async, host);
+
+    // GPU trsm waits for both uploads (same copy stream ⇒ one event).
+    let ev_up = gpu.record_event(copy);
+    gpu.wait_event(compute, ev_up);
+    gpu.trsm(compute, l1v, k, pv, m, host);
+    let ev_trsm = gpu.record_event(compute);
+
+    // Download L₂ (overlaps the syrk below).
+    gpu.wait_event(copy, ev_trsm);
+    gpu.d2h(copy, pv, m, k, pool.slot_mut(SLOT_PANEL), m, true, CopyMode::Async, host);
+
+    // GPU syrk into W (fresh buffer ⇒ zero-initialised ⇒ W = −L₂L₂ᵀ).
+    gpu.syrk(compute, pv, wv, m, k, host);
+    let ev_syrk = gpu.record_event(compute);
+    gpu.wait_event(copy, ev_syrk);
+    gpu.d2h(copy, wv, m, m, pool.slot_mut(SLOT_UPDATE), m, true, CopyMode::Async, host);
+
+    gpu.sync_all(host);
+    gpu.free(d_panel);
+    gpu.free(d_l1);
+    gpu.free(d_w);
+
+    // Unstage L₂ into the front, apply U += W.
+    if !timing {
+        let l2 = pool.slot(SLOT_PANEL)[..m * k].to_vec();
+        unstage_block(front, k, 0, m, k, &l2);
+    }
+    let w = if timing { Vec::new() } else { pool.slot(SLOT_UPDATE)[..m * m].to_vec() };
+    apply_update_block(front, &w, host, timing);
+    pool.release(SLOT_UPDATE, host);
+    pool.release(SLOT_PANEL, host);
+    Ok(())
+}
+
+// ----- P4 --------------------------------------------------------------------
+
+fn fu_p4<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(), GpuFuError> {
+    let (s, k) = (front.s, front.k);
+    let m = s - k;
+    let w = ctx.panel_width.max(1);
+    let copy_optimized = ctx.copy_optimized;
+    let timing = ctx.timing_only;
+    let (host, gpu, pool) = split_ctx(ctx);
+    let d_front = gpu.alloc(s * s)?;
+    let compute = gpu.stream(S_COMPUTE);
+    let fv = DevMat::whole(d_front, s);
+
+    // Upload. Naive: the whole s×s front. Copy-optimized: only the panel
+    // (s×k) and update (m×m) regions.
+    let stage_len = if copy_optimized { s * k + m * m } else { s * s };
+    pool.acquire(SLOT_PANEL, stage_len, host);
+    let empty: &[f32] = &[];
+    if copy_optimized {
+        if !timing {
+            stage_block(front, 0, 0, s, k, &mut pool.slot_mut(SLOT_PANEL)[..s * k]);
+        }
+        let src = if timing { empty } else { &pool.slot(SLOT_PANEL)[..s * k] };
+        gpu.h2d(compute, fv, s, k, src, s, true, CopyMode::Async, host);
+        if m > 0 {
+            if !timing {
+                stage_block(front, k, k, m, m, &mut pool.slot_mut(SLOT_PANEL)[s * k..stage_len]);
+            }
+            let src = if timing { empty } else { &pool.slot(SLOT_PANEL)[s * k..stage_len] };
+            gpu.h2d(compute, fv.offset(k, k), m, m, src, m, true, CopyMode::Async, host);
+        }
+    } else {
+        if !timing {
+            stage_block(front, 0, 0, s, s, pool.slot_mut(SLOT_PANEL));
+        }
+        gpu.h2d(compute, fv, s, s, pool.slot(SLOT_PANEL), s, true, CopyMode::Async, host);
+    }
+
+    // Figure 9's panel loop.
+    let mut p = 0;
+    while p < k {
+        let wb = w.min(k - p);
+        if let Err(col) = gpu.panel_potrf(compute, fv.offset(p, p), wb, host) {
+            gpu.free(d_front);
+            return Err(GpuFuError::NotPd(p + col));
+        }
+        let rest = s - p - wb;
+        if rest > 0 {
+            gpu.trsm(compute, fv.offset(p, p), wb, fv.offset(p + wb, p), rest, host);
+        }
+        let k_rest = k - p - wb;
+        if k_rest > 0 {
+            gpu.syrk(compute, fv.offset(p + wb, p), fv.offset(p + wb, p + wb), k_rest, wb, host);
+            if m > 0 {
+                gpu.gemm_nt(
+                    compute,
+                    fv.offset(k, p),
+                    fv.offset(p + wb, p),
+                    fv.offset(k, p + wb),
+                    m,
+                    k_rest,
+                    wb,
+                    host,
+                );
+            }
+        }
+        if m > 0 {
+            gpu.syrk(compute, fv.offset(k, p), fv.offset(k, k), m, wb, host);
+        }
+        p += wb;
+    }
+
+    // Download the results.
+    if copy_optimized {
+        let dst = if timing { &mut [][..] } else { &mut pool.slot_mut(SLOT_PANEL)[..s * k] };
+        gpu.d2h(compute, fv, s, k, dst, s, true, CopyMode::Async, host);
+        if m > 0 {
+            let dst =
+                if timing { &mut [][..] } else { &mut pool.slot_mut(SLOT_PANEL)[s * k..stage_len] };
+            gpu.d2h(compute, fv.offset(k, k), m, m, dst, m, true, CopyMode::Async, host);
+        }
+    } else {
+        let dst = if timing { &mut [][..] } else { pool.slot_mut(SLOT_PANEL) };
+        gpu.d2h(compute, fv, s, s, dst, s, true, CopyMode::Async, host);
+    }
+    gpu.sync_all(host);
+    gpu.free(d_front);
+
+    // Unstage into the host front.
+    if !timing {
+        let stage = pool.slot(SLOT_PANEL)[..stage_len].to_vec();
+        if copy_optimized {
+            unstage_block(front, 0, 0, s, k, &stage[..s * k]);
+            if m > 0 {
+                unstage_block(front, k, k, m, m, &stage[s * k..]);
+            }
+        } else {
+            unstage_block(front, 0, 0, s, s, &stage);
+        }
+    }
+    pool.release(SLOT_PANEL, host);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_dense::matrix::random_spd;
+    use mf_gpusim::Machine;
+
+    fn spd_front(s: usize, k: usize, seed: u64) -> Front<f64> {
+        let a = random_spd::<f64>(s, seed);
+        Front { s, k, data: a.as_slice().to_vec() }
+    }
+
+    fn run(policy: PolicyKind, s: usize, k: usize, seed: u64) -> (Front<f64>, f64) {
+        let mut machine = Machine::paper_node();
+        let mut pool = PinnedPool::new(2);
+        let mut front = spd_front(s, k, seed);
+        let mut ctx = FuContext {
+            machine: &mut machine,
+            pool: &mut pool,
+            panel_width: 16,
+            copy_optimized: false,
+            timing_only: false,
+        };
+        let out = execute_fu(&mut front, policy, &mut ctx).unwrap();
+        assert_eq!(out.executed, policy);
+        assert!(!out.oom_fallback);
+        (front, machine.elapsed())
+    }
+
+    #[test]
+    fn all_policies_agree_numerically() {
+        let (s, k) = (60, 24);
+        let (f1, _) = run(PolicyKind::P1, s, k, 3);
+        for p in [PolicyKind::P2, PolicyKind::P3, PolicyKind::P4] {
+            let (fp, _) = run(p, s, k, 3);
+            // Compare the panel and update lower triangles at f32 accuracy.
+            let mut max = 0.0f64;
+            for j in 0..s {
+                for i in j..s {
+                    if j < k || i >= k {
+                        max = max.max((f1.at(i, j) - fp.at(i, j)).abs());
+                    }
+                }
+            }
+            assert!(max < 2e-3, "{p} deviates from P1 by {max}");
+        }
+    }
+
+    #[test]
+    fn p1_exact_against_direct_potrf() {
+        let (s, k) = (40, 40); // root-style front: factor everything
+        let (f, _) = run(PolicyKind::P1, s, k, 7);
+        let mut a = random_spd::<f64>(s, 7);
+        potrf(s, a.as_mut_slice(), s).unwrap();
+        for j in 0..s {
+            for i in j..s {
+                assert!((f.at(i, j) - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn root_front_m_zero_all_policies() {
+        for p in PolicyKind::ALL {
+            let (f, t) = run(p, 32, 32, 11);
+            assert!(t > 0.0);
+            for j in 0..32 {
+                assert!(f.at(j, j) > 0.0, "{p} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn not_positive_definite_detected_on_every_policy() {
+        for p in PolicyKind::ALL {
+            let mut machine = Machine::paper_node();
+            let mut pool = PinnedPool::new(2);
+            let mut front = spd_front(20, 10, 5);
+            // Poison a pivot column inside the block.
+            front.data[4 + 4 * 20] = -50.0;
+            let mut ctx = FuContext {
+                machine: &mut machine,
+                pool: &mut pool,
+                panel_width: 4,
+                copy_optimized: false,
+                timing_only: false,
+            };
+            let err = execute_fu(&mut front, p, &mut ctx).unwrap_err();
+            assert_eq!(err, FuError::NotPositiveDefinite { local_column: 4 }, "{p}");
+        }
+    }
+
+    #[test]
+    fn large_fronts_prefer_gpu_policies() {
+        // A large front must run faster under P3/P4 than P1 (the premise of
+        // the whole paper).
+        let (s, k) = (600, 150);
+        let (_, t1) = run(PolicyKind::P1, s, k, 9);
+        let (_, t3) = run(PolicyKind::P3, s, k, 9);
+        let (_, t4) = run(PolicyKind::P4, s, k, 9);
+        assert!(t3 < t1, "P3 {t3} ≥ P1 {t1}");
+        assert!(t4 < t1, "P4 {t4} ≥ P1 {t1}");
+    }
+
+    #[test]
+    fn small_fronts_prefer_cpu() {
+        let (s, k) = (24, 8);
+        let (_, t1) = run(PolicyKind::P1, s, k, 13);
+        let (_, t4) = run(PolicyKind::P4, s, k, 13);
+        assert!(t1 < t4, "P1 {t1} ≥ P4 {t4} — launch+copy overheads must dominate tiny fronts");
+    }
+
+    #[test]
+    fn oom_falls_back_to_p1() {
+        let mut machine = Machine::with_gpu(mf_gpusim::xeon_5160_core(), {
+            let mut cfg = mf_gpusim::tesla_t10();
+            cfg.mem_bytes = 1024; // far too small
+            cfg
+        });
+        let mut pool = PinnedPool::new(2);
+        let mut front = spd_front(64, 16, 21);
+        let mut ctx = FuContext {
+            machine: &mut machine,
+            pool: &mut pool,
+            panel_width: 16,
+            copy_optimized: false,
+            timing_only: false,
+        };
+        let out = execute_fu(&mut front, PolicyKind::P4, &mut ctx).unwrap();
+        assert_eq!(out.executed, PolicyKind::P1);
+        assert!(out.oom_fallback);
+        for j in 0..64 {
+            assert!(front.at(j, j) > 0.0);
+        }
+    }
+
+    #[test]
+    fn no_gpu_machine_degrades_to_p1() {
+        let mut machine = Machine::cpu_only(mf_gpusim::xeon_5160_core());
+        let mut pool = PinnedPool::new(2);
+        let mut front = spd_front(30, 10, 2);
+        let mut ctx = FuContext {
+            machine: &mut machine,
+            pool: &mut pool,
+            panel_width: 8,
+            copy_optimized: false,
+            timing_only: false,
+        };
+        let out = execute_fu(&mut front, PolicyKind::P3, &mut ctx).unwrap();
+        assert_eq!(out.executed, PolicyKind::P1);
+    }
+
+    #[test]
+    fn copy_optimized_p4_is_faster() {
+        let (s, k) = (400, 100);
+        let mut t = [0.0f64; 2];
+        for (idx, opt) in [false, true].into_iter().enumerate() {
+            let mut machine = Machine::paper_node();
+            let mut pool = PinnedPool::new(2);
+            let mut front = spd_front(s, k, 31);
+            let mut ctx = FuContext {
+                machine: &mut machine,
+                pool: &mut pool,
+                panel_width: 32,
+                copy_optimized: opt,
+                timing_only: false,
+            };
+            execute_fu(&mut front, PolicyKind::P4, &mut ctx).unwrap();
+            t[idx] = machine.elapsed();
+        }
+        assert!(t[1] < t[0], "copy-optimized {:.3e} ≥ naive {:.3e}", t[1], t[0]);
+    }
+
+    #[test]
+    fn copy_optimized_p4_same_numerics() {
+        let (s, k) = (80, 30);
+        let (f_naive, _) = run(PolicyKind::P4, s, k, 41);
+        let mut machine = Machine::paper_node();
+        let mut pool = PinnedPool::new(2);
+        let mut front = spd_front(s, k, 41);
+        let mut ctx = FuContext {
+            machine: &mut machine,
+            pool: &mut pool,
+            panel_width: 16,
+            copy_optimized: true,
+            timing_only: false,
+        };
+        execute_fu(&mut front, PolicyKind::P4, &mut ctx).unwrap();
+        for j in 0..s {
+            for i in j..s {
+                if j < k || i >= k {
+                    assert!((f_naive.at(i, j) - front.at(i, j)).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p3_overlap_depends_on_pcie_speed() {
+        // P3's advantage rests on copies overlapping compute; crippling the
+        // link must slow it dramatically (sanity that copies are modelled).
+        let (s, k) = (500, 200);
+        let (_, t_fast) = run(PolicyKind::P3, s, k, 17);
+        let mut cfg = mf_gpusim::tesla_t10();
+        cfg.pcie.pageable_bw /= 1000.0;
+        cfg.pcie.pinned_bw /= 1000.0;
+        let mut machine = Machine::with_gpu(mf_gpusim::xeon_5160_core(), cfg);
+        let mut pool = PinnedPool::new(2);
+        let mut front = spd_front(s, k, 17);
+        let mut ctx = FuContext {
+            machine: &mut machine,
+            pool: &mut pool,
+            panel_width: 32,
+            copy_optimized: false,
+            timing_only: false,
+        };
+        execute_fu(&mut front, PolicyKind::P3, &mut ctx).unwrap();
+        assert!(machine.elapsed() > t_fast * 5.0);
+    }
+
+    #[test]
+    fn estimate_matches_real_execution_time() {
+        // The timing-only path must charge exactly what the real f32 path
+        // does in steady state (warmed pinned pool — the estimate models
+        // the paper's single-precision pipeline after pool growth has
+        // amortised).
+        for p in PolicyKind::ALL {
+            let mut machine = Machine::paper_node();
+            let mut pool = PinnedPool::new(2);
+            let a = mf_dense::matrix::random_spd::<f32>(150, 77);
+            let mut t_real = 0.0;
+            for pass in 0..2 {
+                machine.reset();
+                let mut front = Front { s: 150, k: 60, data: a.as_slice().to_vec() };
+                let mut ctx = FuContext {
+                    machine: &mut machine,
+                    pool: &mut pool,
+                    panel_width: 16,
+                    copy_optimized: false,
+                    timing_only: false,
+                };
+                execute_fu(&mut front, p, &mut ctx).unwrap();
+                if pass == 1 {
+                    t_real = machine.elapsed();
+                }
+            }
+            let mut machine2 = Machine::paper_node();
+            let t_est = estimate_fu_time(&mut machine2, 90, 60, p, 16, false);
+            let rel = (t_real - t_est).abs() / t_real;
+            assert!(rel < 1e-9, "{p}: real {t_real:.6e} vs estimate {t_est:.6e}");
+        }
+    }
+
+    #[test]
+    fn estimate_handles_huge_fronts_cheaply() {
+        // m = k = 10000 would be ~1.3 TFlop of real work; the estimate must
+        // return instantly with a sensible (sub-minute simulated) time.
+        let mut machine = Machine::paper_node();
+        for p in PolicyKind::ALL {
+            let t = estimate_fu_time(&mut machine, 10_000, 10_000, p, 64, true);
+            assert!(t > 0.1 && t < 600.0, "{p}: {t}");
+        }
+        // And GPU policies must beat P1 at this scale.
+        let t1 = estimate_fu_time(&mut machine, 10_000, 10_000, PolicyKind::P1, 64, true);
+        let t4 = estimate_fu_time(&mut machine, 10_000, 10_000, PolicyKind::P4, 64, true);
+        assert!(t4 < t1 / 4.0, "P4 {t4} vs P1 {t1}");
+    }
+
+    #[test]
+    fn device_memory_fully_released_after_each_policy() {
+        for p in [PolicyKind::P2, PolicyKind::P3, PolicyKind::P4] {
+            let mut machine = Machine::paper_node();
+            let mut pool = PinnedPool::new(2);
+            let mut front = spd_front(100, 40, 51);
+            let mut ctx = FuContext {
+                machine: &mut machine,
+                pool: &mut pool,
+                panel_width: 16,
+                copy_optimized: false,
+                timing_only: false,
+            };
+            execute_fu(&mut front, p, &mut ctx).unwrap();
+            assert_eq!(machine.gpu.as_ref().unwrap().mem_used(), 0, "{p} leaked device memory");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # mf-core — hybrid CPU/GPU supernodal multifrontal Cholesky
+//!
+//! The paper's primary contribution: sparse Cholesky factorization whose
+//! factor-update operations are scheduled between the host CPU and the GPU
+//! under four policies (P1–P4, Table VI), selected per front by a fixed
+//! rule, op-count thresholds (baseline hybrid), a retrospective oracle
+//! (ideal hybrid), or the trained cost-sensitive classifier of Section VI
+//! (model hybrid — trained by `mf-autotune`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mf_core::prelude::*;
+//! use mf_gpusim::Machine;
+//!
+//! let a = mf_matgen::laplacian_3d(6, 6, 6, mf_matgen::Stencil::Faces);
+//! let mut machine = Machine::paper_node();
+//! let opts = SolverOptions {
+//!     factor: FactorOptions {
+//!         selector: PolicySelector::Baseline(BaselineThresholds::default()),
+//!         ..Default::default()
+//!     },
+//!     ..Default::default()
+//! };
+//! let solver = SpdSolver::new(&a, &mut machine, &opts).unwrap();
+//! let b = mf_matgen::rhs_ones(&a);
+//! let sol = solver.solve_refined(&b, 4, 1e-12);
+//! assert!(sol.residual_history.last().unwrap() < &1e-11);
+//! ```
+
+pub mod factor;
+pub mod features;
+pub mod frontal;
+pub mod fu;
+pub mod parallel;
+pub mod pinned_pool;
+pub mod policy;
+pub mod solve;
+pub mod solver;
+pub mod stats;
+
+pub use factor::{factor_permuted, CholeskyFactor, FactorError, FactorOptions, PolicySelector};
+pub use features::{raw_features, LinearPolicyModel, NUM_FEATURES};
+pub use frontal::{Front, UpdateMatrix};
+pub use fu::{estimate_fu_time, execute_fu, FuContext, FuError, FuOutcome, DEFAULT_PANEL_WIDTH};
+pub use parallel::{simulate_tree_schedule, MoldableModel, ScheduleResult};
+pub use pinned_pool::PinnedPool;
+pub use policy::{BaselineThresholds, PolicyKind};
+pub use solver::{Precision, RefinedSolution, SolverOptions, SpdSolver};
+pub use stats::{FactorStats, FuRecord};
+
+/// Convenient glob-import of the solver-facing API.
+pub mod prelude {
+    pub use crate::factor::{FactorOptions, PolicySelector};
+    pub use crate::policy::{BaselineThresholds, PolicyKind};
+    pub use crate::solver::{Precision, SolverOptions, SpdSolver};
+}

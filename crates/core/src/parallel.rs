@@ -1,0 +1,257 @@
+//! Deterministic parallel-execution model: list scheduling of the
+//! supernodal task DAG over multiple workers.
+//!
+//! The paper's Table VII compares against a 4-thread WSMP run and reports a
+//! 2-thread/2-GPU configuration. Both are *makespan* quantities of the
+//! task-parallel elimination-tree traversal. We reproduce them with a
+//! deterministic list schedule on per-worker virtual timelines:
+//!
+//! * a supernode's task becomes ready when all children finished;
+//! * ready tasks are assigned largest-bottom-level first to the earliest
+//!   free worker;
+//! * large tasks are *moldable*: when workers idle and the ready queue is
+//!   shorter than the worker count, a task may span several workers with a
+//!   bounded-efficiency speedup — modelling WSMP's intra-front parallel
+//!   BLAS near the root of the tree, without which tree-only parallelism
+//!   stalls on the sequential root front.
+
+use mf_sparse::symbolic::SymbolicFactor;
+
+/// Intra-task (moldable) parallelism model.
+#[derive(Debug, Clone, Copy)]
+pub struct MoldableModel {
+    /// Parallel efficiency exponent: `p` workers give speedup `p^eff`.
+    pub efficiency: f64,
+    /// Op count granting one extra worker of useful width (caps tiny tasks
+    /// at width 1).
+    pub ops_per_worker: f64,
+}
+
+impl Default for MoldableModel {
+    fn default() -> Self {
+        MoldableModel { efficiency: 0.9, ops_per_worker: 2.0e7 }
+    }
+}
+
+/// Outcome of a schedule simulation.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    /// Completion time of the last task.
+    pub makespan: f64,
+    /// Busy time per worker.
+    pub busy: Vec<f64>,
+    /// Serial time (Σ durations) for reference.
+    pub serial_time: f64,
+}
+
+impl ScheduleResult {
+    /// Speedup over serial execution of the same task durations.
+    pub fn speedup(&self) -> f64 {
+        self.serial_time / self.makespan
+    }
+
+    /// Mean worker utilisation.
+    pub fn utilization(&self) -> f64 {
+        let busy: f64 = self.busy.iter().sum();
+        busy / (self.makespan * self.busy.len() as f64)
+    }
+}
+
+/// Simulate a list schedule of the supernodal tree with per-task durations
+/// (`durations[sn]`, seconds) and per-task op counts (`ops[sn]`, for the
+/// moldable width cap) on `workers` identical workers.
+pub fn simulate_tree_schedule(
+    symbolic: &SymbolicFactor,
+    durations: &[f64],
+    ops: &[f64],
+    workers: usize,
+    moldable: Option<MoldableModel>,
+) -> ScheduleResult {
+    let nsn = symbolic.num_supernodes();
+    assert_eq!(durations.len(), nsn);
+    assert_eq!(ops.len(), nsn);
+    assert!(workers >= 1);
+    let serial_time: f64 = durations.iter().sum();
+
+    // Bottom level: longest downstream chain (task + ancestors) — the
+    // classic priority for tree DAGs.
+    let mut blevel = vec![0.0f64; nsn];
+    for &sn in symbolic.postorder.iter().rev() {
+        let parent = symbolic.supernodes[sn].parent;
+        let up = if parent == usize::MAX { 0.0 } else { blevel[parent] };
+        blevel[sn] = durations[sn] + up;
+    }
+
+    let mut pending_children: Vec<usize> = (0..nsn).map(|s| symbolic.children[s].len()).collect();
+    let mut ready_time = vec![0.0f64; nsn];
+    // Ready pool (small; linear scans are fine at our scale).
+    let mut ready: Vec<usize> = (0..nsn).filter(|&s| pending_children[s] == 0).collect();
+    let mut worker_free = vec![0.0f64; workers];
+    let mut busy = vec![0.0f64; workers];
+    let mut finish = vec![0.0f64; nsn];
+    let mut scheduled = 0usize;
+
+    while scheduled < nsn {
+        // Highest-priority ready task.
+        let (ri, &sn) = ready
+            .iter()
+            .enumerate()
+            .max_by(|a, b| blevel[*a.1].total_cmp(&blevel[*b.1]))
+            .expect("DAG must have a ready task");
+        ready.swap_remove(ri);
+
+        // Worker choice: earliest free. Moldable width: large fronts run
+        // parallel BLAS across all workers (WSMP's intra-front parallelism),
+        // capped by the task's op count — at the paper's million-row scale
+        // tree parallelism carries the bottom of the tree, but near the root
+        // (and at our scaled-down sizes, almost everywhere) molding is what
+        // produces the multi-thread speedup.
+        let mut order: Vec<usize> = (0..workers).collect();
+        order.sort_by(|&a, &b| worker_free[a].total_cmp(&worker_free[b]));
+        let width = match &moldable {
+            Some(m) => {
+                let cap = (ops[sn] / m.ops_per_worker).floor().max(1.0) as usize;
+                cap.min(workers)
+            }
+            None => 1,
+        };
+        let chosen = &order[..width];
+        // Task starts when the ready condition holds and all chosen workers
+        // are free.
+        let start = chosen
+            .iter()
+            .map(|&w| worker_free[w])
+            .fold(ready_time[sn], f64::max);
+        let dur = match (&moldable, width > 1) {
+            (Some(m), true) => durations[sn] / (width as f64).powf(m.efficiency),
+            _ => durations[sn],
+        };
+        let end = start + dur;
+        for &w in chosen {
+            worker_free[w] = end;
+            busy[w] += dur;
+        }
+        finish[sn] = end;
+        scheduled += 1;
+
+        let parent = symbolic.supernodes[sn].parent;
+        if parent != usize::MAX {
+            pending_children[parent] -= 1;
+            ready_time[parent] = ready_time[parent].max(end);
+            if pending_children[parent] == 0 {
+                ready.push(parent);
+            }
+        }
+    }
+
+    let makespan = finish.iter().fold(0.0f64, |a, &b| a.max(b));
+    ScheduleResult { makespan, busy, serial_time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_matgen::{laplacian_2d, laplacian_3d, Stencil};
+    use mf_sparse::symbolic::analyze;
+    use mf_sparse::{AmalgamationOptions, OrderingKind};
+
+    fn symbolic_3d() -> SymbolicFactor {
+        let a = laplacian_3d(8, 8, 8, Stencil::Faces);
+        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default())).symbolic
+    }
+
+    fn uniform_durations(sym: &SymbolicFactor) -> (Vec<f64>, Vec<f64>) {
+        let d: Vec<f64> = sym.supernodes.iter().map(|s| 1e-4 + s.flops().total() / 1e10).collect();
+        let o: Vec<f64> = sym.supernodes.iter().map(|s| s.flops().total()).collect();
+        (d, o)
+    }
+
+    #[test]
+    fn one_worker_equals_serial() {
+        let sym = symbolic_3d();
+        let (d, o) = uniform_durations(&sym);
+        let r = simulate_tree_schedule(&sym, &d, &o, 1, None);
+        assert!((r.makespan - r.serial_time).abs() < 1e-9);
+        assert!((r.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_workers_never_slower() {
+        let sym = symbolic_3d();
+        let (d, o) = uniform_durations(&sym);
+        let mut prev = f64::INFINITY;
+        for w in [1, 2, 4, 8] {
+            let r = simulate_tree_schedule(&sym, &d, &o, w, None);
+            assert!(r.makespan <= prev + 1e-12, "{w} workers slower");
+            prev = r.makespan;
+        }
+    }
+
+    #[test]
+    fn speedup_bounded_by_critical_path_without_molding() {
+        let sym = symbolic_3d();
+        let (d, o) = uniform_durations(&sym);
+        // Critical path = max over leaves of root-to-leaf duration chain.
+        let mut cp = vec![0.0f64; sym.num_supernodes()];
+        for &sn in sym.postorder.iter().rev() {
+            let p = sym.supernodes[sn].parent;
+            cp[sn] = d[sn] + if p == usize::MAX { 0.0 } else { cp[p] };
+        }
+        let critical: f64 = cp.iter().fold(0.0f64, |a, &b| a.max(b));
+        let r = simulate_tree_schedule(&sym, &d, &o, 64, None);
+        assert!(r.makespan >= critical - 1e-12);
+    }
+
+    #[test]
+    fn molding_beats_tree_only_parallelism() {
+        // Craft a workload whose root front dominates (the situation near
+        // the top of a large 3-D elimination tree): molding must shorten it.
+        let sym = symbolic_3d();
+        let (mut d, mut o) = uniform_durations(&sym);
+        let root = *sym.postorder.last().unwrap();
+        d[root] = d.iter().sum::<f64>(); // root as heavy as everything else
+        o[root] = 1e9;
+        let plain = simulate_tree_schedule(&sym, &d, &o, 4, None);
+        let model = MoldableModel { efficiency: 0.9, ops_per_worker: 1e7 };
+        let molded = simulate_tree_schedule(&sym, &d, &o, 4, Some(model));
+        assert!(
+            molded.makespan < plain.makespan,
+            "molding should shorten the root bottleneck: {} vs {}",
+            molded.makespan,
+            plain.makespan
+        );
+    }
+
+    #[test]
+    fn four_thread_speedup_in_papers_range() {
+        // The paper's 4-thread WSMP column shows 2.7–4.3× on 3-D problems.
+        let sym = symbolic_3d();
+        let (d, o) = uniform_durations(&sym);
+        let model = MoldableModel { efficiency: 0.9, ops_per_worker: 1e4 };
+        let r = simulate_tree_schedule(&sym, &d, &o, 4, Some(model));
+        let s = r.speedup();
+        assert!(s > 2.0 && s <= 4.0, "4-worker speedup {s}");
+    }
+
+    #[test]
+    fn chain_tree_gains_only_from_molding() {
+        // A pure chain (tridiagonal-like) has no tree parallelism at all.
+        let a = laplacian_2d(60, 1, Stencil::Faces);
+        let sym = analyze(&a, OrderingKind::Natural, None).symbolic;
+        let d: Vec<f64> = vec![1.0; sym.num_supernodes()];
+        let o: Vec<f64> = vec![1.0; sym.num_supernodes()];
+        let r = simulate_tree_schedule(&sym, &d, &o, 4, None);
+        assert!((r.makespan - r.serial_time).abs() < 1e-9, "chain must serialise");
+    }
+
+    #[test]
+    fn utilization_at_most_one() {
+        let sym = symbolic_3d();
+        let (d, o) = uniform_durations(&sym);
+        for w in [1, 2, 4] {
+            let r = simulate_tree_schedule(&sym, &d, &o, w, Some(MoldableModel::default()));
+            assert!(r.utilization() <= 1.0 + 1e-9);
+            assert!(r.utilization() > 0.2);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Pinned host staging buffers with the paper's growth-only reuse policy.
+//!
+//! Section V-A2: asynchronous transfers need pinned host memory, but every
+//! pinned allocation is expensive — so "any allocation/deallocation is
+//! triggered only when the maximum allocated size over all the previous
+//! calls is insufficient". [`PinnedPool`] implements exactly that, with a
+//! switch to allocate-per-call for the ablation benchmark, and a *virtual*
+//! mode that charges allocation costs without backing memory (used by
+//! timing-only estimation of huge fronts).
+
+use mf_gpusim::HostClock;
+
+/// A set of reusable pinned staging buffers (f32, matching the device).
+#[derive(Debug)]
+pub struct PinnedPool {
+    slots: Vec<Vec<f32>>,
+    /// Logical length of each slot (equals `slots[i].len()` except in
+    /// virtual mode, where slots stay empty).
+    logical: Vec<usize>,
+    reuse: bool,
+    virtual_mode: bool,
+    empty: Vec<f32>,
+}
+
+impl PinnedPool {
+    /// A pool with `nslots` independent staging buffers and the growth-only
+    /// reuse policy enabled.
+    pub fn new(nslots: usize) -> Self {
+        PinnedPool {
+            slots: vec![Vec::new(); nslots],
+            logical: vec![0; nslots],
+            reuse: true,
+            virtual_mode: false,
+            empty: Vec::new(),
+        }
+    }
+
+    /// Disable reuse: every acquisition allocates and releases pinned
+    /// memory (the configuration the paper found prohibitively slow).
+    pub fn without_reuse(nslots: usize) -> Self {
+        PinnedPool { reuse: false, ..Self::new(nslots) }
+    }
+
+    /// Charge allocation costs but never allocate backing memory. Slot
+    /// contents must not be read in this mode (timing-only estimation).
+    pub fn set_virtual(&mut self, on: bool) {
+        self.virtual_mode = on;
+    }
+
+    /// Whether the growth-only reuse policy is active.
+    pub fn reuses(&self) -> bool {
+        self.reuse
+    }
+
+    /// Acquire slot `idx` with at least `len` elements, charging the host
+    /// clock for any pinned allocation this requires. Contents are
+    /// unspecified. In virtual mode the returned slice is empty.
+    pub fn acquire(&mut self, idx: usize, len: usize, host: &mut HostClock) -> &mut [f32] {
+        if self.reuse {
+            if self.logical[idx] < len {
+                // Grow: free the old region, allocate the larger one.
+                if self.logical[idx] > 0 {
+                    host.free_pinned(self.logical[idx] * 4);
+                }
+                host.alloc_pinned(len * 4);
+                self.logical[idx] = len;
+                if !self.virtual_mode {
+                    self.slots[idx].resize(len, 0.0);
+                }
+            }
+        } else {
+            // Allocate-per-call mode: charge a fresh allocation every time.
+            host.alloc_pinned(len * 4);
+            self.logical[idx] = len;
+            if !self.virtual_mode {
+                self.slots[idx].clear();
+                self.slots[idx].resize(len, 0.0);
+            }
+        }
+        if self.virtual_mode {
+            &mut self.empty[..]
+        } else {
+            &mut self.slots[idx][..len]
+        }
+    }
+
+    /// Release after use. A no-op under reuse; frees under allocate-per-call.
+    pub fn release(&mut self, idx: usize, host: &mut HostClock) {
+        if !self.reuse && self.logical[idx] > 0 {
+            host.free_pinned(self.logical[idx] * 4);
+            self.logical[idx] = 0;
+            self.slots[idx].clear();
+            self.slots[idx].shrink_to_fit();
+        }
+    }
+
+    /// Current logical capacity of a slot in elements.
+    pub fn capacity(&self, idx: usize) -> usize {
+        self.logical[idx]
+    }
+
+    /// Raw access to an already-acquired slot (no charging). Callers must
+    /// have called [`Self::acquire`] with a sufficient length first. Not
+    /// meaningful in virtual mode.
+    pub fn slot(&self, idx: usize) -> &[f32] {
+        &self.slots[idx]
+    }
+
+    /// Mutable raw access to an already-acquired slot (no charging).
+    pub fn slot_mut(&mut self, idx: usize) -> &mut [f32] {
+        &mut self.slots[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_gpusim::xeon_5160_core;
+
+    #[test]
+    fn reuse_only_charges_on_growth() {
+        let mut pool = PinnedPool::new(1);
+        let mut host = HostClock::new(xeon_5160_core());
+        pool.acquire(0, 1000, &mut host);
+        let t1 = host.now();
+        assert!(t1 > 0.0);
+        // Smaller and equal requests are free.
+        pool.acquire(0, 500, &mut host);
+        pool.acquire(0, 1000, &mut host);
+        assert_eq!(host.now(), t1);
+        // Growth charges again.
+        pool.acquire(0, 2000, &mut host);
+        assert!(host.now() > t1);
+        assert_eq!(pool.capacity(0), 2000);
+    }
+
+    #[test]
+    fn no_reuse_charges_every_time() {
+        let mut pool = PinnedPool::without_reuse(1);
+        let mut host = HostClock::new(xeon_5160_core());
+        pool.acquire(0, 100, &mut host);
+        pool.release(0, &mut host);
+        let t1 = host.now();
+        pool.acquire(0, 100, &mut host);
+        pool.release(0, &mut host);
+        assert!(host.now() > t1 * 1.5, "second acquisition must pay again");
+    }
+
+    #[test]
+    fn pinned_accounting_balances() {
+        let mut pool = PinnedPool::without_reuse(2);
+        let mut host = HostClock::new(xeon_5160_core());
+        pool.acquire(0, 64, &mut host);
+        pool.acquire(1, 32, &mut host);
+        assert_eq!(host.pinned_bytes(), (64 + 32) * 4);
+        pool.release(0, &mut host);
+        pool.release(1, &mut host);
+        assert_eq!(host.pinned_bytes(), 0);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut pool = PinnedPool::new(2);
+        let mut host = HostClock::new(xeon_5160_core());
+        pool.acquire(0, 10, &mut host)[0] = 7.0;
+        pool.acquire(1, 10, &mut host)[0] = 9.0;
+        assert_eq!(pool.acquire(0, 10, &mut host)[0], 7.0);
+    }
+
+    #[test]
+    fn virtual_mode_charges_without_allocating() {
+        let mut pool = PinnedPool::new(1);
+        pool.set_virtual(true);
+        let mut host = HostClock::new(xeon_5160_core());
+        let s = pool.acquire(0, 1_000_000_000, &mut host);
+        assert!(s.is_empty(), "virtual acquire must not allocate");
+        assert!(host.now() > 0.0, "but it must charge");
+        assert_eq!(pool.capacity(0), 1_000_000_000);
+        // No growth ⇒ no further charge.
+        let t = host.now();
+        pool.acquire(0, 500, &mut host);
+        assert_eq!(host.now(), t);
+    }
+}

@@ -1,0 +1,154 @@
+//! Supernodal triangular solves with the panel-form factor.
+//!
+//! Given `P·A·Pᵀ = L·Lᵀ`, solving `A·x = b` proceeds as
+//! `y = L⁻¹·(P·b)`, `z = L⁻ᵀ·y`, `x = Pᵀ·z`. The forward pass walks the
+//! supernodes in postorder (ascending column order works too since children
+//! columns precede parents); the backward pass walks in reverse.
+
+use crate::factor::CholeskyFactor;
+use mf_dense::{trsm_left_lower_notrans, trsm_left_lower_trans, Scalar};
+
+impl<T: Scalar> CholeskyFactor<T> {
+    /// Solve `A·x = b` (original, unpermuted ordering). `b` is given in the
+    /// factor's scalar type.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        assert_eq!(b.len(), self.order());
+        let mut x = self.perm.permute_vec(b);
+        self.solve_permuted_in_place(&mut x);
+        self.perm.unpermute_vec(&x)
+    }
+
+    /// Solve `(P·A·Pᵀ)·x = b` in place on a permuted right-hand side.
+    pub fn solve_permuted_in_place(&self, x: &mut [T]) {
+        assert_eq!(x.len(), self.order());
+        self.forward_in_place(x);
+        self.backward_in_place(x);
+    }
+
+    /// Forward substitution `x ← L⁻¹·x` (permuted ordering).
+    pub fn forward_in_place(&self, x: &mut [T]) {
+        for &sn in &self.symbolic.postorder {
+            let info = &self.symbolic.supernodes[sn];
+            let (k, m) = (info.k(), info.m());
+            let s = info.front_size();
+            let panel = &self.panels[sn];
+            let (c0, c1) = (info.col_start, info.col_end);
+            // Diagonal block solve: x[c0..c1] ← L₁⁻¹ x[c0..c1].
+            trsm_left_lower_notrans(k, 1, panel, s, &mut x[c0..c1], k);
+            // Update rows: x[r] −= Σ_j L₂[i,j]·x[c0+j].
+            for j in 0..k {
+                let xj = x[c0 + j];
+                if xj == T::ZERO {
+                    continue;
+                }
+                let col = &panel[j * s + k..j * s + s];
+                for (i, &lij) in col.iter().enumerate() {
+                    let r = info.rows[k + i];
+                    x[r] -= lij * xj;
+                }
+                debug_assert_eq!(col.len(), m);
+            }
+        }
+    }
+
+    /// Backward substitution `x ← L⁻ᵀ·x` (permuted ordering).
+    pub fn backward_in_place(&self, x: &mut [T]) {
+        for &sn in self.symbolic.postorder.iter().rev() {
+            let info = &self.symbolic.supernodes[sn];
+            let k = info.k();
+            let s = info.front_size();
+            let panel = &self.panels[sn];
+            let (c0, c1) = (info.col_start, info.col_end);
+            // x[c0..c1] −= L₂ᵀ·x[update rows].
+            for j in 0..k {
+                let col = &panel[j * s + k..j * s + s];
+                let mut dot = T::ZERO;
+                for (i, &lij) in col.iter().enumerate() {
+                    dot += lij * x[info.rows[k + i]];
+                }
+                x[c0 + j] -= dot;
+            }
+            // Diagonal block: x[c0..c1] ← L₁⁻ᵀ x[c0..c1].
+            trsm_left_lower_trans(k, 1, panel, s, &mut x[c0..c1], k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::factor::{factor_permuted, FactorOptions, PolicySelector};
+    use crate::policy::PolicyKind;
+    use mf_gpusim::Machine;
+    use mf_matgen::{laplacian_2d, laplacian_3d, rhs_for_solution, Stencil};
+    use mf_sparse::symbolic::analyze;
+    use mf_sparse::{AmalgamationOptions, OrderingKind, SymCsc};
+
+    fn solve_with(a: &SymCsc<f64>, selector: PolicySelector, ordering: OrderingKind) -> (Vec<f64>, Vec<f64>) {
+        let analysis = analyze(a, ordering, Some(&AmalgamationOptions::default()));
+        let mut machine = Machine::paper_node();
+        let opts = FactorOptions { selector, ..Default::default() };
+        let (f, _) = factor_permuted(
+            &analysis.permuted.0,
+            &analysis.symbolic,
+            &analysis.perm,
+            &mut machine,
+            &opts,
+        )
+        .unwrap();
+        let (xtrue, b) = rhs_for_solution(a, 42);
+        (f.solve(&b), xtrue)
+    }
+
+    #[test]
+    fn solve_recovers_known_solution_f64() {
+        let a = laplacian_2d(13, 11, Stencil::Faces);
+        for ordering in [OrderingKind::Natural, OrderingKind::Rcm, OrderingKind::MinimumDegree, OrderingKind::NestedDissection] {
+            let (x, xtrue) = solve_with(&a, PolicySelector::Fixed(PolicyKind::P1), ordering);
+            let err = x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            assert!(err < 1e-8, "{ordering:?}: forward error {err}");
+        }
+    }
+
+    #[test]
+    fn solve_3d_all_policies() {
+        let a = laplacian_3d(6, 6, 6, Stencil::Faces);
+        for p in PolicyKind::ALL {
+            let (x, xtrue) = solve_with(&a, PolicySelector::Fixed(p), OrderingKind::NestedDissection);
+            let err = x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            let tol = if p == PolicyKind::P1 { 1e-8 } else { 1e-2 };
+            assert!(err < tol, "{p}: forward error {err}");
+        }
+    }
+
+    #[test]
+    fn residual_small_relative_to_matrix_norm() {
+        let a = laplacian_2d(17, 17, Stencil::Full);
+        let (x, _) = solve_with(&a, PolicySelector::Fixed(PolicyKind::P1), OrderingKind::NestedDissection);
+        let (_, b) = rhs_for_solution(&a, 42);
+        let r = a.residual(&x, &b);
+        let rel = r.iter().map(|v| v.abs()).fold(0.0, f64::max) / a.norm_inf();
+        assert!(rel < 1e-12, "relative residual {rel}");
+    }
+
+    #[test]
+    fn forward_then_backward_equals_solve() {
+        let a = laplacian_2d(7, 9, Stencil::Faces);
+        let analysis = analyze(&a, OrderingKind::NestedDissection, None);
+        let mut machine = Machine::paper_node();
+        let (f, _) = factor_permuted(
+            &analysis.permuted.0,
+            &analysis.symbolic,
+            &analysis.perm,
+            &mut machine,
+            &FactorOptions::default(),
+        )
+        .unwrap();
+        let (_, b) = rhs_for_solution(&a, 7);
+        let via_solve = f.solve(&b);
+        let mut x = f.perm.permute_vec(&b);
+        f.forward_in_place(&mut x);
+        f.backward_in_place(&mut x);
+        let manual = f.perm.unpermute_vec(&x);
+        assert_eq!(via_solve, manual);
+    }
+}

@@ -1,0 +1,127 @@
+//! Naive reference implementations used to validate the optimized kernels.
+//!
+//! These are deliberately simple (textbook triple loops on [`DenseMat`])
+//! so that their correctness is evident by inspection; every optimized
+//! kernel is tested against them.
+
+use crate::gemm::Transpose;
+use crate::matrix::DenseMat;
+use crate::potrf::PotrfError;
+use crate::Scalar;
+
+/// Reference `C ← α·op(A)·op(B) + β·C`.
+pub fn gemm_ref<T: Scalar>(
+    transa: Transpose,
+    transb: Transpose,
+    m: usize,
+    n: usize,
+    kk: usize,
+    alpha: T,
+    a: &DenseMat<T>,
+    b: &DenseMat<T>,
+    beta: T,
+    c: &mut DenseMat<T>,
+) {
+    let ga = |i: usize, l: usize| match transa {
+        Transpose::No => a[(i, l)],
+        Transpose::Yes => a[(l, i)],
+    };
+    let gb = |l: usize, j: usize| match transb {
+        Transpose::No => b[(l, j)],
+        Transpose::Yes => b[(j, l)],
+    };
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = T::ZERO;
+            for l in 0..kk {
+                acc += ga(i, l) * gb(l, j);
+            }
+            c[(i, j)] = alpha * acc + beta * c[(i, j)];
+        }
+    }
+}
+
+/// Reference symmetric rank-k update (lower triangle): `C ← α·A·Aᵀ + β·C`.
+pub fn syrk_ref<T: Scalar>(n: usize, k: usize, alpha: T, a: &DenseMat<T>, beta: T, c: &mut DenseMat<T>) {
+    for j in 0..n {
+        for i in j..n {
+            let mut acc = T::ZERO;
+            for l in 0..k {
+                acc += a[(i, l)] * a[(j, l)];
+            }
+            c[(i, j)] = alpha * acc + beta * c[(i, j)];
+        }
+    }
+}
+
+/// Reference solve `X·Lᵀ = B` (in place on `b`), `l` lower triangular.
+pub fn trsm_ref<T: Scalar>(l: &DenseMat<T>, b: &mut DenseMat<T>) {
+    let n = l.rows();
+    let m = b.rows();
+    assert_eq!(b.cols(), n);
+    for j in 0..n {
+        for i in 0..m {
+            let mut v = b[(i, j)];
+            for p in 0..j {
+                v -= b[(i, p)] * l[(j, p)];
+            }
+            b[(i, j)] = v / l[(j, j)];
+        }
+    }
+}
+
+/// Reference unblocked lower Cholesky (in place, lower triangle).
+pub fn potrf_ref<T: Scalar>(a: &mut DenseMat<T>) -> Result<(), PotrfError> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for l in 0..j {
+            let v = a[(j, l)];
+            d -= v * v;
+        }
+        if !(d > T::ZERO) || !d.is_finite() {
+            return Err(PotrfError { column: j });
+        }
+        let djj = d.sqrt();
+        a[(j, j)] = djj;
+        for i in (j + 1)..n {
+            let mut v = a[(i, j)];
+            for l in 0..j {
+                v -= a[(i, l)] * a[(j, l)];
+            }
+            a[(i, j)] = v / djj;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::random_spd;
+
+    #[test]
+    fn potrf_ref_reconstructs() {
+        let n = 12;
+        let a0 = random_spd::<f64>(n, 44);
+        let mut l = a0.clone();
+        potrf_ref(&mut l).unwrap();
+        l.zero_upper();
+        let mut sym = a0.clone();
+        sym.symmetrize_from_lower();
+        assert!(l.matmul(&l.transpose()).max_abs_diff(&sym) < 1e-9);
+    }
+
+    #[test]
+    fn trsm_ref_solves() {
+        let n = 8;
+        let mut l = random_spd::<f64>(n, 45);
+        potrf_ref(&mut l).unwrap();
+        l.zero_upper();
+        let b0 = DenseMat::<f64>::from_fn(5, n, |i, j| (i + 2 * j) as f64 - 3.0);
+        let mut x = b0.clone();
+        trsm_ref(&l, &mut x);
+        assert!(x.matmul(&l.transpose()).max_abs_diff(&b0) < 1e-9);
+    }
+}

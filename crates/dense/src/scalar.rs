@@ -1,0 +1,142 @@
+//! Scalar abstraction over `f32` / `f64`.
+//!
+//! The paper factors in single precision on the GPU (the Tesla T10's double
+//! throughput is 8× lower) and recovers double accuracy with iterative
+//! refinement. Everything downstream is therefore generic over this trait.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real scalar type usable in the dense and sparse kernels.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + PartialOrd
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon of the representation.
+    const EPSILON: Self;
+    /// Number of bytes per element (4 for `f32`, 8 for `f64`).
+    const BYTES: usize;
+    /// Short name used in reports ("f32" / "f64").
+    const NAME: &'static str;
+
+    /// Lossy conversion from `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// `true` if the value is finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f32::EPSILON;
+    const BYTES: usize = 4;
+    const NAME: &'static str = "f32";
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f64::EPSILON;
+    const BYTES: usize = 8;
+    const NAME: &'static str = "f64";
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f64::BYTES, 8);
+        assert_eq!(<f32 as Scalar>::ZERO, 0.0f32);
+        assert_eq!(<f64 as Scalar>::ONE, 1.0f64);
+        assert_eq!(f32::NAME, "f32");
+        assert_eq!(f64::NAME, "f64");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let x = 1.5f64;
+        assert_eq!(<f32 as Scalar>::from_f64(x).to_f64(), 1.5);
+        assert_eq!(<f64 as Scalar>::from_f64(x), 1.5);
+    }
+
+    #[test]
+    fn sqrt_abs_finite() {
+        assert_eq!(Scalar::sqrt(4.0f32), 2.0);
+        assert_eq!(Scalar::abs(-3.0f64), 3.0);
+        assert!(!Scalar::is_finite(f32::NAN));
+        assert!(Scalar::is_finite(1.0f64));
+    }
+}

@@ -1,0 +1,151 @@
+//! Symmetric rank-k update (lower triangle).
+//!
+//! `syrk` is the dominant kernel of the factor-update operation for fronts
+//! with large update blocks (`m ≫ k`): it computes `U ← U − L₂·L₂ᵀ`
+//! (Figure 1 of the paper). Only the lower triangle of `C` is referenced or
+//! written.
+
+use crate::Scalar;
+
+/// `C ← α·A·Aᵀ + β·C`, lower triangle only.
+///
+/// `C` is `n × n` (leading dimension `ldc`), `A` is `n × k` (leading
+/// dimension `lda`). The strict upper triangle of `C` is neither read nor
+/// written.
+pub fn syrk_lower<T: Scalar>(
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    if n == 0 {
+        return;
+    }
+    debug_assert!(ldc >= n && c.len() >= (n - 1) * ldc + n);
+    if beta != T::ONE {
+        for j in 0..n {
+            for v in &mut c[j * ldc + j..j * ldc + n] {
+                *v = if beta == T::ZERO { T::ZERO } else { *v * beta };
+            }
+        }
+    }
+    if k == 0 || alpha == T::ZERO {
+        return;
+    }
+    debug_assert!(lda >= n && a.len() >= (k - 1) * lda + n);
+
+    // Block over the contraction dimension so the active columns of A stay
+    // in cache; the inner loop is a contiguous axpy over rows j..n.
+    const KC: usize = 128;
+    for l0 in (0..k).step_by(KC) {
+        let l1 = (l0 + KC).min(k);
+        for j in 0..n {
+            let (head, tail) = c.split_at_mut(j * ldc + j);
+            let _ = head;
+            let cj = &mut tail[..n - j];
+            for l in l0..l1 {
+                let ajl = alpha * a[j + l * lda];
+                if ajl == T::ZERO {
+                    continue;
+                }
+                let al = &a[j + l * lda..l * lda + n];
+                for (cv, &av) in cj.iter_mut().zip(al) {
+                    *cv += ajl * av;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::syrk_ref;
+    use crate::DenseMat;
+
+    fn mat(rows: usize, cols: usize, seed: u64) -> DenseMat<f64> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        DenseMat::from_fn(rows, cols, |_, _| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+    }
+
+    #[test]
+    fn matches_reference_various_shapes() {
+        for &(n, k) in &[(1, 1), (4, 2), (7, 13), (33, 5), (64, 64), (10, 200)] {
+            let a = mat(n, k, n as u64 * 31 + k as u64);
+            let c0 = mat(n, n, 7);
+            let mut c = c0.clone();
+            syrk_lower(n, k, -1.0, a.as_slice(), n, 1.0, c.as_mut_slice(), n);
+            let mut cref = c0.clone();
+            syrk_ref(n, k, -1.0, &a, 1.0, &mut cref);
+            // Compare lower triangles only.
+            for j in 0..n {
+                for i in j..n {
+                    assert!(
+                        (c[(i, j)] - cref[(i, j)]).abs() < 1e-12,
+                        "n={n} k={k} at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upper_triangle_untouched() {
+        let n = 8;
+        let a = mat(n, 3, 5);
+        let mut c = DenseMat::<f64>::from_fn(n, n, |_, _| 77.0);
+        syrk_lower(n, 3, 1.0, a.as_slice(), n, 0.5, c.as_mut_slice(), n);
+        for j in 1..n {
+            for i in 0..j {
+                assert_eq!(c[(i, j)], 77.0, "upper entry ({i},{j}) modified");
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_initializes() {
+        let n = 5;
+        let a = mat(n, 2, 6);
+        let mut c = vec![f64::NAN; n * n];
+        syrk_lower(n, 2, 1.0, a.as_slice(), n, 0.0, &mut c, n);
+        for j in 0..n {
+            for i in j..n {
+                assert!(c[i + j * n].is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_scales_only() {
+        let n = 4;
+        let c0 = mat(n, n, 8);
+        let mut c = c0.clone();
+        syrk_lower(n, 0, 1.0, &[], n, 2.0, c.as_mut_slice(), n);
+        for j in 0..n {
+            for i in j..n {
+                assert_eq!(c[(i, j)], 2.0 * c0[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_positive_semidefinite_diagonal() {
+        // alpha=+1, beta=0 ⇒ C = A·Aᵀ which must have non-negative diagonal.
+        let n = 12;
+        let a = mat(n, 6, 10);
+        let mut c = DenseMat::<f64>::zeros(n, n);
+        syrk_lower(n, 6, 1.0, a.as_slice(), n, 0.0, c.as_mut_slice(), n);
+        for i in 0..n {
+            assert!(c[(i, i)] >= 0.0);
+        }
+    }
+}

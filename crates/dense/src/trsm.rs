@@ -1,0 +1,218 @@
+//! Triangular solves with multiple right-hand sides.
+//!
+//! The factor-update operation needs the *right-side, lower, transposed*
+//! variant `X·Lᵀ = B` (computing the sub-diagonal panel `L₂ = A₂·L₁⁻ᵀ`,
+//! Figure 1). The supernodal triangular solve phase additionally needs the
+//! left-side variants `L·X = B` (forward) and `Lᵀ·X = B` (backward).
+
+use crate::Scalar;
+
+/// Solve `X·Lᵀ = B` in place: `B` (`m × n`, leading dimension `ldb`) is
+/// overwritten by `X`; `L` is `n × n` lower triangular (leading dimension
+/// `lda`), non-unit diagonal.
+pub fn trsm_right_lower_trans<T: Scalar>(
+    m: usize,
+    n: usize,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    debug_assert!(lda >= n && a.len() >= (n - 1) * lda + n);
+    debug_assert!(ldb >= m && b.len() >= (n - 1) * ldb + m);
+    // Column j of X depends on columns 0..j:
+    //   X[:,j] = (B[:,j] − Σ_{l<j} X[:,l]·L[j,l]) / L[j,j]
+    for j in 0..n {
+        let (done, rest) = b.split_at_mut(j * ldb);
+        let bj = &mut rest[..m];
+        for l in 0..j {
+            let ljl = a[j + l * lda];
+            if ljl == T::ZERO {
+                continue;
+            }
+            let xl = &done[l * ldb..l * ldb + m];
+            for (bv, &xv) in bj.iter_mut().zip(xl) {
+                *bv -= ljl * xv;
+            }
+        }
+        let inv = T::ONE / a[j + j * lda];
+        for bv in bj.iter_mut() {
+            *bv *= inv;
+        }
+    }
+}
+
+/// Solve `L·X = B` in place (forward substitution): `B` is `n × nrhs`
+/// (leading dimension `ldb`), `L` is `n × n` lower triangular (leading
+/// dimension `lda`), non-unit diagonal.
+pub fn trsm_left_lower_notrans<T: Scalar>(
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    if n == 0 || nrhs == 0 {
+        return;
+    }
+    debug_assert!(lda >= n && a.len() >= (n - 1) * lda + n);
+    debug_assert!(ldb >= n && b.len() >= (nrhs - 1) * ldb + n);
+    for r in 0..nrhs {
+        let bcol = &mut b[r * ldb..r * ldb + n];
+        for j in 0..n {
+            let xj = bcol[j] / a[j + j * lda];
+            bcol[j] = xj;
+            if xj == T::ZERO {
+                continue;
+            }
+            let (_, below) = bcol.split_at_mut(j + 1);
+            let acol = &a[j * lda + j + 1..j * lda + n];
+            for (bv, &av) in below.iter_mut().zip(acol) {
+                *bv -= xj * av;
+            }
+        }
+    }
+}
+
+/// Solve `Lᵀ·X = B` in place (backward substitution): dimensions as in
+/// [`trsm_left_lower_notrans`].
+pub fn trsm_left_lower_trans<T: Scalar>(
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    if n == 0 || nrhs == 0 {
+        return;
+    }
+    debug_assert!(lda >= n && a.len() >= (n - 1) * lda + n);
+    debug_assert!(ldb >= n && b.len() >= (nrhs - 1) * ldb + n);
+    for r in 0..nrhs {
+        let bcol = &mut b[r * ldb..r * ldb + n];
+        for j in (0..n).rev() {
+            // x[j] = (b[j] − Σ_{i>j} L[i,j]·x[i]) / L[j,j]
+            let acol = &a[j * lda + j + 1..j * lda + n];
+            let below = &bcol[j + 1..n];
+            let dot: T = acol.iter().zip(below).map(|(&av, &xv)| av * xv).sum();
+            bcol[j] = (bcol[j] - dot) / a[j + j * lda];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::random_spd;
+    use crate::potrf::potrf;
+    use crate::DenseMat;
+
+    fn lower_factor(n: usize, seed: u64) -> DenseMat<f64> {
+        let mut a = random_spd::<f64>(n, seed);
+        potrf(n, a.as_mut_slice(), n).unwrap();
+        a.zero_upper();
+        a
+    }
+
+    fn mat(rows: usize, cols: usize, seed: u64) -> DenseMat<f64> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        DenseMat::from_fn(rows, cols, |_, _| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+    }
+
+    #[test]
+    fn right_lower_trans_solves() {
+        for &(m, n) in &[(1, 1), (5, 3), (20, 20), (3, 40), (64, 17)] {
+            let l = lower_factor(n, 3 + n as u64);
+            let b0 = mat(m, n, 99);
+            let mut x = b0.clone();
+            trsm_right_lower_trans(m, n, l.as_slice(), n, x.as_mut_slice(), m);
+            // Check X·Lᵀ == B.
+            let recon = x.matmul(&l.transpose());
+            assert!(recon.max_abs_diff(&b0) < 1e-9, "m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn left_lower_notrans_solves() {
+        for &(n, nrhs) in &[(1, 1), (6, 2), (30, 5)] {
+            let l = lower_factor(n, 11 + n as u64);
+            let b0 = mat(n, nrhs, 5);
+            let mut x = b0.clone();
+            trsm_left_lower_notrans(n, nrhs, l.as_slice(), n, x.as_mut_slice(), n);
+            let recon = l.matmul(&x);
+            assert!(recon.max_abs_diff(&b0) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn left_lower_trans_solves() {
+        for &(n, nrhs) in &[(1, 1), (6, 2), (30, 5)] {
+            let l = lower_factor(n, 17 + n as u64);
+            let b0 = mat(n, nrhs, 6);
+            let mut x = b0.clone();
+            trsm_left_lower_trans(n, nrhs, l.as_slice(), n, x.as_mut_slice(), n);
+            let recon = l.transpose().matmul(&x);
+            assert!(recon.max_abs_diff(&b0) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_then_backward_is_full_solve() {
+        // L·Lᵀ·x = b solved in two stages must reproduce A·x = b.
+        let n = 25;
+        let a = random_spd::<f64>(n, 123);
+        let mut l = a.clone();
+        potrf(n, l.as_mut_slice(), n).unwrap();
+        l.zero_upper();
+        let xtrue = mat(n, 1, 7);
+        let mut sym = a.clone();
+        sym.symmetrize_from_lower();
+        let b = sym.matmul(&xtrue);
+        let mut x = b.clone();
+        trsm_left_lower_notrans(n, 1, l.as_slice(), n, x.as_mut_slice(), n);
+        trsm_left_lower_trans(n, 1, l.as_slice(), n, x.as_mut_slice(), n);
+        assert!(x.max_abs_diff(&xtrue) < 1e-8);
+    }
+
+    #[test]
+    fn identity_l_is_noop() {
+        let n = 4;
+        let l = DenseMat::<f64>::identity(n);
+        let b0 = mat(6, n, 9);
+        let mut x = b0.clone();
+        trsm_right_lower_trans(6, n, l.as_slice(), n, x.as_mut_slice(), 6);
+        assert!(x.max_abs_diff(&b0) < 1e-15);
+    }
+
+    #[test]
+    fn respects_ldb_stride() {
+        // Solve on a 3-row sub-block of a 5-row buffer (ldb = 5).
+        let n = 3;
+        let m = 3;
+        let l = lower_factor(n, 42);
+        let mut buf = vec![0.0f64; 5 * n];
+        let b0 = mat(m, n, 13);
+        for j in 0..n {
+            for i in 0..m {
+                buf[i + j * 5] = b0[(i, j)];
+            }
+            buf[3 + j * 5] = -1.0;
+            buf[4 + j * 5] = -2.0;
+        }
+        trsm_right_lower_trans(m, n, l.as_slice(), n, &mut buf, 5);
+        for j in 0..n {
+            assert_eq!(buf[3 + j * 5], -1.0);
+            assert_eq!(buf[4 + j * 5], -2.0);
+        }
+    }
+}

@@ -1,0 +1,610 @@
+//! The simulated GPU device.
+//!
+//! Models the execution semantics that the paper's policies exploit:
+//!
+//! * **in-order streams** — operations on one stream serialise,
+//! * **engine overlap** — the compute engine and the (single) copy engine
+//!   run concurrently, so asynchronous copies overlap kernels (§V-A2),
+//! * **asynchronous issue** — the host pays only a small issue cost and
+//!   blocks at explicit synchronisation points (pageable copies are
+//!   synchronous, as in CUDA),
+//! * **device memory limits** — allocation fails beyond the configured
+//!   capacity (4 GB on the T10).
+//!
+//! Numerics are computed **for real in f32** via `mf-dense` the moment an
+//! operation is enqueued; only *time* is simulated. This is valid as long
+//! as the caller orders dependent operations program-order on streams —
+//! exactly the discipline a correct CUDA program follows.
+
+use crate::calib::{exact_ops, GpuConfig, KernelKind};
+use crate::host::HostClock;
+use crate::memory::{DevBuf, DevMat, DeviceMemory, DeviceOom};
+use crate::profile::{Component, ProfileRecord};
+use mf_dense::{gemm, syrk_lower, trsm_right_lower_trans, Transpose};
+use mf_dense::potrf_unblocked;
+
+/// Handle to an in-order command stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stream(usize);
+
+/// A recorded event: the stream-tail time at recording.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event(pub f64);
+
+/// Transfer mode for copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyMode {
+    /// Host blocks until the transfer completes (pageable memory).
+    Sync,
+    /// Host continues immediately (requires pinned memory in CUDA; here the
+    /// caller asserts pinned-ness via the `pinned` flag).
+    Async,
+}
+
+/// The simulated device.
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    mem: DeviceMemory,
+    streams: Vec<f64>,
+    compute_free: f64,
+    copy_free: f64,
+    records: Vec<ProfileRecord>,
+    recording: bool,
+}
+
+impl Gpu {
+    /// A fresh device with one default stream (stream 0).
+    pub fn new(cfg: GpuConfig) -> Self {
+        let mem = DeviceMemory::new(cfg.mem_bytes);
+        Gpu {
+            cfg,
+            mem,
+            streams: vec![0.0],
+            compute_free: 0.0,
+            copy_free: 0.0,
+            records: Vec::new(),
+            recording: false,
+        }
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The default stream.
+    pub fn default_stream(&self) -> Stream {
+        Stream(0)
+    }
+
+    /// Create an additional stream.
+    pub fn create_stream(&mut self) -> Stream {
+        self.streams.push(0.0);
+        Stream(self.streams.len() - 1)
+    }
+
+    /// Get stream `idx`, creating intermediate streams as needed (so callers
+    /// can use stable stream ids across many operations without leaking a
+    /// new stream per call).
+    pub fn stream(&mut self, idx: usize) -> Stream {
+        while self.streams.len() <= idx {
+            self.streams.push(0.0);
+        }
+        Stream(idx)
+    }
+
+    /// Enable/disable profiling.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+    }
+
+    /// Enable/disable virtual (timing-only) mode: allocations track bytes
+    /// without backing storage and kernels/copies charge time without
+    /// touching data. Used to estimate policy times on fronts far too large
+    /// to compute for real (the paper's Figure 12/13/14 maps go to
+    /// m = k = 10000).
+    pub fn set_virtual(&mut self, on: bool) {
+        self.mem.virtual_mode = on;
+    }
+
+    /// Is the device in virtual (timing-only) mode?
+    pub fn is_virtual(&self) -> bool {
+        self.mem.virtual_mode
+    }
+
+    /// Drain profile records.
+    pub fn take_records(&mut self) -> Vec<ProfileRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn mem_used(&self) -> usize {
+        self.mem.used()
+    }
+
+    /// Device memory capacity in bytes.
+    pub fn mem_capacity(&self) -> usize {
+        self.mem.capacity()
+    }
+
+    /// Length (elements) of an allocated buffer.
+    pub fn buf_len(&self, buf: crate::memory::DevBuf) -> usize {
+        self.mem.len(buf)
+    }
+
+    /// Peak bytes allocated.
+    pub fn mem_peak(&self) -> usize {
+        self.mem.peak()
+    }
+
+    /// Allocate a device buffer of `len` f32 elements (zero-initialised).
+    pub fn alloc(&mut self, len: usize) -> Result<DevBuf, DeviceOom> {
+        self.mem.alloc(len)
+    }
+
+    /// Free a device buffer.
+    pub fn free(&mut self, buf: DevBuf) {
+        self.mem.free(buf)
+    }
+
+    /// Read device data (test/debug helper — performs no timing).
+    pub fn peek(&self, buf: DevBuf) -> &[f32] {
+        self.mem.get(buf)
+    }
+
+    /// Record an event on `stream`.
+    pub fn record_event(&self, stream: Stream) -> Event {
+        Event(self.streams[stream.0])
+    }
+
+    /// Make `stream` wait for `event`.
+    pub fn wait_event(&mut self, stream: Stream, event: Event) {
+        let tail = &mut self.streams[stream.0];
+        if event.0 > *tail {
+            *tail = event.0;
+        }
+    }
+
+    /// Block the host until `stream` drains.
+    pub fn sync_stream(&mut self, stream: Stream, host: &mut HostClock) {
+        host.sync_to(self.streams[stream.0]);
+    }
+
+    /// Block the host until the whole device drains.
+    pub fn sync_all(&mut self, host: &mut HostClock) {
+        let t = self.streams.iter().fold(0.0f64, |a, &b| a.max(b));
+        host.sync_to(t.max(self.compute_free).max(self.copy_free));
+    }
+
+    /// Completion time of the latest work on `stream` (for schedulers).
+    pub fn stream_tail(&self, stream: Stream) -> f64 {
+        self.streams[stream.0]
+    }
+
+    // ----- transfers ------------------------------------------------------
+
+    /// Copy a `rows × cols` column-major block from host `src` (leading
+    /// dimension `src_ld`) into the device view `dst`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn h2d(
+        &mut self,
+        stream: Stream,
+        dst: DevMat,
+        rows: usize,
+        cols: usize,
+        src: &[f32],
+        src_ld: usize,
+        pinned: bool,
+        mode: CopyMode,
+        host: &mut HostClock,
+    ) {
+        // Data moves now (eager numerics); skipped entirely in virtual mode.
+        if !self.mem.virtual_mode {
+            let data = self.mem.get_mut(dst.buf);
+            for j in 0..cols {
+                let s = &src[j * src_ld..j * src_ld + rows];
+                let doff = dst.off + j * dst.ld;
+                data[doff..doff + rows].copy_from_slice(s);
+            }
+        }
+        self.schedule_copy(stream, rows * cols * 4, pinned, mode, Component::CopyH2D, host);
+    }
+
+    /// Copy a `rows × cols` block from the device view `src` into host `dst`
+    /// (leading dimension `dst_ld`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn d2h(
+        &mut self,
+        stream: Stream,
+        src: DevMat,
+        rows: usize,
+        cols: usize,
+        dst: &mut [f32],
+        dst_ld: usize,
+        pinned: bool,
+        mode: CopyMode,
+        host: &mut HostClock,
+    ) {
+        if !self.mem.virtual_mode {
+            let data = self.mem.get(src.buf);
+            for j in 0..cols {
+                let soff = src.off + j * src.ld;
+                dst[j * dst_ld..j * dst_ld + rows].copy_from_slice(&data[soff..soff + rows]);
+            }
+        }
+        self.schedule_copy(stream, rows * cols * 4, pinned, mode, Component::CopyD2H, host);
+    }
+
+    fn schedule_copy(
+        &mut self,
+        stream: Stream,
+        bytes: usize,
+        pinned: bool,
+        mode: CopyMode,
+        component: Component,
+        host: &mut HostClock,
+    ) {
+        let dur = self.cfg.pcie.time(bytes, pinned);
+        let start = host.now().max(self.streams[stream.0]).max(self.copy_free);
+        let end = start + dur;
+        self.streams[stream.0] = end;
+        self.copy_free = end;
+        match mode {
+            CopyMode::Sync => host.sync_to(end),
+            CopyMode::Async => host.charge_issue(),
+        }
+        if self.recording {
+            self.records.push(ProfileRecord { component, ops: 0.0, bytes, start, end });
+        }
+    }
+
+    // ----- kernels --------------------------------------------------------
+
+    /// Pack a `rows × cols` region of a device view into a dense scratch
+    /// vector (simulation-internal; carries no simulated cost).
+    fn pack(&self, m: DevMat, rows: usize, cols: usize) -> Vec<f32> {
+        let data = self.mem.get(m.buf);
+        let mut out = vec![0.0f32; rows * cols];
+        for j in 0..cols {
+            let off = m.off + j * m.ld;
+            out[j * rows..(j + 1) * rows].copy_from_slice(&data[off..off + rows]);
+        }
+        out
+    }
+
+    fn schedule_kernel(
+        &mut self,
+        stream: Stream,
+        kind: KernelKind,
+        m: usize,
+        n: usize,
+        k: usize,
+        host: &mut HostClock,
+    ) {
+        let eff = self.cfg.effective_ops(kind, m, n, k);
+        let dur = self.cfg.kernels.curve(kind).time(eff);
+        let start = host.now().max(self.streams[stream.0]).max(self.compute_free);
+        let end = start + dur;
+        self.streams[stream.0] = end;
+        self.compute_free = end;
+        host.charge_issue();
+        if self.recording {
+            self.records.push(ProfileRecord {
+                component: Component::GpuKernel(kind),
+                ops: exact_ops(kind, m, n, k),
+                bytes: 0,
+                start,
+                end,
+            });
+        }
+    }
+
+    /// CUBLAS-like `strsm` (right, lower, transposed, non-unit): solve
+    /// `X·Lᵀ = B` where `l` is the `k × k` lower factor and `b` is `m × k`,
+    /// overwritten by `X`.
+    pub fn trsm(
+        &mut self,
+        stream: Stream,
+        l: DevMat,
+        k: usize,
+        b: DevMat,
+        m: usize,
+        host: &mut HostClock,
+    ) {
+        if !self.mem.virtual_mode {
+            let lpack = self.pack(l, k, k);
+            let data = self.mem.get_mut(b.buf);
+            trsm_right_lower_trans(m, k, &lpack, k, &mut data[b.off..], b.ld);
+        }
+        self.schedule_kernel(stream, KernelKind::Trsm, m, 0, k, host);
+    }
+
+    /// CUBLAS-like `ssyrk` (lower, no-trans, α = −1, β = 1):
+    /// `C ← C − A·Aᵀ` with `a` `n × k` and `c` `n × n` (lower).
+    pub fn syrk(
+        &mut self,
+        stream: Stream,
+        a: DevMat,
+        c: DevMat,
+        n: usize,
+        k: usize,
+        host: &mut HostClock,
+    ) {
+        if !self.mem.virtual_mode {
+            let apack = self.pack(a, n, k);
+            let data = self.mem.get_mut(c.buf);
+            syrk_lower(n, k, -1.0f32, &apack, n, 1.0, &mut data[c.off..], c.ld);
+        }
+        self.schedule_kernel(stream, KernelKind::Syrk, 0, n, k, host);
+    }
+
+    /// CUBLAS-like `sgemm` (`C ← C − A·Bᵀ`): `a` is `m × k`, `b` is `n × k`,
+    /// `c` is `m × n`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_nt(
+        &mut self,
+        stream: Stream,
+        a: DevMat,
+        b: DevMat,
+        c: DevMat,
+        m: usize,
+        n: usize,
+        k: usize,
+        host: &mut HostClock,
+    ) {
+        if !self.mem.virtual_mode {
+            let apack = self.pack(a, m, k);
+            let bpack = self.pack(b, n, k);
+            let data = self.mem.get_mut(c.buf);
+            gemm(
+                Transpose::No,
+                Transpose::Yes,
+                m,
+                n,
+                k,
+                -1.0f32,
+                &apack,
+                m,
+                &bpack,
+                n,
+                1.0,
+                &mut data[c.off..],
+                c.ld,
+            );
+        }
+        self.schedule_kernel(stream, KernelKind::Gemm, m, n, k, host);
+    }
+
+    /// The lightweight on-device `w × w` Cholesky kernel of §V-A1.
+    /// Returns the failing column on a non-positive pivot.
+    pub fn panel_potrf(
+        &mut self,
+        stream: Stream,
+        a: DevMat,
+        n: usize,
+        host: &mut HostClock,
+    ) -> Result<(), usize> {
+        let res = if self.mem.virtual_mode {
+            Ok(())
+        } else {
+            let data = self.mem.get_mut(a.buf);
+            potrf_unblocked(n, &mut data[a.off..], a.ld)
+        };
+        self.schedule_kernel(stream, KernelKind::PanelPotrf, 0, n, 0, host);
+        res.map_err(|e| e.column)
+    }
+
+    /// Reset all timelines to zero (memory contents and allocations kept).
+    pub fn reset_clock(&mut self) {
+        for s in &mut self.streams {
+            *s = 0.0;
+        }
+        self.compute_free = 0.0;
+        self.copy_free = 0.0;
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::{tesla_t10, xeon_5160_core};
+    use mf_dense::{potrf, DenseMat};
+
+    fn setup() -> (Gpu, HostClock) {
+        (Gpu::new(tesla_t10()), HostClock::new(xeon_5160_core()))
+    }
+
+    #[test]
+    fn h2d_d2h_roundtrip_with_strides() {
+        let (mut gpu, mut host) = setup();
+        let buf = gpu.alloc(100).unwrap();
+        let s0 = gpu.default_stream();
+        // 3×2 block into a ld=10 device view at offset 4.
+        let src: Vec<f32> = vec![1., 2., 3., 4., 5., 6.];
+        let dst_view = DevMat { buf, off: 4, ld: 10 };
+        gpu.h2d(s0, dst_view, 3, 2, &src, 3, false, CopyMode::Sync, &mut host);
+        let mut back = vec![0.0f32; 8];
+        gpu.d2h(s0, dst_view, 3, 2, &mut back, 4, false, CopyMode::Sync, &mut host);
+        assert_eq!(&back[0..3], &[1., 2., 3.]);
+        assert_eq!(&back[4..7], &[4., 5., 6.]);
+        assert!(host.now() > 0.0, "sync copies must cost time");
+    }
+
+    #[test]
+    fn kernels_compute_correct_f32_math() {
+        // Factor an SPD matrix entirely with device kernels and compare to
+        // the host result: panel potrf + trsm + syrk on device views.
+        let (mut gpu, mut host) = setup();
+        let n = 24;
+        let k = 8;
+        let m = n - k;
+        let a0 = mf_dense::matrix::random_spd::<f32>(n, 5);
+        let buf = gpu.alloc(n * n).unwrap();
+        let s0 = gpu.default_stream();
+        let full = DevMat::whole(buf, n);
+        gpu.h2d(s0, full, n, n, a0.as_slice(), n, false, CopyMode::Sync, &mut host);
+        // Device-side blocked step.
+        gpu.panel_potrf(s0, full, k, &mut host).unwrap();
+        gpu.trsm(s0, full, k, full.offset(k, 0), m, &mut host);
+        gpu.syrk(s0, full.offset(k, 0), full.offset(k, k), m, k, &mut host);
+        gpu.sync_all(&mut host);
+        // Host reference: one blocked step of potrf.
+        let mut href = a0.clone();
+        {
+            let hs = href.as_mut_slice();
+            potrf_unblocked(k, hs, n).unwrap();
+            let diag: Vec<f32> = (0..k * k)
+                .map(|i| {
+                    let (r, c) = (i % k, i / k);
+                    hs[r + c * n]
+                })
+                .collect();
+            mf_dense::trsm_right_lower_trans(m, k, &diag, k, &mut hs[k..], n);
+            let panel: Vec<f32> = (0..m * k)
+                .map(|i| {
+                    let (r, c) = (i % m, i / m);
+                    hs[k + r + c * n]
+                })
+                .collect();
+            mf_dense::syrk_lower(m, k, -1.0, &panel, m, 1.0, &mut hs[k + k * n..], n);
+        }
+        let dev = gpu.peek(buf);
+        for j in 0..n {
+            for i in j..n {
+                let d = dev[i + j * n];
+                let h = href[(i, j)];
+                assert!((d - h).abs() < 1e-4, "({i},{j}): dev {d} host {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_stream_serializes() {
+        let (mut gpu, mut host) = setup();
+        let buf = gpu.alloc(64 * 64).unwrap();
+        let s0 = gpu.default_stream();
+        let v = DevMat::whole(buf, 64);
+        gpu.syrk(s0, v, v, 32, 16, &mut host);
+        let t1 = gpu.stream_tail(s0);
+        gpu.syrk(s0, v, v, 32, 16, &mut host);
+        let t2 = gpu.stream_tail(s0);
+        assert!(t2 > t1, "second kernel must start after the first");
+    }
+
+    #[test]
+    fn copy_overlaps_compute_across_streams() {
+        let (mut gpu, mut host) = setup();
+        let s0 = gpu.default_stream();
+        let s1 = gpu.create_stream();
+        let buf = gpu.alloc(1 << 20).unwrap();
+        let big = vec![0.5f32; 1 << 20];
+        // Launch a long kernel on s0, then an async copy on s1: the copy
+        // must start before the kernel ends (engines overlap).
+        let v = DevMat::whole(buf, 1 << 10);
+        gpu.set_recording(true);
+        gpu.syrk(s0, v, v, 1 << 10, 512, &mut host);
+        gpu.h2d(s1, v, 1 << 10, 512, &big, 1 << 10, true, CopyMode::Async, &mut host);
+        gpu.sync_all(&mut host);
+        let recs = gpu.take_records();
+        assert_eq!(recs.len(), 2);
+        let (kern, copy) = (&recs[0], &recs[1]);
+        assert!(copy.start < kern.end, "copy should overlap the kernel");
+    }
+
+    #[test]
+    fn two_copies_serialize_on_the_copy_engine() {
+        let (mut gpu, mut host) = setup();
+        let s0 = gpu.default_stream();
+        let s1 = gpu.create_stream();
+        let buf = gpu.alloc(1 << 18).unwrap();
+        let data = vec![0.0f32; 1 << 18];
+        gpu.set_recording(true);
+        let v = DevMat::whole(buf, 1 << 9);
+        gpu.h2d(s0, v, 1 << 9, 256, &data, 1 << 9, true, CopyMode::Async, &mut host);
+        gpu.h2d(s1, v, 1 << 9, 256, &data, 1 << 9, true, CopyMode::Async, &mut host);
+        let recs = gpu.take_records();
+        assert!(recs[1].start >= recs[0].end - 1e-12, "single copy engine must serialise");
+    }
+
+    #[test]
+    fn events_order_cross_stream_work() {
+        let (mut gpu, mut host) = setup();
+        let s0 = gpu.default_stream();
+        let s1 = gpu.create_stream();
+        let buf = gpu.alloc(4096).unwrap();
+        let v = DevMat::whole(buf, 64);
+        gpu.syrk(s0, v, v, 64, 32, &mut host);
+        let ev = gpu.record_event(s0);
+        gpu.wait_event(s1, ev);
+        gpu.set_recording(true);
+        gpu.syrk(s1, v, v, 8, 4, &mut host);
+        let recs = gpu.take_records();
+        assert!(recs[0].start >= ev.0 - 1e-12, "s1 kernel must wait for the event");
+    }
+
+    #[test]
+    fn sync_copy_blocks_host_async_does_not() {
+        let (mut gpu, mut host) = setup();
+        let s0 = gpu.default_stream();
+        let buf = gpu.alloc(1 << 20).unwrap();
+        let data = vec![0.0f32; 1 << 20];
+        let v = DevMat::whole(buf, 1 << 10);
+        let before = host.now();
+        gpu.h2d(s0, v, 1 << 10, 1 << 10, &data, 1 << 10, false, CopyMode::Sync, &mut host);
+        let sync_cost = host.now() - before;
+        assert!(sync_cost > 1e-3, "4 MB pageable ≈ 3 ms: {sync_cost}");
+
+        let before = host.now();
+        gpu.h2d(s0, v, 1 << 10, 1 << 10, &data, 1 << 10, true, CopyMode::Async, &mut host);
+        let async_cost = host.now() - before;
+        assert!(async_cost < 1e-4, "async issue must be cheap: {async_cost}");
+    }
+
+    #[test]
+    fn pinned_copy_faster_than_pageable() {
+        let (mut gpu, mut host) = setup();
+        let s0 = gpu.default_stream();
+        let buf = gpu.alloc(1 << 20).unwrap();
+        let data = vec![0.0f32; 1 << 20];
+        let v = DevMat::whole(buf, 1 << 10);
+        gpu.set_recording(true);
+        gpu.h2d(s0, v, 1 << 10, 1 << 10, &data, 1 << 10, false, CopyMode::Sync, &mut host);
+        gpu.h2d(s0, v, 1 << 10, 1 << 10, &data, 1 << 10, true, CopyMode::Sync, &mut host);
+        let recs = gpu.take_records();
+        assert!(recs[1].duration() < recs[0].duration());
+    }
+
+    #[test]
+    fn oom_propagates() {
+        let mut cfg = tesla_t10();
+        cfg.mem_bytes = 1000;
+        let mut gpu = Gpu::new(cfg);
+        assert!(gpu.alloc(10).is_ok());
+        assert!(gpu.alloc(1000).is_err());
+    }
+
+    #[test]
+    fn panel_potrf_rejects_indefinite() {
+        let (mut gpu, mut host) = setup();
+        let buf = gpu.alloc(16).unwrap();
+        let s0 = gpu.default_stream();
+        let v = DevMat::whole(buf, 4);
+        // Zero matrix is not PD.
+        let err = gpu.panel_potrf(s0, v, 4, &mut host).unwrap_err();
+        assert_eq!(err, 0);
+    }
+
+    #[test]
+    fn reset_clock_keeps_memory() {
+        let (mut gpu, mut host) = setup();
+        let buf = gpu.alloc(16).unwrap();
+        let s0 = gpu.default_stream();
+        let v = DevMat::whole(buf, 4);
+        gpu.h2d(s0, v, 4, 4, &[1.0; 16], 4, false, CopyMode::Sync, &mut host);
+        gpu.reset_clock();
+        assert_eq!(gpu.stream_tail(s0), 0.0);
+        assert_eq!(gpu.peek(buf)[0], 1.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! The host timeline: virtual clock, CPU kernel charging, pinned memory.
+//!
+//! The host executes CPU kernels synchronously (time charged from the
+//! calibrated [`CpuConfig`] curves) and issues GPU work asynchronously
+//! (a small issue overhead, with synchronisation points pulling the host
+//! clock forward to the relevant stream tail).
+
+use crate::calib::{exact_ops, CpuConfig, KernelKind};
+use crate::profile::{Component, ProfileRecord};
+
+/// Cost of issuing one asynchronous GPU command from the host.
+pub const ISSUE_OVERHEAD: f64 = 1.5e-6;
+
+/// The host CPU's virtual timeline.
+#[derive(Debug, Clone)]
+pub struct HostClock {
+    cfg: CpuConfig,
+    now: f64,
+    pinned_bytes: usize,
+    pinned_peak: usize,
+    records: Vec<ProfileRecord>,
+    recording: bool,
+}
+
+impl HostClock {
+    /// A fresh host timeline at t = 0.
+    pub fn new(cfg: CpuConfig) -> Self {
+        HostClock {
+            cfg,
+            now: 0.0,
+            pinned_bytes: 0,
+            pinned_peak: 0,
+            records: Vec::new(),
+            recording: false,
+        }
+    }
+
+    /// The CPU configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Enable/disable per-call profile recording.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+    }
+
+    /// Drain recorded profile entries.
+    pub fn take_records(&mut self) -> Vec<ProfileRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Advance the clock by an arbitrary duration (host-side bookkeeping
+    /// such as extend-add assembly, charged by the caller).
+    pub fn advance(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0 && seconds.is_finite());
+        self.now += seconds;
+    }
+
+    /// Pull the clock forward to `t` (synchronisation with a device event);
+    /// no-op if `t` is in the past.
+    pub fn sync_to(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Charge the issue overhead of one asynchronous device command.
+    pub fn charge_issue(&mut self) {
+        self.now += ISSUE_OVERHEAD;
+    }
+
+    /// Charge a CPU dense kernel of the given dims (see
+    /// [`exact_ops`] for the dim conventions); returns the duration.
+    pub fn charge_kernel(&mut self, kind: KernelKind, m: usize, n: usize, k: usize) -> f64 {
+        let ops = exact_ops(kind, m, n, k);
+        let dur = self.cfg.kernels.curve(kind).time(ops);
+        let start = self.now;
+        self.now += dur;
+        if self.recording {
+            self.records.push(ProfileRecord {
+                component: Component::CpuKernel(kind),
+                ops,
+                bytes: 0,
+                start,
+                end: self.now,
+            });
+        }
+        dur
+    }
+
+    /// Charge a host memory operation at `bytes / bw` where `bw` models
+    /// memcpy/assembly bandwidth (used for extend-add and packing).
+    pub fn charge_memop(&mut self, bytes: usize, bw: f64) -> f64 {
+        let dur = bytes as f64 / bw;
+        let start = self.now;
+        self.now += dur;
+        if self.recording {
+            self.records.push(ProfileRecord {
+                component: Component::HostMemop,
+                ops: 0.0,
+                bytes,
+                start,
+                end: self.now,
+            });
+        }
+        dur
+    }
+
+    /// Allocate pinned host memory: charges the allocation cost and tracks
+    /// the footprint. Returns the duration charged.
+    pub fn alloc_pinned(&mut self, bytes: usize) -> f64 {
+        let dur = self.cfg.pinned_alloc.time(bytes);
+        self.now += dur;
+        self.pinned_bytes += bytes;
+        self.pinned_peak = self.pinned_peak.max(self.pinned_bytes);
+        if self.recording {
+            self.records.push(ProfileRecord {
+                component: Component::PinnedAlloc,
+                ops: 0.0,
+                bytes,
+                start: self.now - dur,
+                end: self.now,
+            });
+        }
+        dur
+    }
+
+    /// Release pinned host memory (free is cheap; no time charged).
+    pub fn free_pinned(&mut self, bytes: usize) {
+        debug_assert!(bytes <= self.pinned_bytes);
+        self.pinned_bytes -= bytes;
+    }
+
+    /// Currently pinned bytes.
+    pub fn pinned_bytes(&self) -> usize {
+        self.pinned_bytes
+    }
+
+    /// Peak pinned bytes.
+    pub fn pinned_peak(&self) -> usize {
+        self.pinned_peak
+    }
+
+    /// Reset the clock to zero, keeping configuration and allocations.
+    pub fn reset(&mut self) {
+        self.now = 0.0;
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::xeon_5160_core;
+
+    #[test]
+    fn kernel_charging_advances_clock() {
+        let mut h = HostClock::new(xeon_5160_core());
+        let d = h.charge_kernel(KernelKind::Syrk, 0, 100, 50);
+        assert!(d > 0.0);
+        assert_eq!(h.now(), d);
+        let d2 = h.charge_kernel(KernelKind::Potrf, 0, 64, 0);
+        assert!((h.now() - (d + d2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sync_only_moves_forward() {
+        let mut h = HostClock::new(xeon_5160_core());
+        h.advance(1.0);
+        h.sync_to(0.5);
+        assert_eq!(h.now(), 1.0);
+        h.sync_to(2.0);
+        assert_eq!(h.now(), 2.0);
+    }
+
+    #[test]
+    fn pinned_tracking() {
+        let mut h = HostClock::new(xeon_5160_core());
+        let d = h.alloc_pinned(1 << 20);
+        assert!(d > 1e-4, "pinned alloc must be expensive: {d}");
+        assert_eq!(h.pinned_bytes(), 1 << 20);
+        h.alloc_pinned(512);
+        assert_eq!(h.pinned_peak(), (1 << 20) + 512);
+        h.free_pinned(1 << 20);
+        assert_eq!(h.pinned_bytes(), 512);
+    }
+
+    #[test]
+    fn recording_captures_components() {
+        let mut h = HostClock::new(xeon_5160_core());
+        h.set_recording(true);
+        h.charge_kernel(KernelKind::Trsm, 10, 0, 5);
+        h.charge_memop(4096, 4.0e9);
+        let recs = h.take_records();
+        assert_eq!(recs.len(), 2);
+        assert!(matches!(recs[0].component, Component::CpuKernel(KernelKind::Trsm)));
+        assert!(matches!(recs[1].component, Component::HostMemop));
+        assert!(recs[0].end <= recs[1].start + 1e-15);
+    }
+
+    #[test]
+    fn bigger_kernels_cost_more() {
+        let mut h = HostClock::new(xeon_5160_core());
+        let small = h.charge_kernel(KernelKind::Syrk, 0, 10, 10);
+        let big = h.charge_kernel(KernelKind::Syrk, 0, 1000, 100);
+        assert!(big > small * 10.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Device memory management.
+//!
+//! A slab of `f32` buffers with byte accounting against the configured
+//! device capacity. Allocation failure is a first-class outcome — the
+//! paper notes that GPU memory limits are what force large problems into
+//! hybrid CPU/GPU execution.
+
+/// Handle to a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DevBuf(pub(crate) usize);
+
+/// Device out-of-memory error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceOom {
+    /// Bytes requested by the failing allocation.
+    pub requested: usize,
+    /// Bytes free at the time of the request.
+    pub available: usize,
+}
+
+impl std::fmt::Display for DeviceOom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for DeviceOom {}
+
+/// A view into a device buffer: column-major matrix at `off` with leading
+/// dimension `ld`.
+#[derive(Debug, Clone, Copy)]
+pub struct DevMat {
+    /// Buffer holding the data.
+    pub buf: DevBuf,
+    /// Element offset of the (0,0) entry.
+    pub off: usize,
+    /// Leading dimension in elements.
+    pub ld: usize,
+}
+
+impl DevMat {
+    /// View of the whole buffer as an `ld`-strided matrix starting at 0.
+    pub fn whole(buf: DevBuf, ld: usize) -> Self {
+        DevMat { buf, off: 0, ld }
+    }
+
+    /// Sub-view displaced by (`di`, `dj`) rows/columns.
+    pub fn offset(self, di: usize, dj: usize) -> Self {
+        DevMat { buf: self.buf, off: self.off + di + dj * self.ld, ld: self.ld }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct DeviceMemory {
+    slabs: Vec<Option<Vec<f32>>>,
+    lens: Vec<usize>,
+    free_ids: Vec<usize>,
+    capacity: usize,
+    used: usize,
+    peak: usize,
+    /// Virtual mode: track sizes and charge capacity without backing
+    /// storage — used by timing-only estimation on huge fronts.
+    pub virtual_mode: bool,
+}
+
+impl DeviceMemory {
+    pub fn new(capacity: usize) -> Self {
+        DeviceMemory {
+            slabs: Vec::new(),
+            lens: Vec::new(),
+            free_ids: Vec::new(),
+            capacity,
+            used: 0,
+            peak: 0,
+            virtual_mode: false,
+        }
+    }
+
+    pub fn alloc(&mut self, len: usize) -> Result<DevBuf, DeviceOom> {
+        let bytes = len * 4;
+        if self.used + bytes > self.capacity {
+            return Err(DeviceOom { requested: bytes, available: self.capacity - self.used });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        let data = if self.virtual_mode { Vec::new() } else { vec![0.0f32; len] };
+        let id = match self.free_ids.pop() {
+            Some(id) => {
+                self.slabs[id] = Some(data);
+                self.lens[id] = len;
+                id
+            }
+            None => {
+                self.slabs.push(Some(data));
+                self.lens.push(len);
+                self.slabs.len() - 1
+            }
+        };
+        Ok(DevBuf(id))
+    }
+
+    pub fn free(&mut self, buf: DevBuf) {
+        self.slabs[buf.0].take().expect("double free of device buffer");
+        self.used -= self.lens[buf.0] * 4;
+        self.free_ids.push(buf.0);
+    }
+
+    pub fn len(&self, buf: DevBuf) -> usize {
+        assert!(self.slabs[buf.0].is_some(), "use after free");
+        self.lens[buf.0]
+    }
+
+    pub fn get(&self, buf: DevBuf) -> &[f32] {
+        self.slabs[buf.0].as_ref().expect("use after free")
+    }
+
+    pub fn get_mut(&mut self, buf: DevBuf) -> &mut [f32] {
+        self.slabs[buf.0].as_mut().expect("use after free")
+    }
+
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_accounting() {
+        let mut m = DeviceMemory::new(1000);
+        let a = m.alloc(100).unwrap(); // 400 bytes
+        assert_eq!(m.used(), 400);
+        let b = m.alloc(100).unwrap();
+        assert_eq!(m.used(), 800);
+        m.free(a);
+        assert_eq!(m.used(), 400);
+        assert_eq!(m.peak(), 800);
+        m.free(b);
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn oom_reports_sizes() {
+        let mut m = DeviceMemory::new(100);
+        let err = m.alloc(1000).unwrap_err();
+        assert_eq!(err.requested, 4000);
+        assert_eq!(err.available, 100);
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn slot_reuse_after_free() {
+        let mut m = DeviceMemory::new(10_000);
+        let a = m.alloc(10).unwrap();
+        m.free(a);
+        let b = m.alloc(20).unwrap();
+        // Freed slot id is reused.
+        assert_eq!(a.0, b.0);
+        assert_eq!(m.len(b), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut m = DeviceMemory::new(10_000);
+        let a = m.alloc(10).unwrap();
+        m.free(a);
+        m.free(a);
+    }
+
+    #[test]
+    fn devmat_offset_arithmetic() {
+        let v = DevMat { buf: DevBuf(0), off: 5, ld: 10 };
+        let w = v.offset(2, 3);
+        assert_eq!(w.off, 5 + 2 + 30);
+        assert_eq!(w.ld, 10);
+    }
+
+    #[test]
+    fn buffers_zero_initialized() {
+        let mut m = DeviceMemory::new(10_000);
+        let a = m.alloc(16).unwrap();
+        assert!(m.get(a).iter().all(|&v| v == 0.0));
+    }
+}

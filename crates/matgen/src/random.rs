@@ -1,0 +1,71 @@
+//! Random sparse SPD matrices.
+
+use mf_sparse::{SymCsc, Triplet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random sparse SPD matrix of order `n` with roughly `avg_nnz_per_row`
+/// off-diagonal entries per row, made SPD by diagonal dominance.
+///
+/// Useful for fuzzing the symbolic/numeric pipeline with patterns that have
+/// no mesh structure at all.
+pub fn random_spd_sparse(n: usize, avg_nnz_per_row: usize, seed: u64) -> SymCsc<f64> {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Triplet::with_capacity(n, n * (avg_nnz_per_row + 1));
+    let mut rowsum = vec![0.0f64; n];
+    let target_edges = n * avg_nnz_per_row / 2;
+    for _ in 0..target_edges {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        t.push(i, j, v);
+        rowsum[i] += v.abs();
+        rowsum[j] += v.abs();
+    }
+    for i in 0..n {
+        t.push(i, i, rowsum[i] + 1.0);
+    }
+    t.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = random_spd_sparse(50, 6, 7);
+        let b = random_spd_sparse(50, 6, 7);
+        assert_eq!(a, b);
+        let c = random_spd_sparse(50, 6, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn diagonally_dominant() {
+        let a = random_spd_sparse(80, 8, 1);
+        for j in 0..80 {
+            let d = a.get(j, j).unwrap();
+            let mut off = 0.0;
+            for (&i, &v) in a.col_rows(j).iter().zip(a.col_vals(j)) {
+                if i != j {
+                    off += v.abs();
+                }
+            }
+            // Column part of the row sum only — full dominance checked via
+            // construction; here ensure positivity margin at least.
+            assert!(d > off, "col {j}");
+        }
+    }
+
+    #[test]
+    fn density_in_expected_range() {
+        let a = random_spd_sparse(200, 10, 3);
+        let per_row = (a.nnz_lower() * 2 - 200) as f64 / 200.0;
+        assert!(per_row > 5.0 && per_row < 12.0, "{per_row}");
+    }
+}

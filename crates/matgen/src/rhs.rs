@@ -1,0 +1,46 @@
+//! Right-hand-side construction for solver tests.
+
+use mf_sparse::SymCsc;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `b = A·x_true` for a deterministic pseudo-random `x_true`; returns
+/// `(x_true, b)`. Solving `A·x = b` should recover `x_true`, which makes
+/// forward-error measurement trivial.
+pub fn rhs_for_solution(a: &SymCsc<f64>, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let n = a.order();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut b = vec![0.0; n];
+    a.matvec(&x, &mut b);
+    (x, b)
+}
+
+/// `b = A·1` — the classic smoke-test right-hand side.
+pub fn rhs_ones(a: &SymCsc<f64>) -> Vec<f64> {
+    let n = a.order();
+    let x = vec![1.0; n];
+    let mut b = vec![0.0; n];
+    a.matvec(&x, &mut b);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{laplacian_2d, Stencil};
+
+    #[test]
+    fn rhs_matches_matvec() {
+        let a = laplacian_2d(5, 5, Stencil::Faces);
+        let (x, b) = rhs_for_solution(&a, 3);
+        let r = a.residual(&x, &b);
+        assert!(r.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn ones_rhs_deterministic() {
+        let a = laplacian_2d(4, 4, Stencil::Faces);
+        assert_eq!(rhs_ones(&a), rhs_ones(&a));
+    }
+}

@@ -1,0 +1,332 @@
+//! Elimination tree, postordering and column counts.
+//!
+//! The elimination tree of the Cholesky factor `L` drives everything in the
+//! multifrontal method: the postorder traversal order, the update-matrix
+//! stack discipline, and the parallel task DAG. We implement Liu's
+//! algorithm with path compression, a stack-based postorder (safe for the
+//! deep trees produced by band orderings), and the classic `O(|L|)`
+//! row-subtree column-count algorithm.
+
+use crate::csc::SymCsc;
+use mf_dense::Scalar;
+
+/// Sentinel for "no parent" (tree roots).
+pub const NONE: usize = usize::MAX;
+
+/// The elimination tree of a symmetric matrix, plus derived structures.
+#[derive(Debug, Clone)]
+pub struct EliminationTree {
+    /// `parent[j]` is the parent column of `j`, or [`NONE`] for roots.
+    pub parent: Vec<usize>,
+}
+
+impl EliminationTree {
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` for the empty tree.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// First-child / next-sibling lists for traversals.
+    pub fn children_lists(&self) -> ChildrenLists {
+        let n = self.parent.len();
+        let mut first_child = vec![NONE; n];
+        let mut next_sibling = vec![NONE; n];
+        let mut roots = Vec::new();
+        // Iterate in reverse so children end up in increasing order.
+        for j in (0..n).rev() {
+            match self.parent[j] {
+                NONE => roots.push(j),
+                p => {
+                    next_sibling[j] = first_child[p];
+                    first_child[p] = j;
+                }
+            }
+        }
+        roots.reverse();
+        ChildrenLists { first_child, next_sibling, roots }
+    }
+
+    /// Postorder permutation of the tree: returns `post` with
+    /// `post[rank] = column`, children before parents.
+    pub fn postorder(&self) -> Vec<usize> {
+        let n = self.parent.len();
+        let lists = self.children_lists();
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(usize, bool)> = Vec::new();
+        for &r in &lists.roots {
+            stack.push((r, false));
+            while let Some((v, expanded)) = stack.pop() {
+                if expanded {
+                    post.push(v);
+                } else {
+                    stack.push((v, true));
+                    // Push children in reverse so they pop in order.
+                    let mut kids = Vec::new();
+                    let mut c = lists.first_child[v];
+                    while c != NONE {
+                        kids.push(c);
+                        c = lists.next_sibling[c];
+                    }
+                    for &k in kids.iter().rev() {
+                        stack.push((k, false));
+                    }
+                }
+            }
+        }
+        assert_eq!(post.len(), n, "forest must cover all vertices");
+        post
+    }
+
+    /// Depth of each node (roots at depth 0).
+    pub fn depths(&self) -> Vec<usize> {
+        let n = self.parent.len();
+        let mut depth = vec![usize::MAX; n];
+        for j in 0..n {
+            // Walk up until a known depth, then unwind.
+            let mut path = Vec::new();
+            let mut v = j;
+            while depth[v] == usize::MAX {
+                path.push(v);
+                if self.parent[v] == NONE {
+                    depth[v] = 0;
+                    break;
+                }
+                v = self.parent[v];
+            }
+            let mut d = depth[v];
+            for &u in path.iter().rev() {
+                if depth[u] == usize::MAX {
+                    d += 1;
+                    depth[u] = d;
+                } else {
+                    d = depth[u];
+                }
+            }
+        }
+        depth
+    }
+}
+
+/// First-child / next-sibling representation of a forest.
+#[derive(Debug, Clone)]
+pub struct ChildrenLists {
+    /// `first_child[v]` — lowest-numbered child of `v`, or [`NONE`].
+    pub first_child: Vec<usize>,
+    /// `next_sibling[v]` — next child of `v`'s parent, or [`NONE`].
+    pub next_sibling: Vec<usize>,
+    /// Tree roots in increasing order.
+    pub roots: Vec<usize>,
+}
+
+/// Compute the elimination tree of a lower-stored symmetric matrix using
+/// Liu's algorithm with path compression (`ancestor` array).
+pub fn elimination_tree<T: Scalar>(a: &SymCsc<T>) -> EliminationTree {
+    let n = a.order();
+    let (uptr, urows) = a.upper_pattern();
+    let mut parent = vec![NONE; n];
+    let mut ancestor = vec![NONE; n];
+    for j in 0..n {
+        for &i in &urows[uptr[j]..uptr[j + 1]] {
+            // i < j is a nonzero of row j's strict upper column — walk from i
+            // towards the root, compressing paths.
+            let mut v = i;
+            while v != NONE && v < j {
+                let next = ancestor[v];
+                ancestor[v] = j;
+                if next == NONE {
+                    parent[v] = j;
+                    break;
+                }
+                v = next;
+            }
+        }
+    }
+    EliminationTree { parent }
+}
+
+/// Column counts `cc[j] = |{i : L[i,j] ≠ 0}|` (diagonal included) via the
+/// `O(|L|)` row-subtree traversal.
+pub fn column_counts<T: Scalar>(a: &SymCsc<T>, etree: &EliminationTree) -> Vec<usize> {
+    let n = a.order();
+    let (uptr, urows) = a.upper_pattern();
+    let mut cc = vec![1usize; n]; // diagonal
+    let mut mark = vec![NONE; n];
+    for i in 0..n {
+        mark[i] = i;
+        // Row i of L: walk each row subtree rooted at the entries of row i.
+        for &j0 in &urows[uptr[i]..uptr[i + 1]] {
+            let mut j = j0;
+            while j < i && mark[j] != i {
+                cc[j] += 1;
+                mark[j] = i;
+                j = etree.parent[j];
+                if j == NONE {
+                    break;
+                }
+            }
+        }
+    }
+    cc
+}
+
+/// Number of children of every node.
+pub fn child_counts(etree: &EliminationTree) -> Vec<usize> {
+    let mut nc = vec![0usize; etree.len()];
+    for &p in &etree.parent {
+        if p != NONE {
+            nc[p] += 1;
+        }
+    }
+    nc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csc::Triplet;
+
+    fn tridiag(n: usize) -> SymCsc<f64> {
+        let mut t = Triplet::new(n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i + 1 < n {
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        t.assemble()
+    }
+
+    fn arrow(n: usize) -> SymCsc<f64> {
+        let mut t = Triplet::new(n);
+        for i in 0..n {
+            t.push(i, i, 4.0);
+            if i + 1 < n {
+                t.push(n - 1, i, -1.0);
+            }
+        }
+        t.assemble()
+    }
+
+    #[test]
+    fn tridiagonal_etree_is_a_chain() {
+        let a = tridiag(6);
+        let t = elimination_tree(&a);
+        for j in 0..5 {
+            assert_eq!(t.parent[j], j + 1);
+        }
+        assert_eq!(t.parent[5], NONE);
+    }
+
+    #[test]
+    fn arrow_etree_is_a_star() {
+        let a = arrow(6);
+        let t = elimination_tree(&a);
+        for j in 0..5 {
+            assert_eq!(t.parent[j], 5, "col {j}");
+        }
+        assert_eq!(t.parent[5], NONE);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_a_forest_of_singletons() {
+        let mut tp = Triplet::new(4);
+        for i in 0..4 {
+            tp.push(i, i, 1.0);
+        }
+        let t = elimination_tree(&tp.assemble());
+        assert!(t.parent.iter().all(|&p| p == NONE));
+        let post = t.postorder();
+        assert_eq!(post, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn postorder_children_before_parents() {
+        let a = arrow(8);
+        let t = elimination_tree(&a);
+        let post = t.postorder();
+        let mut rank = vec![0usize; 8];
+        for (r, &v) in post.iter().enumerate() {
+            rank[v] = r;
+        }
+        for j in 0..8 {
+            if t.parent[j] != NONE {
+                assert!(rank[j] < rank[t.parent[j]], "child {j} after parent");
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_handles_deep_chain_without_overflow() {
+        // A 200_000-long chain would overflow a recursive postorder.
+        let n = 200_000;
+        let t = EliminationTree {
+            parent: (0..n).map(|j| if j + 1 < n { j + 1 } else { NONE }).collect(),
+        };
+        let post = t.postorder();
+        assert_eq!(post.len(), n);
+        assert_eq!(post[0], 0);
+        assert_eq!(post[n - 1], n - 1);
+    }
+
+    #[test]
+    fn column_counts_tridiagonal() {
+        // L of a tridiagonal matrix is bidiagonal: cc = 2,…,2,1.
+        let a = tridiag(5);
+        let t = elimination_tree(&a);
+        let cc = column_counts(&a, &t);
+        assert_eq!(cc, vec![2, 2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn column_counts_arrow_no_fill() {
+        // Arrow with dense last row: L has the same pattern, no fill.
+        let a = arrow(5);
+        let t = elimination_tree(&a);
+        let cc = column_counts(&a, &t);
+        assert_eq!(cc, vec![2, 2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn column_counts_reverse_arrow_full_fill() {
+        // Dense FIRST column ⇒ complete fill: cc[j] = n − j.
+        let n = 5;
+        let mut tp = Triplet::new(n);
+        for i in 0..n {
+            tp.push(i, i, 4.0);
+            if i > 0 {
+                tp.push(i, 0, -1.0);
+            }
+        }
+        let a = tp.assemble();
+        let t = elimination_tree(&a);
+        let cc = column_counts(&a, &t);
+        for j in 0..n {
+            assert_eq!(cc[j], n - j, "col {j}");
+        }
+    }
+
+    #[test]
+    fn depths_and_children() {
+        let a = arrow(5);
+        let t = elimination_tree(&a);
+        let d = t.depths();
+        assert_eq!(d[4], 0);
+        assert!(d[..4].iter().all(|&x| x == 1));
+        assert_eq!(child_counts(&t), vec![0, 0, 0, 0, 4]);
+        let lists = t.children_lists();
+        assert_eq!(lists.roots, vec![4]);
+        // Children of 4 enumerate 0..3 in increasing order.
+        let mut kids = Vec::new();
+        let mut c = lists.first_child[4];
+        while c != NONE {
+            kids.push(c);
+            c = lists.next_sibling[c];
+        }
+        assert_eq!(kids, vec![0, 1, 2, 3]);
+    }
+}

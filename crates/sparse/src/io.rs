@@ -1,0 +1,187 @@
+//! Matrix Market I/O for symmetric matrices.
+//!
+//! Reads and writes the `coordinate real symmetric` flavor of the Matrix
+//! Market exchange format, enough to ingest SuiteSparse matrices (e.g. the
+//! paper's audikw_1) when available and to persist generated test problems.
+
+use crate::csc::{SymCsc, Triplet};
+use mf_dense::Scalar;
+use std::io::{BufRead, Write};
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or syntactic problem, with a human-readable description.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(m) => write!(f, "matrix market parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+/// Read a `matrix coordinate real symmetric` Matrix Market stream.
+pub fn read_matrix_market<T: Scalar, R: BufRead>(reader: R) -> Result<SymCsc<T>, MmError> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| MmError::Parse("empty input".into()))??;
+    let h = header.to_ascii_lowercase();
+    if !h.starts_with("%%matrixmarket") {
+        return Err(MmError::Parse("missing %%MatrixMarket header".into()));
+    }
+    if !h.contains("coordinate") || !h.contains("real") {
+        return Err(MmError::Parse(format!("unsupported format: {header}")));
+    }
+    if !h.contains("symmetric") {
+        return Err(MmError::Parse("only symmetric matrices are supported".into()));
+    }
+    // Skip comments, find the size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| MmError::Parse("missing size line".into()))??;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        break t.to_string();
+    };
+    let mut it = size_line.split_whitespace();
+    let nrows: usize = parse_tok(it.next(), "rows")?;
+    let ncols: usize = parse_tok(it.next(), "cols")?;
+    let nnz: usize = parse_tok(it.next(), "nnz")?;
+    if nrows != ncols {
+        return Err(MmError::Parse(format!("matrix not square: {nrows}×{ncols}")));
+    }
+    let mut t = Triplet::with_capacity(nrows, nnz);
+    let mut count = 0usize;
+    for line in lines {
+        let line = line?;
+        let s = line.trim();
+        if s.is_empty() || s.starts_with('%') {
+            continue;
+        }
+        let mut it = s.split_whitespace();
+        let i: usize = parse_tok(it.next(), "row index")?;
+        let j: usize = parse_tok(it.next(), "col index")?;
+        let v: f64 = it
+            .next()
+            .ok_or_else(|| MmError::Parse("missing value".into()))?
+            .parse()
+            .map_err(|e| MmError::Parse(format!("bad value: {e}")))?;
+        if i == 0 || j == 0 || i > nrows || j > nrows {
+            return Err(MmError::Parse(format!("entry ({i},{j}) out of range")));
+        }
+        t.push(i - 1, j - 1, T::from_f64(v));
+        count += 1;
+    }
+    if count != nnz {
+        return Err(MmError::Parse(format!("expected {nnz} entries, found {count}")));
+    }
+    Ok(t.assemble())
+}
+
+fn parse_tok(tok: Option<&str>, what: &str) -> Result<usize, MmError> {
+    tok.ok_or_else(|| MmError::Parse(format!("missing {what}")))?
+        .parse()
+        .map_err(|e| MmError::Parse(format!("bad {what}: {e}")))
+}
+
+/// Write the lower triangle in Matrix Market `coordinate real symmetric`.
+pub fn write_matrix_market<T: Scalar, W: Write>(a: &SymCsc<T>, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real symmetric")?;
+    writeln!(w, "% written by mf-sparse")?;
+    writeln!(w, "{} {} {}", a.order(), a.order(), a.nnz_lower())?;
+    for j in 0..a.order() {
+        for (&i, &v) in a.col_rows(j).iter().zip(a.col_vals(j)) {
+            writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v.to_f64())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csc::Triplet;
+    use std::io::BufReader;
+
+    fn sample() -> SymCsc<f64> {
+        let mut t = Triplet::new(4);
+        t.push(0, 0, 4.0);
+        t.push(1, 1, 5.0);
+        t.push(2, 2, 6.0);
+        t.push(3, 3, 7.0);
+        t.push(2, 0, -1.5);
+        t.push(3, 1, 2.25);
+        t.assemble()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = sample();
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b: SymCsc<f64> = read_matrix_market(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accepts_comments_and_blank_lines() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n% comment\n\n2 2 2\n1 1 3.0\n2 1 -1.0\n";
+        let a: SymCsc<f64> = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(a.get(0, 0), Some(3.0));
+        assert_eq!(a.get(1, 0), Some(-1.0));
+    }
+
+    #[test]
+    fn rejects_general_matrices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.0\n";
+        let r: Result<SymCsc<f64>, _> = read_matrix_market(BufReader::new(text.as_bytes()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_entries() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 3\n1 1 3.0\n2 1 -1.0\n";
+        let r: Result<SymCsc<f64>, _> = read_matrix_market(BufReader::new(text.as_bytes()));
+        assert!(matches!(r, Err(MmError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n3 1 3.0\n";
+        let r: Result<SymCsc<f64>, _> = read_matrix_market(BufReader::new(text.as_bytes()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn upper_triangle_entries_accepted_as_symmetric() {
+        // Some writers emit the upper triangle; Triplet mirrors them.
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 3.0\n1 2 -1.0\n";
+        let a: SymCsc<f64> = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(a.get(1, 0), Some(-1.0));
+    }
+
+    #[test]
+    fn reads_f32() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n1 1 1\n1 1 0.5\n";
+        let a: SymCsc<f32> = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(a.get(0, 0), Some(0.5f32));
+    }
+}

@@ -1,0 +1,34 @@
+//! # mf-sparse — sparse symmetric matrix substrate
+//!
+//! Everything the multifrontal factorization needs *before* any numbers are
+//! touched: compressed sparse column storage for symmetric matrices
+//! ([`SymCsc`]), fill-reducing orderings (natural, reverse Cuthill-McKee,
+//! minimum degree, nested dissection), the elimination tree (Liu's
+//! algorithm), postordering, column counts, fundamental and relaxed
+//! supernodes, and the full supernodal symbolic factorization that determines
+//! the `(m, k)` shape of every frontal matrix — the quantities the paper's
+//! policies and auto-tuner key on.
+//!
+//! The symbolic pipeline mirrors the one in WSMP-style supernodal
+//! multifrontal codes (paper refs [3], [13]):
+//!
+//! ```text
+//! A (lower CSC) → ordering P → P·A·Pᵀ → etree → postorder → column counts
+//!              → fundamental supernodes → relaxed amalgamation
+//!              → per-supernode row structures (m, k per front)
+//! ```
+
+pub mod csc;
+pub mod etree;
+pub mod io;
+pub mod ordering;
+pub mod perm;
+pub mod supernode;
+pub mod symbolic;
+
+pub use csc::{SymCsc, Triplet};
+pub use etree::{column_counts, elimination_tree, EliminationTree};
+pub use ordering::{order, OrderingKind};
+pub use perm::Permutation;
+pub use supernode::{amalgamate, fundamental_supernodes, AmalgamationOptions, SupernodePartition};
+pub use symbolic::{analyze, symbolic_factor, Analysis, SymbolicFactor};

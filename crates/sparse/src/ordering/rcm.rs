@@ -1,0 +1,235 @@
+//! Reverse Cuthill-McKee ordering.
+
+use crate::csc::Adjacency;
+use crate::perm::Permutation;
+
+/// Find a pseudo-peripheral vertex of the component containing `start`
+/// by repeated BFS to the farthest vertex (George-Liu heuristic).
+pub(crate) fn pseudo_peripheral(g: &Adjacency, start: usize, work: &mut BfsWork) -> usize {
+    let mut v = start;
+    let mut ecc = 0usize;
+    loop {
+        let levels = work.bfs(g, v);
+        let (far, far_ecc) = work.farthest_min_degree(g, levels);
+        if far_ecc <= ecc {
+            return v;
+        }
+        ecc = far_ecc;
+        v = far;
+    }
+}
+
+/// Reusable BFS scratch space.
+pub(crate) struct BfsWork {
+    /// `level[v]` for the most recent BFS, `usize::MAX` = unreached.
+    pub level: Vec<usize>,
+    /// Visit stamp per vertex to avoid clearing `level` between runs.
+    stamp: Vec<u64>,
+    cur_stamp: u64,
+    queue: Vec<usize>,
+    /// Restrict traversal to vertices with `mask[v] == true` (empty = all).
+    pub mask: Vec<bool>,
+}
+
+impl BfsWork {
+    pub fn new(n: usize) -> Self {
+        BfsWork {
+            level: vec![usize::MAX; n],
+            stamp: vec![0; n],
+            cur_stamp: 0,
+            queue: Vec::with_capacity(n),
+            mask: Vec::new(),
+        }
+    }
+
+    fn allowed(&self, v: usize) -> bool {
+        self.mask.is_empty() || self.mask[v]
+    }
+
+    /// BFS from `root`; returns the number of levels. Levels readable via
+    /// [`Self::levels_of`] until the next BFS.
+    pub fn bfs(&mut self, g: &Adjacency, root: usize) -> usize {
+        self.cur_stamp += 1;
+        self.queue.clear();
+        self.queue.push(root);
+        self.stamp[root] = self.cur_stamp;
+        self.level[root] = 0;
+        let mut head = 0;
+        let mut max_level = 0;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            let lv = self.level[v];
+            for &w in g.neighbors(v) {
+                if self.stamp[w] != self.cur_stamp && self.allowed(w) {
+                    self.stamp[w] = self.cur_stamp;
+                    self.level[w] = lv + 1;
+                    self.queue.push(w);
+                    max_level = max_level.max(lv + 1);
+                }
+            }
+        }
+        max_level + 1
+    }
+
+    /// Vertices visited by the most recent BFS, in visit order.
+    pub fn visited(&self) -> &[usize] {
+        &self.queue
+    }
+
+    /// Among vertices in the last BFS level, the one of minimum degree
+    /// (classic pseudo-peripheral tie-break); returns `(vertex, ecc)`.
+    fn farthest_min_degree(&self, g: &Adjacency, nlevels: usize) -> (usize, usize) {
+        let last = nlevels - 1;
+        let mut best = usize::MAX;
+        let mut best_deg = usize::MAX;
+        for &v in &self.queue {
+            if self.level[v] == last && g.degree(v) < best_deg {
+                best_deg = g.degree(v);
+                best = v;
+            }
+        }
+        (best, last)
+    }
+}
+
+/// Reverse Cuthill-McKee ordering of the whole graph (all components).
+///
+/// Returns a [`Permutation`] with `perm[new] = old`.
+pub fn reverse_cuthill_mckee(g: &Adjacency) -> Permutation {
+    let n = g.len();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let mut work = BfsWork::new(n);
+    let mut nbrs: Vec<usize> = Vec::new();
+    for seed in 0..n {
+        if placed[seed] {
+            continue;
+        }
+        let root = pseudo_peripheral(g, seed, &mut work);
+        // Cuthill-McKee: BFS from root, neighbors in increasing-degree order.
+        let start_len = order.len();
+        order.push(root);
+        placed[root] = true;
+        let mut head = start_len;
+        while head < order.len() {
+            let v = order[head];
+            head += 1;
+            nbrs.clear();
+            nbrs.extend(g.neighbors(v).iter().copied().filter(|&w| !placed[w]));
+            nbrs.sort_unstable_by_key(|&w| g.degree(w));
+            for &w in &nbrs {
+                if !placed[w] {
+                    placed[w] = true;
+                    order.push(w);
+                }
+            }
+        }
+        // Reverse this component's segment.
+        order[start_len..].reverse();
+    }
+    Permutation::from_vec(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csc::Triplet;
+
+    fn path_graph(n: usize) -> Adjacency {
+        let mut t = Triplet::new(n);
+        for i in 0..n {
+            t.push(i, i, 1.0);
+            if i + 1 < n {
+                t.push(i + 1, i, 1.0);
+            }
+        }
+        t.assemble().to_adjacency()
+    }
+
+    #[test]
+    fn path_graph_stays_banded() {
+        let g = path_graph(10);
+        let p = reverse_cuthill_mckee(&g);
+        // Bandwidth of the reordered path must remain 1.
+        for v in 0..10 {
+            for &w in g.neighbors(v) {
+                let d = p.new_of(v).abs_diff(p.new_of(w));
+                assert_eq!(d, 1, "edge ({v},{w}) stretched to {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn pseudo_peripheral_of_path_is_an_end() {
+        let g = path_graph(9);
+        let mut work = BfsWork::new(9);
+        let v = pseudo_peripheral(&g, 4, &mut work);
+        assert!(v == 0 || v == 8, "got {v}");
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        // Two disjoint triangles.
+        let mut t = Triplet::new(6);
+        for base in [0, 3] {
+            for i in 0..3 {
+                t.push(base + i, base + i, 1.0);
+                t.push(base + i, base + (i + 1) % 3, 1.0);
+            }
+        }
+        let g = t.assemble().to_adjacency();
+        let p = reverse_cuthill_mckee(&g);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn reduces_bandwidth_of_shuffled_grid() {
+        // Build a 2-D grid, shuffle it, and check RCM restores a small
+        // bandwidth compared to the shuffled labeling.
+        let (nx, ny) = (8, 8);
+        let n = nx * ny;
+        let shuffle = Permutation::from_vec({
+            let mut v: Vec<usize> = (0..n).collect();
+            // Deterministic shuffle.
+            let mut s = 0xDEADBEEFu64;
+            for i in (1..n).rev() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let j = (s % (i as u64 + 1)) as usize;
+                v.swap(i, j);
+            }
+            v
+        });
+        let mut t = Triplet::new(n);
+        let idx = |x: usize, y: usize| shuffle.new_of(y * nx + x);
+        for y in 0..ny {
+            for x in 0..nx {
+                t.push(idx(x, y), idx(x, y), 4.0);
+                if x + 1 < nx {
+                    t.push(idx(x + 1, y), idx(x, y), -1.0);
+                }
+                if y + 1 < ny {
+                    t.push(idx(x, y + 1), idx(x, y), -1.0);
+                }
+            }
+        }
+        let g = t.assemble().to_adjacency();
+        let bandwidth = |p: &Permutation| {
+            let mut bw = 0usize;
+            for v in 0..n {
+                for &w in g.neighbors(v) {
+                    bw = bw.max(p.new_of(v).abs_diff(p.new_of(w)));
+                }
+            }
+            bw
+        };
+        let rcm = reverse_cuthill_mckee(&g);
+        assert!(
+            bandwidth(&rcm) <= 12,
+            "RCM bandwidth {} should be near grid width",
+            bandwidth(&rcm)
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! Supernodal symbolic factorization.
+//!
+//! Computes, for every supernode, the sorted row structure of its frontal
+//! matrix — hence the `(m, k)` pair of every factor-update call, the flop
+//! counts `N_P, N_T, N_S`, and the factor's storage map. This is the
+//! analysis phase that precedes numeric factorization and is reused across
+//! repeated factorizations with the same pattern.
+
+use crate::csc::SymCsc;
+use crate::etree::{elimination_tree, column_counts, EliminationTree, NONE};
+use crate::ordering::{order, OrderingKind};
+use crate::perm::Permutation;
+use crate::supernode::{amalgamate, fundamental_supernodes, AmalgamationOptions, SupernodePartition};
+use mf_dense::{FuFlops, Scalar};
+
+/// Per-supernode symbolic information.
+#[derive(Debug, Clone)]
+pub struct SupernodeInfo {
+    /// First column of the supernode.
+    pub col_start: usize,
+    /// One past the last column (`k = col_end − col_start`).
+    pub col_end: usize,
+    /// Sorted row indices of the front. The first `k` entries are exactly
+    /// `col_start..col_end`; the remaining `m` are the update rows.
+    pub rows: Vec<usize>,
+    /// Parent supernode in the supernodal elimination tree, or [`NONE`].
+    pub parent: usize,
+}
+
+impl SupernodeInfo {
+    /// Pivot-block width `k`.
+    pub fn k(&self) -> usize {
+        self.col_end - self.col_start
+    }
+
+    /// Update-matrix size `m`.
+    pub fn m(&self) -> usize {
+        self.rows.len() - self.k()
+    }
+
+    /// Front order `s = m + k`.
+    pub fn front_size(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Update rows (the last `m` entries of [`Self::rows`]).
+    pub fn update_rows(&self) -> &[usize] {
+        &self.rows[self.k()..]
+    }
+
+    /// Factor-update flop counts for this front.
+    pub fn flops(&self) -> FuFlops {
+        FuFlops::new(self.m(), self.k())
+    }
+}
+
+/// The complete symbolic factorization.
+#[derive(Debug, Clone)]
+pub struct SymbolicFactor {
+    /// Matrix order.
+    pub n: usize,
+    /// Per-supernode structures, in ascending column order.
+    pub supernodes: Vec<SupernodeInfo>,
+    /// Postorder over supernodes (children before parents).
+    pub postorder: Vec<usize>,
+    /// Children lists per supernode (ascending).
+    pub children: Vec<Vec<usize>>,
+    /// Map column → supernode.
+    pub col_to_sn: Vec<usize>,
+}
+
+impl SymbolicFactor {
+    /// Number of supernodes.
+    pub fn num_supernodes(&self) -> usize {
+        self.supernodes.len()
+    }
+
+    /// Nonzeros of `L` (including explicit zeros from amalgamation):
+    /// Σ over supernodes of the panel trapezoid.
+    pub fn factor_nnz(&self) -> usize {
+        self.supernodes
+            .iter()
+            .map(|s| {
+                let k = s.k();
+                let rows = s.front_size();
+                // Column i of the panel holds rows − i entries.
+                (0..k).map(|i| rows - i).sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Total factorization flops (sum of all factor-update operations).
+    pub fn total_flops(&self) -> f64 {
+        self.supernodes.iter().map(|s| s.flops().total()).sum()
+    }
+
+    /// Largest front order `s = m + k`.
+    pub fn max_front(&self) -> usize {
+        self.supernodes.iter().map(|s| s.front_size()).max().unwrap_or(0)
+    }
+
+    /// Peak size (in scalars) of the update-matrix stack under the postorder
+    /// traversal — useful to pre-size arenas and check device memory fits.
+    pub fn update_stack_peak(&self) -> usize {
+        // Simulate the LIFO stack: on visiting a supernode all children
+        // updates are live plus its own front.
+        let mut live = vec![0usize; self.num_supernodes()];
+        let mut peak = 0usize;
+        let mut cur = 0usize;
+        for &s in &self.postorder {
+            let info = &self.supernodes[s];
+            let front = info.front_size() * info.front_size();
+            peak = peak.max(cur + front);
+            // Children updates are consumed by the extend-add into s.
+            for &c in &self.children[s] {
+                cur -= live[c];
+                live[c] = 0;
+            }
+            let upd = info.m() * info.m();
+            live[s] = upd;
+            cur += upd;
+            peak = peak.max(cur + front);
+        }
+        peak
+    }
+}
+
+/// Compute the supernodal symbolic factorization given a partition.
+pub fn symbolic_factor<T: Scalar>(
+    a: &SymCsc<T>,
+    etree: &EliminationTree,
+    part: &SupernodePartition,
+) -> SymbolicFactor {
+    let n = a.order();
+    let nsn = part.len();
+    let sn_parent = part.supernode_etree(etree);
+    let col_to_sn = part.col_to_sn();
+
+    // Children lists + supernode postorder (children before parents).
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); nsn];
+    let mut roots = Vec::new();
+    for s in 0..nsn {
+        match sn_parent[s] {
+            NONE => roots.push(s),
+            p => children[p].push(s),
+        }
+    }
+    let mut postorder = Vec::with_capacity(nsn);
+    let mut stack: Vec<(usize, bool)> = roots.iter().rev().map(|&r| (r, false)).collect();
+    while let Some((s, expanded)) = stack.pop() {
+        if expanded {
+            postorder.push(s);
+        } else {
+            stack.push((s, true));
+            for &c in children[s].iter().rev() {
+                stack.push((c, false));
+            }
+        }
+    }
+    assert_eq!(postorder.len(), nsn, "supernodal forest must cover all supernodes");
+
+    // Row structures, bottom-up.
+    let mut rows_of: Vec<Vec<usize>> = vec![Vec::new(); nsn];
+    let mut mark = vec![usize::MAX; n];
+    for &s in &postorder {
+        let c0 = part.starts[s];
+        let c1 = part.starts[s + 1];
+        let mut rows: Vec<usize> = Vec::new();
+        // Pivot rows first (always present).
+        for c in c0..c1 {
+            mark[c] = s;
+        }
+        // Pattern of A in the supernode's columns, below c0.
+        for c in c0..c1 {
+            for &i in a.col_rows(c) {
+                if i >= c1 && mark[i] != s {
+                    mark[i] = s;
+                    rows.push(i);
+                }
+            }
+        }
+        // Children update rows (all ≥ c0 by the etree parent property).
+        for &ch in &children[s] {
+            let chk = part.width(ch);
+            for &i in &rows_of[ch][chk..] {
+                debug_assert!(i >= c0);
+                if i >= c1 && mark[i] != s {
+                    mark[i] = s;
+                    rows.push(i);
+                }
+            }
+        }
+        rows.sort_unstable();
+        let mut full = Vec::with_capacity(c1 - c0 + rows.len());
+        full.extend(c0..c1);
+        full.extend(rows);
+        rows_of[s] = full;
+    }
+
+    let supernodes: Vec<SupernodeInfo> = (0..nsn)
+        .map(|s| SupernodeInfo {
+            col_start: part.starts[s],
+            col_end: part.starts[s + 1],
+            rows: std::mem::take(&mut rows_of[s]),
+            parent: sn_parent[s],
+        })
+        .collect();
+
+    SymbolicFactor { n, supernodes, postorder, children, col_to_sn }
+}
+
+/// Result of the full analysis pipeline.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Fill-reducing permutation applied (`perm[new] = old`).
+    pub perm: Permutation,
+    /// Permuted matrix `P·A·Pᵀ`.
+    pub permuted: SymCscF64Holder,
+    /// Symbolic factorization of the permuted matrix.
+    pub symbolic: SymbolicFactor,
+}
+
+/// Holder newtype so `Analysis` stays scalar-agnostic at the API boundary
+/// (the numeric phase may cast to `f32` for GPU policies).
+#[derive(Debug, Clone)]
+pub struct SymCscF64Holder(pub SymCsc<f64>);
+
+/// One-call analysis: order, permute, etree, column counts, fundamental
+/// supernodes, relaxed amalgamation, symbolic factorization.
+pub fn analyze(
+    a: &SymCsc<f64>,
+    ordering: OrderingKind,
+    amalg: Option<&AmalgamationOptions>,
+) -> Analysis {
+    let perm = order(a, ordering);
+    let pa = perm.permute_sym(a);
+    let et = elimination_tree(&pa);
+    let cc = column_counts(&pa, &et);
+    let fund = fundamental_supernodes(&et, &cc);
+    let part = match amalg {
+        Some(opts) => amalgamate(&fund, &et, &cc, opts),
+        None => fund,
+    };
+    let symbolic = symbolic_factor(&pa, &et, &part);
+    Analysis { perm, permuted: SymCscF64Holder(pa), symbolic }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csc::Triplet;
+
+    fn tridiag(n: usize) -> SymCsc<f64> {
+        let mut t = Triplet::new(n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i + 1 < n {
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        t.assemble()
+    }
+
+    fn grid2d(nx: usize, ny: usize) -> SymCsc<f64> {
+        let n = nx * ny;
+        let mut t = Triplet::new(n);
+        let idx = |x: usize, y: usize| y * nx + x;
+        for y in 0..ny {
+            for x in 0..nx {
+                t.push(idx(x, y), idx(x, y), 4.0);
+                if x + 1 < nx {
+                    t.push(idx(x + 1, y), idx(x, y), -1.0);
+                }
+                if y + 1 < ny {
+                    t.push(idx(x, y + 1), idx(x, y), -1.0);
+                }
+            }
+        }
+        t.assemble()
+    }
+
+    fn symbolic_of(a: &SymCsc<f64>) -> SymbolicFactor {
+        let et = elimination_tree(a);
+        let cc = column_counts(a, &et);
+        let part = fundamental_supernodes(&et, &cc);
+        symbolic_factor(a, &et, &part)
+    }
+
+    #[test]
+    fn tridiagonal_structure() {
+        let a = tridiag(6);
+        let sym = symbolic_of(&a);
+        // Factor of a tridiagonal matrix is bidiagonal: nnz = 2n−1.
+        assert_eq!(sym.factor_nnz(), 11);
+        // Every front: k columns with one update row except the root.
+        for (idx, s) in sym.supernodes.iter().enumerate() {
+            if s.parent == NONE {
+                assert_eq!(s.m(), 0, "root supernode {idx} must have m = 0");
+            } else {
+                assert_eq!(s.m(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_sorted_and_prefixed_by_pivots() {
+        let a = grid2d(7, 6);
+        let analysis = analyze(&a, OrderingKind::NestedDissection, None);
+        for s in &analysis.symbolic.supernodes {
+            let k = s.k();
+            for (i, c) in (s.col_start..s.col_end).enumerate() {
+                assert_eq!(s.rows[i], c);
+            }
+            for w in s.rows[k..].windows(2) {
+                assert!(w[0] < w[1], "update rows must be strictly increasing");
+            }
+            if let Some(&first) = s.rows[k..].first() {
+                assert!(first >= s.col_end);
+            }
+        }
+    }
+
+    #[test]
+    fn factor_nnz_matches_column_counts_without_amalgamation() {
+        // With fundamental supernodes (no relaxation), the supernodal factor
+        // nnz equals Σ column counts exactly.
+        let a = grid2d(8, 8);
+        let et = elimination_tree(&a);
+        let cc = column_counts(&a, &et);
+        let part = fundamental_supernodes(&et, &cc);
+        let sym = symbolic_factor(&a, &et, &part);
+        let cc_total: usize = cc.iter().sum();
+        assert_eq!(sym.factor_nnz(), cc_total);
+    }
+
+    #[test]
+    fn first_update_row_lands_in_parent() {
+        let a = grid2d(9, 9);
+        let sym = symbolic_of(&a);
+        for s in &sym.supernodes {
+            if s.parent != NONE {
+                let first = s.update_rows()[0];
+                let p = &sym.supernodes[s.parent];
+                assert!(
+                    first >= p.col_start && first < p.col_end,
+                    "first update row {first} outside parent cols {}..{}",
+                    p.col_start,
+                    p.col_end
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_rows_subset_of_parent_front() {
+        let a = grid2d(10, 7);
+        let sym = symbolic_of(&a);
+        for s in &sym.supernodes {
+            if s.parent == NONE {
+                continue;
+            }
+            let p = &sym.supernodes[s.parent];
+            for &r in s.update_rows() {
+                assert!(
+                    p.rows.binary_search(&r).is_ok(),
+                    "update row {r} of supernode missing from parent front"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn amalgamation_only_adds_nnz() {
+        let a = grid2d(12, 12);
+        let et = elimination_tree(&a);
+        let cc = column_counts(&a, &et);
+        let fund = fundamental_supernodes(&et, &cc);
+        let sym_f = symbolic_factor(&a, &et, &fund);
+        let am = amalgamate(&fund, &et, &cc, &AmalgamationOptions::default());
+        let sym_a = symbolic_factor(&a, &et, &am);
+        assert!(sym_a.num_supernodes() <= sym_f.num_supernodes());
+        assert!(sym_a.factor_nnz() >= sym_f.factor_nnz());
+        // Flops can only grow with explicit zeros.
+        assert!(sym_a.total_flops() >= sym_f.total_flops());
+    }
+
+    #[test]
+    fn update_stack_peak_positive_and_bounded() {
+        let a = grid2d(10, 10);
+        let sym = symbolic_of(&a);
+        let peak = sym.update_stack_peak();
+        let max_front = sym.max_front();
+        assert!(peak >= max_front * max_front);
+        // Crude upper bound: sum of all update sizes + biggest front.
+        let total: usize = sym.supernodes.iter().map(|s| s.m() * s.m()).sum();
+        assert!(peak <= total + max_front * max_front);
+    }
+
+    #[test]
+    fn postorder_covers_children_first() {
+        let a = grid2d(11, 5);
+        let sym = symbolic_of(&a);
+        let mut rank = vec![0usize; sym.num_supernodes()];
+        for (r, &s) in sym.postorder.iter().enumerate() {
+            rank[s] = r;
+        }
+        for (s, info) in sym.supernodes.iter().enumerate() {
+            if info.parent != NONE {
+                assert!(rank[s] < rank[info.parent]);
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) over the core invariants:
+//! random sparse SPD systems must factor and solve correctly under any
+//! policy/ordering combination; dense kernels must match their references
+//! on arbitrary shapes; permutations must compose lawfully.
+
+use gpu_multifrontal::core::{FactorOptions, PolicySelector};
+use gpu_multifrontal::dense::{
+    gemm, gemm_ref, potrf, syrk_lower, syrk_ref, trsm_right_lower_trans, DenseMat, Transpose,
+};
+use gpu_multifrontal::matgen::random_spd_sparse;
+use gpu_multifrontal::prelude::*;
+use gpu_multifrontal::sparse::{AmalgamationOptions, Permutation};
+use proptest::prelude::*;
+
+fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::P1),
+        Just(PolicyKind::P2),
+        Just(PolicyKind::P3),
+        Just(PolicyKind::P4),
+    ]
+}
+
+fn ordering_strategy() -> impl Strategy<Value = OrderingKind> {
+    prop_oneof![
+        Just(OrderingKind::Natural),
+        Just(OrderingKind::Rcm),
+        Just(OrderingKind::MinimumDegree),
+        Just(OrderingKind::NestedDissection),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random sparse SPD system solves to refinement accuracy under any
+    /// (policy, ordering) pair.
+    #[test]
+    fn random_spd_systems_solve(
+        n in 10usize..160,
+        density in 2usize..10,
+        seed in 0u64..1000,
+        policy in policy_strategy(),
+        ordering in ordering_strategy(),
+    ) {
+        let a = random_spd_sparse(n, density, seed);
+        let mut machine = Machine::paper_node();
+        let opts = SolverOptions {
+            ordering,
+            amalgamation: Some(AmalgamationOptions::default()),
+            factor: FactorOptions { selector: PolicySelector::Fixed(policy), ..Default::default() },
+            precision: Precision::F32,
+        };
+        let solver = SpdSolver::new(&a, &mut machine, &opts).expect("diag-dominant ⇒ SPD");
+        let (xtrue, b) = gpu_multifrontal::matgen::rhs_for_solution(&a, seed ^ 0xABCD);
+        let sol = solver.solve_refined(&b, 6, 1e-12);
+        let err = sol.x.iter().zip(&xtrue).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
+        let scale = xtrue.iter().map(|v| v.abs()).fold(0.0f64, f64::max).max(1.0);
+        prop_assert!(err < 1e-6 * scale, "forward error {err:.3e}");
+    }
+
+    /// Factor nnz and simulated time are invariant to which policy computes
+    /// them (structure is policy-independent; time differs, structure not).
+    #[test]
+    fn structure_is_policy_independent(
+        n in 20usize..100,
+        seed in 0u64..100,
+        p1 in policy_strategy(),
+        p2 in policy_strategy(),
+    ) {
+        let a = random_spd_sparse(n, 5, seed);
+        let mk = |p: PolicyKind| {
+            let mut machine = Machine::paper_node();
+            let opts = SolverOptions {
+                ordering: OrderingKind::NestedDissection,
+                amalgamation: None,
+                factor: FactorOptions { selector: PolicySelector::Fixed(p), ..Default::default() },
+                precision: Precision::F32,
+            };
+            SpdSolver::new(&a, &mut machine, &opts).unwrap().factor_nnz()
+        };
+        prop_assert_eq!(mk(p1), mk(p2));
+    }
+
+    /// Dense gemm matches the naive reference for arbitrary shapes and
+    /// transposes.
+    #[test]
+    fn gemm_matches_reference(
+        m in 1usize..24,
+        n in 1usize..24,
+        kk in 0usize..24,
+        ta in any::<bool>(),
+        tb in any::<bool>(),
+        seed in 0u64..50,
+    ) {
+        let (ta, tb) = (
+            if ta { Transpose::Yes } else { Transpose::No },
+            if tb { Transpose::Yes } else { Transpose::No },
+        );
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut rnd = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let (ar, ac) = if ta == Transpose::No { (m, kk) } else { (kk, m) };
+        let (br, bc) = if tb == Transpose::No { (kk, n) } else { (n, kk) };
+        let a = DenseMat::<f64>::from_fn(ar.max(1), ac.max(1), |_, _| rnd());
+        let b = DenseMat::<f64>::from_fn(br.max(1), bc.max(1), |_, _| rnd());
+        let c0 = DenseMat::<f64>::from_fn(m, n, |_, _| rnd());
+        let mut c = c0.clone();
+        gemm(ta, tb, m, n, kk, 1.5, a.as_slice(), ar.max(1), b.as_slice(), br.max(1), -0.5, c.as_mut_slice(), m);
+        let mut cref = c0.clone();
+        gemm_ref(ta, tb, m, n, kk, 1.5, &a, &b, -0.5, &mut cref);
+        prop_assert!(c.max_abs_diff(&cref) < 1e-10);
+    }
+
+    /// syrk matches its reference and never touches the upper triangle.
+    #[test]
+    fn syrk_matches_reference(n in 1usize..32, k in 0usize..32, seed in 0u64..50) {
+        let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+        let mut rnd = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a = DenseMat::<f64>::from_fn(n, k.max(1), |_, _| rnd());
+        let c0 = DenseMat::<f64>::from_fn(n, n, |_, _| rnd());
+        let mut c = c0.clone();
+        syrk_lower(n, k, -1.0, a.as_slice(), n, 1.0, c.as_mut_slice(), n);
+        let mut cref = c0.clone();
+        syrk_ref(n, k, -1.0, &a, 1.0, &mut cref);
+        for j in 0..n {
+            for i in 0..n {
+                if i >= j {
+                    prop_assert!((c[(i, j)] - cref[(i, j)]).abs() < 1e-10);
+                } else {
+                    prop_assert_eq!(c[(i, j)], c0[(i, j)]);
+                }
+            }
+        }
+    }
+
+    /// potrf ∘ trsm reconstructs random SPD blocks.
+    #[test]
+    fn potrf_trsm_roundtrip(n in 1usize..40, m in 1usize..24, seed in 0u64..50) {
+        let spd = gpu_multifrontal::dense::matrix::random_spd::<f64>(n, seed);
+        let mut l = spd.clone();
+        potrf(n, l.as_mut_slice(), n).unwrap();
+        l.zero_upper();
+        let mut s = seed | 1;
+        let mut rnd = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let b0 = DenseMat::<f64>::from_fn(m, n, |_, _| rnd());
+        let mut x = b0.clone();
+        trsm_right_lower_trans(m, n, l.as_slice(), n, x.as_mut_slice(), m);
+        prop_assert!(x.matmul(&l.transpose()).max_abs_diff(&b0) < 1e-7 * (n as f64));
+    }
+
+    /// Permutation composition and inversion laws.
+    #[test]
+    fn permutation_laws(n in 1usize..64, seed in 0u64..100) {
+        let mut v: Vec<usize> = (0..n).collect();
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for i in (1..n).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            let j = (s % (i as u64 + 1)) as usize;
+            v.swap(i, j);
+        }
+        let p = Permutation::from_vec(v);
+        let q = p.inverse();
+        // p ∘ p⁻¹ = id in both orders.
+        for i in 0..n {
+            prop_assert_eq!(p.old_of(q.old_of(i)) , i);
+            prop_assert_eq!(q.old_of(p.old_of(i)) , i);
+        }
+        let x: Vec<u32> = (0..n as u32).collect();
+        prop_assert_eq!(p.unpermute_vec(&p.permute_vec(&x)), x);
+    }
+}
