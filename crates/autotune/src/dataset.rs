@@ -188,15 +188,16 @@ mod tests {
 
     #[test]
     fn split_partitions_all_points() {
-        let d = Dataset {
-            points: (0..100).map(|i| point(i, i, [1.0, 2.0, 3.0, 4.0])).collect(),
-        };
+        let d = Dataset { points: (0..100).map(|i| point(i, i, [1.0, 2.0, 3.0, 4.0])).collect() };
         let (tr, te) = d.split(0.8, 7);
         assert_eq!(tr.len(), 80);
         assert_eq!(te.len(), 20);
         // Deterministic.
         let (tr2, _) = d.split(0.8, 7);
-        assert_eq!(tr.points.iter().map(|p| p.m).collect::<Vec<_>>(), tr2.points.iter().map(|p| p.m).collect::<Vec<_>>());
+        assert_eq!(
+            tr.points.iter().map(|p| p.m).collect::<Vec<_>>(),
+            tr2.points.iter().map(|p| p.m).collect::<Vec<_>>()
+        );
     }
 
     #[test]

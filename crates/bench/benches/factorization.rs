@@ -2,9 +2,7 @@
 //! clock) and of the timing-only policy estimator used by the map figures.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mf_core::{
-    estimate_fu_time, factor_permuted, FactorOptions, PolicyKind, PolicySelector,
-};
+use mf_core::{estimate_fu_time, factor_permuted, FactorOptions, PolicyKind, PolicySelector};
 use mf_gpusim::Machine;
 use mf_matgen::{laplacian_3d, Stencil};
 use mf_sparse::symbolic::analyze;
@@ -18,27 +16,15 @@ fn bench_factor(c: &mut Criterion) {
             analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
         let a32: SymCsc<f32> = analysis.permuted.0.cast();
         for p in [PolicyKind::P1, PolicyKind::P4] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{p}"), nx * nx * nx),
-                &p,
-                |b, &p| {
-                    b.iter(|| {
-                        let mut machine = Machine::paper_node();
-                        let opts = FactorOptions {
-                            selector: PolicySelector::Fixed(p),
-                            ..Default::default()
-                        };
-                        factor_permuted(
-                            &a32,
-                            &analysis.symbolic,
-                            &analysis.perm,
-                            &mut machine,
-                            &opts,
-                        )
+            g.bench_with_input(BenchmarkId::new(format!("{p}"), nx * nx * nx), &p, |b, &p| {
+                b.iter(|| {
+                    let mut machine = Machine::paper_node();
+                    let opts =
+                        FactorOptions { selector: PolicySelector::Fixed(p), ..Default::default() };
+                    factor_permuted(&a32, &analysis.symbolic, &analysis.perm, &mut machine, &opts)
                         .unwrap()
-                    })
-                },
-            );
+                })
+            });
         }
     }
     g.finish();

@@ -2,11 +2,9 @@
 //! supernode detection, symbolic factorization.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mf_sparse::symbolic::analyze;
-use mf_sparse::{
-    column_counts, elimination_tree, order, AmalgamationOptions, OrderingKind,
-};
 use mf_matgen::{laplacian_3d, Stencil};
+use mf_sparse::symbolic::analyze;
+use mf_sparse::{column_counts, elimination_tree, order, AmalgamationOptions, OrderingKind};
 
 fn bench_orderings(c: &mut Criterion) {
     let a = laplacian_3d(16, 16, 16, Stencil::Faces);
@@ -32,7 +30,9 @@ fn bench_etree_and_counts(c: &mut Criterion) {
 fn bench_full_analysis(c: &mut Criterion) {
     let a = laplacian_3d(14, 14, 14, Stencil::Full);
     c.bench_function("full_analysis_nd_amalgamated", |b| {
-        b.iter(|| analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default())))
+        b.iter(|| {
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+        })
     });
 }
 

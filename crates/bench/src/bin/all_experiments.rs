@@ -1,9 +1,12 @@
 //! Runs every experiment in sequence, sharing one suite build.
+
+type ExpFn = fn(&mf_bench::ExpConfig, &mut Option<mf_bench::SuiteData>) -> mf_bench::Report;
+
 fn main() {
     let cfg = mf_bench::ExpConfig::from_env();
     let mut cache = None;
     use mf_bench::experiments as e;
-    let funcs: Vec<(&str, fn(&mf_bench::ExpConfig, &mut Option<mf_bench::SuiteData>) -> mf_bench::Report)> = vec![
+    let funcs: Vec<(&str, ExpFn)> = vec![
         ("setup", e::exp_setup),
         ("fig2", e::exp_fig2),
         ("table3", e::exp_table3),

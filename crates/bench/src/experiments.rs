@@ -51,7 +51,11 @@ pub fn exp_setup(cfg: &ExpConfig, cache: &mut Option<SuiteData>) -> Report {
     let cpu = xeon_5160_core();
     r.section("Table I analogue — simulated device");
     r.line(&format!("GPU: {}", gpu.name));
-    r.line(&format!("  peak SP {:.0} GF/s, peak DP {:.0} GF/s", gpu.peak_sp / 1e9, gpu.peak_dp / 1e9));
+    r.line(&format!(
+        "  peak SP {:.0} GF/s, peak DP {:.0} GF/s",
+        gpu.peak_sp / 1e9,
+        gpu.peak_dp / 1e9
+    ));
     r.line(&format!("  memory {} GB, tile {}", gpu.mem_bytes >> 30, gpu.tile));
     r.line(&format!(
         "  PCIe: pageable {:.1} GB/s (paper's β ≈ 1.4), pinned {:.1} GB/s, latency {:.0} µs",
@@ -443,10 +447,7 @@ pub fn exp_fig78(_cfg: &ExpConfig, _cache: &mut Option<SuiteData>) -> Report {
         }
     }
     r.table(&["ops", "CPU", "GPU w/ copy", "GPU w/o copy"], &rows);
-    r.line(&format!(
-        "transition w/o copy ≈ {:.1e} (paper ~1.5e5)",
-        cross_wo.unwrap_or(f64::NAN)
-    ));
+    r.line(&format!("transition w/o copy ≈ {:.1e} (paper ~1.5e5)", cross_wo.unwrap_or(f64::NAN)));
     // The ambiguous with-copy band: winner depends on aspect ratio.
     let ops = 3.0e6;
     let t_cpu = cpu.kernels.syrk.time(ops);
@@ -524,9 +525,7 @@ pub fn exp_fig1011(_cfg: &ExpConfig, _cache: &mut Option<SuiteData>) -> Report {
             .map(|&p| estimate_fu_time(&mut machine, m, k, p, 64, false))
             .collect();
         let actual_ops = FuFlops::new(m, k).total();
-        let best = PolicyKind::from_index(
-            (0..4).min_by(|&a, &b| t[a].total_cmp(&t[b])).unwrap(),
-        );
+        let best = PolicyKind::from_index((0..4).min_by(|&a, &b| t[a].total_cmp(&t[b])).unwrap());
         if last_best != Some(best) {
             best_switches.push((actual_ops, best));
             last_best = Some(best);
@@ -544,10 +543,7 @@ pub fn exp_fig1011(_cfg: &ExpConfig, _cache: &mut Option<SuiteData>) -> Report {
             ]);
         }
     }
-    r.table(
-        &["ops", "P1 GF", "P2 GF", "P3 GF", "P4 GF", "×P2", "×P3", "×P4"],
-        &rows,
-    );
+    r.table(&["ops", "P1 GF", "P2 GF", "P3 GF", "P4 GF", "×P2", "×P3", "×P4"], &rows);
     r.section("best-policy transitions along the sweep (basis of the baseline hybrid)");
     for (ops, p) in &best_switches {
         r.line(&format!("  {p} from ≈ {ops:.2e} ops"));
@@ -653,9 +649,8 @@ pub fn exp_table7(cfg: &ExpConfig, cache: &mut Option<SuiteData>) -> Report {
         let mut fit_machine = Machine::paper_node();
         let fitted = fitted_baseline(&mut fit_machine);
         let baseline = m.run_with(PolicySelector::Baseline(fitted), false).total_time;
-        let baseline_paper_thr = m
-            .run_with(PolicySelector::Baseline(BaselineThresholds::default()), false)
-            .total_time;
+        let baseline_paper_thr =
+            m.run_with(PolicySelector::Baseline(BaselineThresholds::default()), false).total_time;
 
         // 4-thread CPU: list schedule of P1 per-supernode durations.
         let durations: Vec<f64> = m.stats[0].records.iter().map(|x| x.total).collect();
@@ -684,12 +679,12 @@ pub fn exp_table7(cfg: &ExpConfig, cache: &mut Option<SuiteData>) -> Report {
             let runs = [&m.stats[0], &m.stats[1], &m.stats[2], &p4co];
             let ds = mf_autotune::Dataset::from_policy_runs(&runs);
             let co_model = train(&ds, &TrainOptions { iterations: 400, ..Default::default() });
-            vec![m.run_with(PolicySelector::Model(co_model.clone()), true), {
+            vec![
+                m.run_with(PolicySelector::Model(co_model.clone()), true),
                 // 2-GPU: schedule the copy-optimized model durations on two
                 // GPU-equipped workers.
-                let st = m.run_with(PolicySelector::Model(co_model), true);
-                st
-            }]
+                m.run_with(PolicySelector::Model(co_model), true),
+            ]
         };
         let co_1gpu = co_stats[0].total_time;
         let mut d2 = vec![0.0; nsn];
@@ -722,8 +717,17 @@ pub fn exp_table7(cfg: &ExpConfig, cache: &mut Option<SuiteData>) -> Report {
     }
     r.table(
         &[
-            "matrix", "P2", "P3", "P4", "Ideal", "Model", "Baseline", "Base(paper-thr)",
-            "4-Thread", "CO-1GPU", "CO-2GPU",
+            "matrix",
+            "P2",
+            "P3",
+            "P4",
+            "Ideal",
+            "Model",
+            "Baseline",
+            "Base(paper-thr)",
+            "4-Thread",
+            "CO-1GPU",
+            "CO-2GPU",
         ],
         &rows,
     );
@@ -861,7 +865,8 @@ pub fn exp_ablations(cfg: &ExpConfig, cache: &mut Option<SuiteData>) -> Report {
     r.section("supernode amalgamation on/off");
     {
         let a = &m.a;
-        let plain = mf_sparse::symbolic::analyze(a, mf_sparse::OrderingKind::NestedDissection, None);
+        let plain =
+            mf_sparse::symbolic::analyze(a, mf_sparse::OrderingKind::NestedDissection, None);
         let amal = &m.analysis;
         r.line(&format!(
             "supernodes: {} (fundamental) → {} (amalgamated); factor nnz {} → {}",

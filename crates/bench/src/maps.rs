@@ -28,8 +28,7 @@ impl TimeGrid {
             for (ik, entry) in row.iter_mut().enumerate() {
                 let k = (ik * cell + cell / 2).max(1);
                 for p in PolicyKind::ALL {
-                    entry[p.index()] =
-                        estimate_fu_time(machine, m, k, p, 64, copy_optimized);
+                    entry[p.index()] = estimate_fu_time(machine, m, k, p, 64, copy_optimized);
                 }
             }
         }
@@ -91,12 +90,7 @@ impl TimeGrid {
         self.times
             .iter()
             .zip(map)
-            .map(|(trow, mrow)| {
-                trow.iter()
-                    .zip(mrow)
-                    .map(|(t, p)| t[0] / t[p.index()])
-                    .collect()
-            })
+            .map(|(trow, mrow)| trow.iter().zip(mrow).map(|(t, p)| t[0] / t[p.index()]).collect())
             .collect()
     }
 

@@ -5,8 +5,8 @@
 use crate::config::ExpConfig;
 use mf_autotune::{train, Dataset, TrainOptions};
 use mf_core::{
-    factor_permuted, BaselineThresholds, FactorOptions, FactorStats, LinearPolicyModel,
-    PolicyKind, PolicySelector,
+    factor_permuted, BaselineThresholds, FactorOptions, FactorStats, LinearPolicyModel, PolicyKind,
+    PolicySelector,
 };
 use mf_gpusim::Machine;
 use mf_matgen::paper::{paper_suite, PaperMatrix};
@@ -43,12 +43,8 @@ impl MatrixRuns {
     pub fn run_with(&self, selector: PolicySelector, copy_optimized: bool) -> FactorStats {
         let mut machine = Machine::paper_node();
         let a32: SymCsc<f32> = self.analysis.permuted.0.cast();
-        let opts = FactorOptions {
-            selector,
-            copy_optimized,
-            record_stats: true,
-            ..Default::default()
-        };
+        let opts =
+            FactorOptions { selector, copy_optimized, record_stats: true, ..Default::default() };
         let (_, stats) = factor_permuted(
             &a32,
             &self.analysis.symbolic,
@@ -119,15 +115,12 @@ impl SuiteData {
             let analysis =
                 analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
             let stats = run_all_policies(&analysis);
-            let dataset =
-                Dataset::from_policy_runs(&[&stats[0], &stats[1], &stats[2], &stats[3]]);
+            let dataset = Dataset::from_policy_runs(&[&stats[0], &stats[1], &stats[2], &stats[3]]);
             matrices.push(MatrixRuns { which: pm, a, analysis, stats, dataset });
         }
         let merged = Dataset::merge(matrices.iter().map(|m| m.dataset.clone()));
-        let train_opts = TrainOptions {
-            iterations: if cfg.quick { 400 } else { 1200 },
-            ..Default::default()
-        };
+        let train_opts =
+            TrainOptions { iterations: if cfg.quick { 400 } else { 1200 }, ..Default::default() };
         let model = train(&merged, &train_opts);
         SuiteData { matrices, merged, model }
     }

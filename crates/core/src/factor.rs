@@ -84,7 +84,10 @@ impl std::fmt::Display for FactorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FactorError::NotPositiveDefinite { column } => {
-                write!(f, "matrix is not positive definite (pivot failure at permuted column {column})")
+                write!(
+                    f,
+                    "matrix is not positive definite (pivot failure at permuted column {column})"
+                )
             }
         }
     }
@@ -162,7 +165,8 @@ pub fn factor_permuted<T: Scalar>(
             .collect();
         let mut front = assemble_front(a, info, &children, &mut machine.host);
         drop(children);
-        let t_assemble_records = if opts.record_stats { machine.take_records() } else { Vec::new() };
+        let t_assemble_records =
+            if opts.record_stats { machine.take_records() } else { Vec::new() };
 
         let policy = opts.selector.choose(sn, m, k);
         let t0 = machine.host.now();
@@ -209,10 +213,7 @@ pub fn factor_permuted<T: Scalar>(
 
     stats.total_time = machine.elapsed();
     machine.set_recording(false);
-    Ok((
-        CholeskyFactor { symbolic: symbolic.clone(), perm: perm.clone(), panels },
-        stats,
-    ))
+    Ok((CholeskyFactor { symbolic: symbolic.clone(), perm: perm.clone(), panels }, stats))
 }
 
 #[cfg(test)]
@@ -228,7 +229,8 @@ mod tests {
         ny: usize,
     ) -> (CholeskyFactor<f64>, FactorStats, SymCsc<f64>) {
         let a = laplacian_2d(nx, ny, Stencil::Faces);
-        let analysis = analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        let analysis =
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
         let mut machine = Machine::paper_node();
         let opts = FactorOptions { selector, record_stats: true, ..Default::default() };
         let (f, s) = factor_permuted(
@@ -294,7 +296,8 @@ mod tests {
     #[test]
     fn baseline_hybrid_uses_multiple_policies_on_3d() {
         let a = laplacian_3d(9, 9, 9, Stencil::Faces);
-        let analysis = analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        let analysis =
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
         let mut machine = Machine::paper_node();
         let opts = FactorOptions {
             selector: PolicySelector::Baseline(BaselineThresholds::default()),

@@ -80,10 +80,7 @@ impl LinearPolicyModel {
     /// Per-class linear scores for a call (Eq. 5's `x·θ_j`).
     pub fn scores(&self, m: usize, k: usize) -> Vec<f64> {
         let z = self.standardize(&raw_features(m, k));
-        self.theta
-            .iter()
-            .map(|row| row.iter().zip(&z).map(|(a, b)| a * b).sum())
-            .collect()
+        self.theta.iter().map(|row| row.iter().zip(&z).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Predict the best policy for a factor-update of dimensions `(m, k)`.

@@ -67,23 +67,32 @@ pub fn assemble_front<T: Scalar>(
     let k = info.k();
     let mut data = vec![T::ZERO; s * s];
 
-    // Position of each global row in the front (info.rows is sorted only in
-    // its tail; the first k entries are the contiguous pivot columns).
-    let local_of = |row: usize| -> usize {
+    // Positions of global rows in the front: the first k entries of
+    // info.rows are the contiguous pivot columns, the tail is sorted. Every
+    // index list we map (A's column rows, child update rows) is itself
+    // sorted, so a shared cursor into the tail resolves a whole list in one
+    // merge sweep — O(m + s) instead of O(m log s) binary searches.
+    let tail = &info.rows[k..];
+    let merge_local = |t: &mut usize, row: usize| -> usize {
         if row < info.col_end {
             debug_assert!(row >= info.col_start);
             row - info.col_start
         } else {
-            k + info.rows[k..].binary_search(&row).expect("row must be in front structure")
+            while tail[*t] < row {
+                *t += 1;
+            }
+            debug_assert_eq!(tail[*t], row, "row must be in front structure");
+            k + *t
         }
     };
 
     // Scatter A's entries (lower triangle) for the pivot columns.
     let mut scattered = 0usize;
     for (lc, c) in (info.col_start..info.col_end).enumerate() {
+        let mut t = 0usize;
         for (&i, &v) in a.col_rows(c).iter().zip(a.col_vals(c)) {
             debug_assert!(i >= c);
-            let lr = local_of(i);
+            let lr = merge_local(&mut t, i);
             data[lr + lc * s] += v;
             scattered += 1;
         }
@@ -93,9 +102,9 @@ pub fn assemble_front<T: Scalar>(
     let mut extended = 0usize;
     for child in children {
         let m = child.m();
-        // Relative indices: child rows into front-local rows (two-pointer
-        // would also work; binary search keeps it simple and is O(m log s)).
-        let rel: Vec<usize> = child.rows.iter().map(|&r| local_of(r)).collect();
+        // Relative indices: child rows merged into front-local rows.
+        let mut t = 0usize;
+        let rel: Vec<usize> = child.rows.iter().map(|&r| merge_local(&mut t, r)).collect();
         for j in 0..m {
             let cj = rel[j];
             let src = &child.data[j * m..];

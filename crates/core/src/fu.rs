@@ -152,24 +152,14 @@ pub fn estimate_fu_time(
     // amortises growth across thousands of calls; a cold-pool estimate
     // would bias against the policies with large staging footprints).
     {
-        let mut ctx = FuContext {
-            machine,
-            pool: &mut pool,
-            panel_width,
-            copy_optimized,
-            timing_only: true,
-        };
+        let mut ctx =
+            FuContext { machine, pool: &mut pool, panel_width, copy_optimized, timing_only: true };
         execute_fu(&mut front, policy, &mut ctx)
             .expect("timing-only execution cannot fail numerically");
     }
     machine.reset();
-    let mut ctx = FuContext {
-        machine,
-        pool: &mut pool,
-        panel_width,
-        copy_optimized,
-        timing_only: true,
-    };
+    let mut ctx =
+        FuContext { machine, pool: &mut pool, panel_width, copy_optimized, timing_only: true };
     let out = execute_fu(&mut front, policy, &mut ctx)
         .expect("timing-only execution cannot fail numerically");
     let _ = out;
@@ -193,17 +183,6 @@ fn pack_pivot_block<T: Scalar>(front: &Front<T>) -> Vec<T> {
         }
     }
     l1
-}
-
-/// Pack the `m × k` sub-diagonal panel out of the front.
-fn pack_subpanel<T: Scalar>(front: &Front<T>) -> Vec<T> {
-    let (s, k) = (front.s, front.k);
-    let m = s - k;
-    let mut p = vec![T::ZERO; m * k];
-    for j in 0..k {
-        p[j * m..(j + 1) * m].copy_from_slice(&front.data[j * s + k..j * s + s]);
-    }
-    p
 }
 
 fn cpu_potrf<T: Scalar>(
@@ -240,8 +219,12 @@ fn cpu_syrk<T: Scalar>(front: &mut Front<T>, host: &mut HostClock, timing_only: 
         return;
     }
     if !timing_only {
-        let panel = pack_subpanel(front);
-        syrk_lower(m, k, -T::ONE, &panel, m, T::ONE, &mut front.data[k + k * s..], s);
+        // The panel (rows k.., cols 0..k) and the trailing block (rows k..,
+        // cols k..) live in disjoint column ranges of the front, so a split
+        // at column k lets syrk read the panel in place — the engine packs
+        // strided operands itself, no staging copy needed.
+        let (panel_cols, trailing) = front.data.split_at_mut(k * s);
+        syrk_lower(m, k, -T::ONE, &panel_cols[k..], s, T::ONE, &mut trailing[k..], s);
     }
     host.charge_kernel(KernelKind::Syrk, 0, m, k);
 }
@@ -326,7 +309,9 @@ fn apply_update_block<T: Scalar>(
 
 /// Destructure the context into independently borrowable pieces. Panics if
 /// the machine has no GPU (callers check before dispatching GPU policies).
-fn split_ctx<'b>(ctx: &'b mut FuContext<'_>) -> (&'b mut HostClock, &'b mut Gpu, &'b mut PinnedPool) {
+fn split_ctx<'b>(
+    ctx: &'b mut FuContext<'_>,
+) -> (&'b mut HostClock, &'b mut Gpu, &'b mut PinnedPool) {
     let machine = &mut *ctx.machine;
     let host = &mut machine.host;
     let gpu = machine.gpu.as_mut().expect("GPU policy dispatched on a CPU-only machine");
@@ -362,7 +347,17 @@ fn fu_p2<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(),
     if !timing {
         stage_block(front, k, 0, m, k, pool.slot_mut(SLOT_PANEL));
     }
-    gpu.h2d(compute, DevMat::whole(d_l2, m), m, k, pool.slot(SLOT_PANEL), m, true, CopyMode::Async, host);
+    gpu.h2d(
+        compute,
+        DevMat::whole(d_l2, m),
+        m,
+        k,
+        pool.slot(SLOT_PANEL),
+        m,
+        true,
+        CopyMode::Async,
+        host,
+    );
 
     // W = −L₂·L₂ᵀ in block columns, each downloaded while the next computes.
     pool.acquire(SLOT_UPDATE, m * m, host);

@@ -118,10 +118,7 @@ pub fn simulate_tree_schedule(
         let chosen = &order[..width];
         // Task starts when the ready condition holds and all chosen workers
         // are free.
-        let start = chosen
-            .iter()
-            .map(|&w| worker_free[w])
-            .fold(ready_time[sn], f64::max);
+        let start = chosen.iter().map(|&w| worker_free[w]).fold(ready_time[sn], f64::max);
         let dur = match (&moldable, width > 1) {
             (Some(m), true) => durations[sn] / (width as f64).powf(m.efficiency),
             _ => durations[sn],

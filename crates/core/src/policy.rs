@@ -23,7 +23,8 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// All four policies in table order.
-    pub const ALL: [PolicyKind; 4] = [PolicyKind::P1, PolicyKind::P2, PolicyKind::P3, PolicyKind::P4];
+    pub const ALL: [PolicyKind; 4] =
+        [PolicyKind::P1, PolicyKind::P2, PolicyKind::P3, PolicyKind::P4];
 
     /// Index 0..4 (classifier class id).
     pub fn index(self) -> usize {

@@ -6,7 +6,7 @@
 //! columns precede parents); the backward pass walks in reverse.
 
 use crate::factor::CholeskyFactor;
-use mf_dense::{trsm_left_lower_notrans, trsm_left_lower_trans, Scalar};
+use mf_dense::{gemm, trsm_left_lower_notrans, trsm_left_lower_trans, Scalar, Transpose};
 
 impl<T: Scalar> CholeskyFactor<T> {
     /// Solve `A·x = b` (original, unpermuted ordering). `b` is given in the
@@ -26,7 +26,14 @@ impl<T: Scalar> CholeskyFactor<T> {
     }
 
     /// Forward substitution `x ← L⁻¹·x` (permuted ordering).
+    ///
+    /// Each supernode is a diagonal-block `trsm` plus a dense update
+    /// `x[rows] −= L₂·x[c0..c1]`: the update rows are gathered into a
+    /// contiguous scratch vector once, updated with a single `gemm` against
+    /// the stored panel (no per-element index arithmetic in the hot loop),
+    /// and scattered back.
     pub fn forward_in_place(&self, x: &mut [T]) {
+        let mut xu = vec![T::ZERO; self.max_update_size()];
         for &sn in &self.symbolic.postorder {
             let info = &self.symbolic.supernodes[sn];
             let (k, m) = (info.k(), info.m());
@@ -35,42 +42,75 @@ impl<T: Scalar> CholeskyFactor<T> {
             let (c0, c1) = (info.col_start, info.col_end);
             // Diagonal block solve: x[c0..c1] ← L₁⁻¹ x[c0..c1].
             trsm_left_lower_notrans(k, 1, panel, s, &mut x[c0..c1], k);
-            // Update rows: x[r] −= Σ_j L₂[i,j]·x[c0+j].
-            for j in 0..k {
-                let xj = x[c0 + j];
-                if xj == T::ZERO {
-                    continue;
+            if m > 0 {
+                let xu = &mut xu[..m];
+                for (u, &r) in xu.iter_mut().zip(&info.rows[k..]) {
+                    *u = x[r];
                 }
-                let col = &panel[j * s + k..j * s + s];
-                for (i, &lij) in col.iter().enumerate() {
-                    let r = info.rows[k + i];
-                    x[r] -= lij * xj;
+                // xu −= L₂ · x[c0..c1]  (L₂ = rows k..s of the panel).
+                gemm(
+                    Transpose::No,
+                    Transpose::No,
+                    m,
+                    1,
+                    k,
+                    -T::ONE,
+                    &panel[k..],
+                    s,
+                    &x[c0..c1],
+                    k,
+                    T::ONE,
+                    xu,
+                    m,
+                );
+                for (&u, &r) in xu.iter().zip(&info.rows[k..]) {
+                    x[r] = u;
                 }
-                debug_assert_eq!(col.len(), m);
             }
         }
     }
 
-    /// Backward substitution `x ← L⁻ᵀ·x` (permuted ordering).
+    /// Backward substitution `x ← L⁻ᵀ·x` (permuted ordering). Mirrors
+    /// [`CholeskyFactor::forward_in_place`]: gather, one transposed `gemm`,
+    /// diagonal-block `trsm`.
     pub fn backward_in_place(&self, x: &mut [T]) {
+        let mut xu = vec![T::ZERO; self.max_update_size()];
         for &sn in self.symbolic.postorder.iter().rev() {
             let info = &self.symbolic.supernodes[sn];
-            let k = info.k();
+            let (k, m) = (info.k(), info.m());
             let s = info.front_size();
             let panel = &self.panels[sn];
             let (c0, c1) = (info.col_start, info.col_end);
-            // x[c0..c1] −= L₂ᵀ·x[update rows].
-            for j in 0..k {
-                let col = &panel[j * s + k..j * s + s];
-                let mut dot = T::ZERO;
-                for (i, &lij) in col.iter().enumerate() {
-                    dot += lij * x[info.rows[k + i]];
+            if m > 0 {
+                let xu = &mut xu[..m];
+                for (u, &r) in xu.iter_mut().zip(&info.rows[k..]) {
+                    *u = x[r];
                 }
-                x[c0 + j] -= dot;
+                // x[c0..c1] −= L₂ᵀ · x[update rows].
+                gemm(
+                    Transpose::Yes,
+                    Transpose::No,
+                    k,
+                    1,
+                    m,
+                    -T::ONE,
+                    &panel[k..],
+                    s,
+                    xu,
+                    m,
+                    T::ONE,
+                    &mut x[c0..c1],
+                    k,
+                );
             }
             // Diagonal block: x[c0..c1] ← L₁⁻ᵀ x[c0..c1].
             trsm_left_lower_trans(k, 1, panel, s, &mut x[c0..c1], k);
         }
+    }
+
+    /// Largest update-row count over all supernodes (gather scratch size).
+    fn max_update_size(&self) -> usize {
+        self.symbolic.supernodes.iter().map(|i| i.m()).max().unwrap_or(0)
     }
 }
 
@@ -83,7 +123,11 @@ mod tests {
     use mf_sparse::symbolic::analyze;
     use mf_sparse::{AmalgamationOptions, OrderingKind, SymCsc};
 
-    fn solve_with(a: &SymCsc<f64>, selector: PolicySelector, ordering: OrderingKind) -> (Vec<f64>, Vec<f64>) {
+    fn solve_with(
+        a: &SymCsc<f64>,
+        selector: PolicySelector,
+        ordering: OrderingKind,
+    ) -> (Vec<f64>, Vec<f64>) {
         let analysis = analyze(a, ordering, Some(&AmalgamationOptions::default()));
         let mut machine = Machine::paper_node();
         let opts = FactorOptions { selector, ..Default::default() };
@@ -102,7 +146,12 @@ mod tests {
     #[test]
     fn solve_recovers_known_solution_f64() {
         let a = laplacian_2d(13, 11, Stencil::Faces);
-        for ordering in [OrderingKind::Natural, OrderingKind::Rcm, OrderingKind::MinimumDegree, OrderingKind::NestedDissection] {
+        for ordering in [
+            OrderingKind::Natural,
+            OrderingKind::Rcm,
+            OrderingKind::MinimumDegree,
+            OrderingKind::NestedDissection,
+        ] {
             let (x, xtrue) = solve_with(&a, PolicySelector::Fixed(PolicyKind::P1), ordering);
             let err = x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             assert!(err < 1e-8, "{ordering:?}: forward error {err}");
@@ -113,7 +162,8 @@ mod tests {
     fn solve_3d_all_policies() {
         let a = laplacian_3d(6, 6, 6, Stencil::Faces);
         for p in PolicyKind::ALL {
-            let (x, xtrue) = solve_with(&a, PolicySelector::Fixed(p), OrderingKind::NestedDissection);
+            let (x, xtrue) =
+                solve_with(&a, PolicySelector::Fixed(p), OrderingKind::NestedDissection);
             let err = x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             let tol = if p == PolicyKind::P1 { 1e-8 } else { 1e-2 };
             assert!(err < tol, "{p}: forward error {err}");
@@ -123,7 +173,8 @@ mod tests {
     #[test]
     fn residual_small_relative_to_matrix_norm() {
         let a = laplacian_2d(17, 17, Stencil::Full);
-        let (x, _) = solve_with(&a, PolicySelector::Fixed(PolicyKind::P1), OrderingKind::NestedDissection);
+        let (x, _) =
+            solve_with(&a, PolicySelector::Fixed(PolicyKind::P1), OrderingKind::NestedDissection);
         let (_, b) = rhs_for_solution(&a, 42);
         let r = a.residual(&x, &b);
         let rel = r.iter().map(|v| v.abs()).fold(0.0, f64::max) / a.norm_inf();

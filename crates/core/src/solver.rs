@@ -63,7 +63,11 @@ pub struct SpdSolver {
 
 impl SpdSolver {
     /// Analyze and factor `a` on `machine` with the given options.
-    pub fn new(a: &SymCsc<f64>, machine: &mut Machine, opts: &SolverOptions) -> Result<Self, FactorError> {
+    pub fn new(
+        a: &SymCsc<f64>,
+        machine: &mut Machine,
+        opts: &SolverOptions,
+    ) -> Result<Self, FactorError> {
         let analysis = analyze(a, opts.ordering, opts.amalgamation.as_ref());
         Self::from_analysis(a, &analysis, machine, opts)
     }
@@ -187,7 +191,8 @@ mod tests {
     fn f64_solve_is_accurate_without_refinement() {
         let a = laplacian_3d(6, 5, 4, Stencil::Faces);
         let mut machine = Machine::paper_node();
-        let s = SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P1, Precision::F64)).unwrap();
+        let s =
+            SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P1, Precision::F64)).unwrap();
         let (xtrue, b) = rhs_for_solution(&a, 1);
         let x = s.solve(&b);
         let err = x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
@@ -199,7 +204,8 @@ mod tests {
         // The paper's §III-B claim, reproduced with real f32 arithmetic.
         let a = laplacian_3d(7, 6, 5, Stencil::Full);
         let mut machine = Machine::paper_node();
-        let s = SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P3, Precision::F32)).unwrap();
+        let s =
+            SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P3, Precision::F32)).unwrap();
         let (_, b) = rhs_for_solution(&a, 3);
         let refined = s.solve_refined(&b, 5, 1e-14);
         let first = refined.residual_history[0];
@@ -217,11 +223,16 @@ mod tests {
     fn refinement_monotone_until_convergence() {
         let a = elasticity_3d(4, 4, 3);
         let mut machine = Machine::paper_node();
-        let s = SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P4, Precision::F32)).unwrap();
+        let s =
+            SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P4, Precision::F32)).unwrap();
         let (_, b) = rhs_for_solution(&a, 9);
         let refined = s.solve_refined(&b, 6, 1e-15);
         for w in refined.residual_history.windows(2) {
-            assert!(w[1] < w[0] * 1.5, "residual should not blow up: {:?}", refined.residual_history);
+            assert!(
+                w[1] < w[0] * 1.5,
+                "residual should not blow up: {:?}",
+                refined.residual_history
+            );
         }
     }
 
@@ -251,7 +262,8 @@ mod tests {
     fn repeated_solves_reuse_factor() {
         let a = laplacian_3d(5, 5, 5, Stencil::Faces);
         let mut machine = Machine::paper_node();
-        let s = SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P1, Precision::F64)).unwrap();
+        let s =
+            SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P1, Precision::F64)).unwrap();
         for seed in 0..3 {
             let (xtrue, b) = rhs_for_solution(&a, seed);
             let x = s.solve(&b);

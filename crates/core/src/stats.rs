@@ -140,10 +140,34 @@ mod tests {
     fn absorb_buckets_by_component() {
         let mut r = rec(10, 5, 1.0);
         r.absorb(&[
-            ProfileRecord { component: Component::CpuKernel(KernelKind::Potrf), ops: 1.0, bytes: 0, start: 0.0, end: 0.1 },
-            ProfileRecord { component: Component::GpuKernel(KernelKind::Gemm), ops: 1.0, bytes: 0, start: 0.1, end: 0.4 },
-            ProfileRecord { component: Component::CopyH2D, ops: 0.0, bytes: 8, start: 0.0, end: 0.05 },
-            ProfileRecord { component: Component::HostMemop, ops: 0.0, bytes: 8, start: 0.0, end: 0.02 },
+            ProfileRecord {
+                component: Component::CpuKernel(KernelKind::Potrf),
+                ops: 1.0,
+                bytes: 0,
+                start: 0.0,
+                end: 0.1,
+            },
+            ProfileRecord {
+                component: Component::GpuKernel(KernelKind::Gemm),
+                ops: 1.0,
+                bytes: 0,
+                start: 0.1,
+                end: 0.4,
+            },
+            ProfileRecord {
+                component: Component::CopyH2D,
+                ops: 0.0,
+                bytes: 8,
+                start: 0.0,
+                end: 0.05,
+            },
+            ProfileRecord {
+                component: Component::HostMemop,
+                ops: 0.0,
+                bytes: 8,
+                start: 0.0,
+                end: 0.02,
+            },
         ]);
         assert!((r.t_potrf - 0.1).abs() < 1e-12);
         assert!((r.t_syrk - 0.3).abs() < 1e-12);

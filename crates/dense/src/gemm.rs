@@ -1,10 +1,14 @@
 //! General matrix-matrix multiply.
 //!
 //! `gemm` computes `C ← α·op(A)·op(B) + β·C` on column-major buffers with
-//! explicit leading dimensions. Only the transpose combinations actually used
-//! by the solver are specialised hot paths; all four combinations are
-//! supported for completeness and testing.
+//! explicit leading dimensions. All four transpose combinations route
+//! through the packed register-tiled engine (`kernel.rs`) — the packing
+//! stage absorbs the transposes, so there is a single optimised core.
+//! Problems too small to amortise packing fall back to the seed loop nests
+//! in [`crate::naive`].
 
+use crate::kernel::{gemm_engine, PACK_MIN_MADDS};
+use crate::pack::OpView;
 use crate::Scalar;
 
 /// Transpose selector for [`gemm`] operands.
@@ -15,10 +19,6 @@ pub enum Transpose {
     /// Use the transpose of the operand.
     Yes,
 }
-
-/// Cache-block edge for the `k` dimension; keeps the active panel of `A`
-/// within L1/L2 while the inner axpy loops stream `C`.
-const KC: usize = 256;
 
 /// `C ← α·op(A)·op(B) + β·C`.
 ///
@@ -52,70 +52,23 @@ pub fn gemm<T: Scalar>(
     if kk == 0 || alpha == T::ZERO {
         return;
     }
-    match (transa, transb) {
-        (Transpose::No, Transpose::No) => {
-            debug_assert!(lda >= m && a.len() >= (kk - 1) * lda + m);
-            debug_assert!(ldb >= kk && b.len() >= (n - 1) * ldb + kk);
-            // j-l-i loop: inner axpy over contiguous columns of A and C.
-            for j in 0..n {
-                let cj = &mut c[j * ldc..j * ldc + m];
-                for l0 in (0..kk).step_by(KC) {
-                    let l1 = (l0 + KC).min(kk);
-                    for l in l0..l1 {
-                        let blj = alpha * b[l + j * ldb];
-                        if blj == T::ZERO {
-                            continue;
-                        }
-                        let al = &a[l * lda..l * lda + m];
-                        axpy(blj, al, cj);
-                    }
-                }
-            }
-        }
-        (Transpose::No, Transpose::Yes) => {
-            // C += alpha * A * B^T, B stored n × kk.
-            debug_assert!(lda >= m && a.len() >= (kk - 1) * lda + m);
-            debug_assert!(ldb >= n && b.len() >= (kk - 1) * ldb + n);
-            for j in 0..n {
-                let cj = &mut c[j * ldc..j * ldc + m];
-                for l in 0..kk {
-                    let blj = alpha * b[j + l * ldb];
-                    if blj == T::ZERO {
-                        continue;
-                    }
-                    let al = &a[l * lda..l * lda + m];
-                    axpy(blj, al, cj);
-                }
-            }
-        }
-        (Transpose::Yes, Transpose::No) => {
-            // C += alpha * A^T * B, A stored kk × m: dot products down columns.
-            debug_assert!(lda >= kk && a.len() >= (m - 1) * lda + kk);
-            debug_assert!(ldb >= kk && b.len() >= (n - 1) * ldb + kk);
-            for j in 0..n {
-                let bj = &b[j * ldb..j * ldb + kk];
-                for i in 0..m {
-                    let ai = &a[i * lda..i * lda + kk];
-                    let dot: T = ai.iter().zip(bj).map(|(&x, &y)| x * y).sum();
-                    c[i + j * ldc] += alpha * dot;
-                }
-            }
-        }
-        (Transpose::Yes, Transpose::Yes) => {
-            // C += alpha * A^T * B^T — rare; simple loop nest.
-            debug_assert!(lda >= kk && a.len() >= (m - 1) * lda + kk);
-            debug_assert!(ldb >= n && b.len() >= (kk - 1) * ldb + n);
-            for j in 0..n {
-                for i in 0..m {
-                    let mut acc = T::ZERO;
-                    for l in 0..kk {
-                        acc += a[l + i * lda] * b[j + l * ldb];
-                    }
-                    c[i + j * ldc] += alpha * acc;
-                }
-            }
-        }
+    match transa {
+        Transpose::No => debug_assert!(lda >= m && a.len() >= (kk - 1) * lda + m),
+        Transpose::Yes => debug_assert!(lda >= kk && a.len() >= (m - 1) * lda + kk),
     }
+    match transb {
+        Transpose::No => debug_assert!(ldb >= kk && b.len() >= (n - 1) * ldb + kk),
+        Transpose::Yes => debug_assert!(ldb >= n && b.len() >= (kk - 1) * ldb + n),
+    }
+    // Degenerate shapes (dot/axpy-like) and tiny products can't amortise the
+    // packing stage; everything else runs on the register-tiled engine.
+    if m.min(n) < 2 || m * n * kk < PACK_MIN_MADDS {
+        crate::naive::gemm_accum(transa, transb, m, n, kk, alpha, a, lda, b, ldb, c, ldc);
+        return;
+    }
+    let av = OpView { data: a, ld: lda, trans: transa == Transpose::Yes };
+    let bv = OpView { data: b, ld: ldb, trans: transb == Transpose::Yes };
+    gemm_engine(m, n, kk, alpha, av, bv, c, ldc, None);
 }
 
 /// Convenience wrapper for the multifrontal hot path: `C ← C − A·Bᵀ` where
@@ -137,19 +90,29 @@ pub fn gemm_nt<T: Scalar>(
 }
 
 #[inline(always)]
-fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+pub(crate) fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
     for (yi, &xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }
 }
 
-fn scale_cols<T: Scalar>(m: usize, n: usize, beta: T, c: &mut [T], ldc: usize) {
+/// `C[.., 0..n] ← β·C` column by column. The `β` cases are distinguished
+/// once out here, not per element: `β = 0` must overwrite (NaN-safe, BLAS
+/// semantics), so it becomes a `fill`, and the general case is a clean
+/// multiply loop.
+pub(crate) fn scale_cols<T: Scalar>(m: usize, n: usize, beta: T, c: &mut [T], ldc: usize) {
     if beta == T::ONE {
         return;
     }
-    for j in 0..n {
-        for v in &mut c[j * ldc..j * ldc + m] {
-            *v = if beta == T::ZERO { T::ZERO } else { *v * beta };
+    if beta == T::ZERO {
+        for j in 0..n {
+            c[j * ldc..j * ldc + m].fill(T::ZERO);
+        }
+    } else {
+        for j in 0..n {
+            for v in &mut c[j * ldc..j * ldc + m] {
+                *v *= beta;
+            }
         }
     }
 }
@@ -212,21 +175,7 @@ mod tests {
     fn zero_k_only_scales_c() {
         let c0 = mat(4, 4, 9);
         let mut c = c0.clone();
-        gemm(
-            Transpose::No,
-            Transpose::No,
-            4,
-            4,
-            0,
-            1.0,
-            &[],
-            4,
-            &[],
-            4,
-            2.0,
-            c.as_mut_slice(),
-            4,
-        );
+        gemm(Transpose::No, Transpose::No, 4, 4, 0, 1.0, &[], 4, &[], 4, 2.0, c.as_mut_slice(), 4);
         for j in 0..4 {
             for i in 0..4 {
                 assert_eq!(c[(i, j)], 2.0 * c0[(i, j)]);

@@ -15,24 +15,40 @@
 //! BLAS calling convention so the same code paths serve host fronts and the
 //! simulated device.
 //!
-//! The implementations are cache-blocked and written so the inner loops
-//! auto-vectorize (see the Rust Performance Book guidance: tight
-//! slice-indexed loops with hoisted bounds), but they favour clarity and
-//! testability over absolute peak — *measured* speed never feeds the paper's
-//! experiments (simulated time does; see `mf-gpusim`).
+//! All four route their bulk through one packed, register-tiled kernel
+//! engine (`pack.rs` + `kernel.rs`): three-level cache blocking
+//! (`MC × KC × NC`), contiguous panel packing that absorbs the transpose
+//! combinations, and an `MR × NR` micro-kernel whose explicit accumulator
+//! array autovectorizes to FMA chains for both scalar types. The engine can
+//! multithread over disjoint column slabs of `C` ([`set_num_threads`]);
+//! results are bitwise identical for every thread count (see `kernel.rs`).
+//! The seed loop-nest kernels survive in [`naive`] as the small-size path
+//! and the in-build benchmark baseline. *Measured* speed never feeds the
+//! paper's experiments (simulated time does; see `mf-gpusim`).
+
+// The kernels take BLAS-style argument lists (dims, alpha, a, lda, …);
+// bundling them into structs would hide the convention the paper and every
+// BLAS binding use.
+#![allow(clippy::too_many_arguments)]
 
 pub mod matrix;
+pub mod naive;
 pub mod scalar;
 
+mod arena;
 mod gemm;
+mod kernel;
+mod pack;
 mod potrf;
 mod reference;
+mod simd;
 mod syrk;
 mod trsm;
 
 pub use gemm::{gemm, gemm_nt, Transpose};
+pub use kernel::{num_threads, set_num_threads};
 pub use matrix::{ColMajor, DenseMat};
-pub use potrf::{potrf, potrf_unblocked, PotrfError};
+pub use potrf::{potrf, potrf_blocked, potrf_unblocked, PotrfError};
 pub use reference::{gemm_ref, potrf_ref, syrk_ref, trsm_ref};
 pub use scalar::Scalar;
 pub use syrk::syrk_lower;

@@ -199,7 +199,8 @@ mod tests {
 
     #[test]
     fn symmetrize_and_zero_upper() {
-        let mut m = DenseMat::<f64>::from_fn(3, 3, |i, j| if i >= j { (i + j) as f64 } else { 99.0 });
+        let mut m =
+            DenseMat::<f64>::from_fn(3, 3, |i, j| if i >= j { (i + j) as f64 } else { 99.0 });
         m.symmetrize_from_lower();
         assert_eq!(m[(0, 2)], m[(2, 0)]);
         m.zero_upper();

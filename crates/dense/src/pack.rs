@@ -1,0 +1,196 @@
+//! Panel packing for the blocked kernel engine.
+//!
+//! The macro-kernel never touches strided user memory in its inner loops:
+//! before a block of the contraction runs, the active `mc × kc` piece of
+//! `op(A)` is repacked into contiguous `MR`-row slivers and the `kc × nc`
+//! piece of `op(B)` into `NR`-column slivers. Packing absorbs both transpose
+//! flags — every one of the four `gemm` transpose combinations feeds the
+//! same micro-kernel — and zero-pads partial edge slivers so the
+//! micro-kernel always runs at full `MR × NR` width.
+
+use crate::kernel::{MR, NR};
+use crate::Scalar;
+
+/// A read-only view of one `gemm` operand with its transpose flag resolved
+/// at access time: `at(r, c)` is element `(r, c)` of `op(X)`.
+#[derive(Clone, Copy)]
+pub(crate) struct OpView<'a, T> {
+    /// Backing column-major storage.
+    pub data: &'a [T],
+    /// Leading dimension of the storage (not of `op(X)`).
+    pub ld: usize,
+    /// Whether `op(X) = Xᵀ`.
+    pub trans: bool,
+}
+
+impl<T: Scalar> OpView<'_, T> {
+    #[inline(always)]
+    pub fn at(&self, r: usize, c: usize) -> T {
+        if self.trans {
+            self.data[c + r * self.ld]
+        } else {
+            self.data[r + c * self.ld]
+        }
+    }
+}
+
+/// Number of `MR`-row slivers covering `mc` rows.
+#[inline]
+pub(crate) fn slivers_a(mc: usize) -> usize {
+    mc.div_ceil(MR)
+}
+
+/// Number of `NR`-column slivers covering `nc` columns.
+#[inline]
+pub(crate) fn slivers_b(nc: usize) -> usize {
+    nc.div_ceil(NR)
+}
+
+/// Pack the `mc × kc` block of `op(A)` starting at `(row0, col0)` into
+/// `out`, laid out as `slivers_a(mc)` slivers of `kc · MR` elements: within
+/// a sliver, the `MR` rows of depth step `l` are contiguous. Rows past `mc`
+/// in the last sliver are zero-filled.
+pub(crate) fn pack_a<T: Scalar>(
+    a: OpView<'_, T>,
+    row0: usize,
+    col0: usize,
+    mc: usize,
+    kc: usize,
+    out: &mut [T],
+) {
+    debug_assert!(out.len() >= slivers_a(mc) * kc * MR);
+    for (s, sliver) in out.chunks_exact_mut(kc * MR).take(slivers_a(mc)).enumerate() {
+        let ir = s * MR;
+        let rows = MR.min(mc - ir);
+        if !a.trans {
+            // Columns of A are contiguous: copy `rows` elements per depth.
+            for (l, dst) in sliver.chunks_exact_mut(MR).enumerate() {
+                let src0 = (row0 + ir) + (col0 + l) * a.ld;
+                dst[..rows].copy_from_slice(&a.data[src0..src0 + rows]);
+                dst[rows..].fill(T::ZERO);
+            }
+        } else {
+            for (l, dst) in sliver.chunks_exact_mut(MR).enumerate() {
+                for (i, d) in dst.iter_mut().enumerate().take(rows) {
+                    *d = a.at(row0 + ir + i, col0 + l);
+                }
+                dst[rows..].fill(T::ZERO);
+            }
+        }
+    }
+}
+
+/// Pack the `kc × nc` block of `op(B)` starting at `(row0, col0)` into
+/// `out`, laid out as `slivers_b(nc)` slivers of `kc · NR` elements: within
+/// a sliver, the `NR` columns at depth step `l` are contiguous. Columns past
+/// `nc` in the last sliver are zero-filled.
+pub(crate) fn pack_b<T: Scalar>(
+    b: OpView<'_, T>,
+    row0: usize,
+    col0: usize,
+    kc: usize,
+    nc: usize,
+    out: &mut [T],
+) {
+    debug_assert!(out.len() >= slivers_b(nc) * kc * NR);
+    for (s, sliver) in out.chunks_exact_mut(kc * NR).take(slivers_b(nc)).enumerate() {
+        let jr = s * NR;
+        let cols = NR.min(nc - jr);
+        if b.trans {
+            // `op(B)` rows are contiguous in storage: copy `cols` per depth.
+            for (l, dst) in sliver.chunks_exact_mut(NR).enumerate() {
+                let src0 = (col0 + jr) + (row0 + l) * b.ld;
+                dst[..cols].copy_from_slice(&b.data[src0..src0 + cols]);
+                dst[cols..].fill(T::ZERO);
+            }
+        } else {
+            for (l, dst) in sliver.chunks_exact_mut(NR).enumerate() {
+                for (j, d) in dst.iter_mut().enumerate().take(cols) {
+                    *d = b.at(row0 + l, col0 + jr + j);
+                }
+                dst[cols..].fill(T::ZERO);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn pack_a_notrans_matches_elements() {
+        // A is 5×3 stored with ld 7.
+        let data = seq(7 * 3);
+        let v = OpView { data: &data, ld: 7, trans: false };
+        let mc = 5;
+        let kc = 3;
+        let mut out = vec![-1.0; slivers_a(mc) * kc * MR];
+        pack_a(v, 0, 0, mc, kc, &mut out);
+        for s in 0..slivers_a(mc) {
+            for l in 0..kc {
+                for i in 0..MR {
+                    let got = out[s * kc * MR + l * MR + i];
+                    let r = s * MR + i;
+                    let want = if r < mc { v.at(r, l) } else { 0.0 };
+                    assert_eq!(got, want, "sliver {s} depth {l} row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_a_trans_matches_elements() {
+        // op(A) = Xᵀ where X is 4×6 stored ld 4; op(A) is 6×4.
+        let data = seq(4 * 6);
+        let v = OpView { data: &data, ld: 4, trans: true };
+        let (mc, kc) = (6, 4);
+        let mut out = vec![-1.0; slivers_a(mc) * kc * MR];
+        pack_a(v, 0, 0, mc, kc, &mut out);
+        for s in 0..slivers_a(mc) {
+            for l in 0..kc {
+                for i in 0..MR {
+                    let r = s * MR + i;
+                    let want = if r < mc { v.at(r, l) } else { 0.0 };
+                    assert_eq!(out[s * kc * MR + l * MR + i], want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_both_orientations() {
+        let data = seq(9 * 9);
+        for trans in [false, true] {
+            let v = OpView { data: &data, ld: 9, trans };
+            let (kc, nc) = (4, 7);
+            let mut out = vec![-1.0; slivers_b(nc) * kc * NR];
+            pack_b(v, 2, 1, kc, nc, &mut out);
+            for s in 0..slivers_b(nc) {
+                for l in 0..kc {
+                    for j in 0..NR {
+                        let c = s * NR + j;
+                        let want = if c < nc { v.at(2 + l, 1 + c) } else { 0.0 };
+                        assert_eq!(out[s * kc * NR + l * NR + j], want, "trans={trans}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_respects_offsets() {
+        let data = seq(10 * 10);
+        let v = OpView { data: &data, ld: 10, trans: false };
+        let (mc, kc) = (3, 2);
+        let mut out = vec![0.0; slivers_a(mc) * kc * MR];
+        pack_a(v, 4, 5, mc, kc, &mut out);
+        assert_eq!(out[0], v.at(4, 5));
+        assert_eq!(out[1], v.at(5, 5));
+        assert_eq!(out[MR], v.at(4, 6));
+    }
+}

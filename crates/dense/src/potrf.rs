@@ -35,7 +35,7 @@ pub fn potrf_unblocked<T: Scalar>(n: usize, a: &mut [T], lda: usize) -> Result<(
     potrf_unblocked_offset(n, a, lda, 0)
 }
 
-fn potrf_unblocked_offset<T: Scalar>(
+pub(crate) fn potrf_unblocked_offset<T: Scalar>(
     n: usize,
     a: &mut [T],
     lda: usize,
@@ -49,6 +49,8 @@ fn potrf_unblocked_offset<T: Scalar>(
             let v = a[j + l * lda];
             d -= v * v;
         }
+        // `!(d > 0)` rather than `d <= 0`: NaN pivots must also fail.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(d > T::ZERO) || !d.is_finite() {
             return Err(PotrfError { column: col_offset + j });
         }
@@ -91,6 +93,21 @@ pub fn potrf_blocked<T: Scalar>(
     lda: usize,
     nb: usize,
 ) -> Result<(), PotrfError> {
+    potrf_blocked_offset(n, a, lda, nb, 0)
+}
+
+/// Unblocked fallback threshold: diagonal blocks at or below this order are
+/// factored by the scalar routine; larger ones recurse so their own trailing
+/// updates run as (small) `trsm`/`syrk` calls instead of scalar column ops.
+const POTRF_UNBLOCKED_MAX: usize = 16;
+
+fn potrf_blocked_offset<T: Scalar>(
+    n: usize,
+    a: &mut [T],
+    lda: usize,
+    nb: usize,
+    col_offset: usize,
+) -> Result<(), PotrfError> {
     assert!(nb > 0, "block size must be positive");
     if n == 0 {
         return Ok(());
@@ -101,10 +118,21 @@ pub fn potrf_blocked<T: Scalar>(
     while j < n {
         let jb = nb.min(n - j);
         let rest = n - j - jb;
-        // Diagonal block factorization.
+        // Diagonal block factorization: recurse with a quarter block while
+        // the block is big enough to profit, scalar loops below that.
         {
             let diag = &mut a[j * lda + j..];
-            potrf_unblocked_offset(jb, diag, lda, j)?;
+            if jb > POTRF_UNBLOCKED_MAX && nb > POTRF_UNBLOCKED_MAX {
+                potrf_blocked_offset(
+                    jb,
+                    diag,
+                    lda,
+                    (nb / 4).max(POTRF_UNBLOCKED_MAX),
+                    col_offset + j,
+                )?;
+            } else {
+                potrf_unblocked_offset(jb, diag, lda, col_offset + j)?;
+            }
         }
         if rest > 0 {
             // Panel solve: A[j+jb.., j..j+jb] · L_diagᵀ⁻¹. The diagonal block

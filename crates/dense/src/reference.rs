@@ -42,7 +42,14 @@ pub fn gemm_ref<T: Scalar>(
 }
 
 /// Reference symmetric rank-k update (lower triangle): `C ← α·A·Aᵀ + β·C`.
-pub fn syrk_ref<T: Scalar>(n: usize, k: usize, alpha: T, a: &DenseMat<T>, beta: T, c: &mut DenseMat<T>) {
+pub fn syrk_ref<T: Scalar>(
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &DenseMat<T>,
+    beta: T,
+    c: &mut DenseMat<T>,
+) {
     for j in 0..n {
         for i in j..n {
             let mut acc = T::ZERO;
@@ -80,6 +87,8 @@ pub fn potrf_ref<T: Scalar>(a: &mut DenseMat<T>) -> Result<(), PotrfError> {
             let v = a[(j, l)];
             d -= v * v;
         }
+        // `!(d > 0)` rather than `d <= 0`: NaN pivots must also fail.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(d > T::ZERO) || !d.is_finite() {
             return Err(PotrfError { column: j });
         }

@@ -4,6 +4,7 @@
 //! throughput is 8× lower) and recovers double accuracy with iterative
 //! refinement. Everything downstream is therefore generic over this trait.
 
+use crate::kernel::{micro_tile_generic, MR, NR};
 use std::fmt::{Debug, Display};
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -51,6 +52,21 @@ pub trait Scalar:
     fn abs(self) -> Self;
     /// `true` if the value is finite (not NaN/inf).
     fn is_finite(self) -> bool;
+    /// Fused multiply-add `self·b + c` with a single rounding. Maps to the
+    /// hardware FMA instruction; the packed micro-kernels are written around
+    /// it so their inner loops vectorize to FMA chains.
+    fn mul_add(self, b: Self, c: Self) -> Self;
+
+    /// One `MR × NR` register micro-tile over packed slivers (engine
+    /// internals; see `kernel.rs`). Implementations may override this with
+    /// explicitly vectorized code, but every path must accumulate each
+    /// element's products in ascending depth order with one fused
+    /// multiply-add per product so that all paths agree bitwise.
+    #[doc(hidden)]
+    #[inline]
+    fn micro_tile(asl: &[Self], bsl: &[Self]) -> [[Self; MR]; NR] {
+        micro_tile_generic(asl, bsl)
+    }
 }
 
 impl Scalar for f32 {
@@ -80,6 +96,21 @@ impl Scalar for f32 {
     fn is_finite(self) -> bool {
         f32::is_finite(self)
     }
+    #[inline(always)]
+    fn mul_add(self, b: Self, c: Self) -> Self {
+        f32::mul_add(self, b, c)
+    }
+
+    #[inline]
+    fn micro_tile(asl: &[Self], bsl: &[Self]) -> [[Self; MR]; NR] {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::avx512_available() {
+            // SAFETY: feature presence just checked; slivers come packed
+            // from the engine with matching depth.
+            return unsafe { crate::simd::micro_f32(asl, bsl) };
+        }
+        micro_tile_generic(asl, bsl)
+    }
 }
 
 impl Scalar for f64 {
@@ -108,6 +139,21 @@ impl Scalar for f64 {
     #[inline(always)]
     fn is_finite(self) -> bool {
         f64::is_finite(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, b: Self, c: Self) -> Self {
+        f64::mul_add(self, b, c)
+    }
+
+    #[inline]
+    fn micro_tile(asl: &[Self], bsl: &[Self]) -> [[Self; MR]; NR] {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::avx512_available() {
+            // SAFETY: feature presence just checked; slivers come packed
+            // from the engine with matching depth.
+            return unsafe { crate::simd::micro_f64(asl, bsl) };
+        }
+        micro_tile_generic(asl, bsl)
     }
 }
 

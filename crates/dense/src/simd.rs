@@ -1,0 +1,128 @@
+//! Explicit AVX-512 micro-kernels.
+//!
+//! LLVM's autovectorizer turns the generic accumulator array into solid
+//! 256-bit FMA code but refuses to widen it to 512-bit registers (and when
+//! forced, it spills the accumulator and gathers/scatters it per depth
+//! step). These hand-written variants keep the full `MR × NR` accumulator in
+//! zmm registers. They compute *exactly* the same thing as the generic
+//! micro-kernel — each element accumulates its products in ascending depth
+//! order with one fused multiply-add per product — so results are bitwise
+//! identical to the portable path.
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::kernel::{MR, NR};
+use core::arch::x86_64::*;
+
+/// `true` when the running CPU supports the zmm micro-kernels. The macro
+/// caches its answer, so calling this per micro-tile is fine.
+#[inline(always)]
+pub(crate) fn avx512_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+}
+
+/// f64 `MR × NR` rank-`kc` micro-tile over packed slivers. Two zmm per
+/// accumulator column (16 doubles), so the tile occupies 16 of the 32
+/// registers and the depth loop is 2 loads + `NR` broadcasts + 16 FMAs.
+///
+/// # Safety
+///
+/// Caller must ensure `avx512f` is available and that `asl`/`bsl` are packed
+/// slivers of the same depth (`asl.len() = kc·MR`, `bsl.len() = kc·NR`).
+#[target_feature(enable = "avx512f")]
+pub(crate) unsafe fn micro_f64(asl: &[f64], bsl: &[f64]) -> [[f64; MR]; NR] {
+    let kc = asl.len() / MR;
+    debug_assert_eq!(asl.len(), kc * MR);
+    debug_assert_eq!(bsl.len(), kc * NR);
+    let a = asl.as_ptr();
+    let b = bsl.as_ptr();
+    let mut lo = [_mm512_setzero_pd(); NR];
+    let mut hi = [_mm512_setzero_pd(); NR];
+    for p in 0..kc {
+        let a0 = _mm512_loadu_pd(a.add(p * MR));
+        let a1 = _mm512_loadu_pd(a.add(p * MR + 8));
+        for j in 0..NR {
+            let bj = _mm512_set1_pd(*b.add(p * NR + j));
+            lo[j] = _mm512_fmadd_pd(a0, bj, lo[j]);
+            hi[j] = _mm512_fmadd_pd(a1, bj, hi[j]);
+        }
+    }
+    let mut acc = [[0.0; MR]; NR];
+    for j in 0..NR {
+        _mm512_storeu_pd(acc[j].as_mut_ptr(), lo[j]);
+        _mm512_storeu_pd(acc[j].as_mut_ptr().add(8), hi[j]);
+    }
+    acc
+}
+
+/// f32 counterpart: one zmm holds a whole 16-float accumulator column.
+///
+/// # Safety
+///
+/// Same contract as [`micro_f64`].
+#[target_feature(enable = "avx512f")]
+pub(crate) unsafe fn micro_f32(asl: &[f32], bsl: &[f32]) -> [[f32; MR]; NR] {
+    let kc = asl.len() / MR;
+    debug_assert_eq!(asl.len(), kc * MR);
+    debug_assert_eq!(bsl.len(), kc * NR);
+    let a = asl.as_ptr();
+    let b = bsl.as_ptr();
+    let mut cols = [_mm512_setzero_ps(); NR];
+    for p in 0..kc {
+        let a0 = _mm512_loadu_ps(a.add(p * MR));
+        for (j, col) in cols.iter_mut().enumerate() {
+            let bj = _mm512_set1_ps(*b.add(p * NR + j));
+            *col = _mm512_fmadd_ps(a0, bj, *col);
+        }
+    }
+    let mut acc = [[0.0; MR]; NR];
+    for j in 0..NR {
+        _mm512_storeu_ps(acc[j].as_mut_ptr(), cols[j]);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::micro_tile_generic;
+
+    fn slivers_f64(kc: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut s = 0x243F6A8885A308D3u64;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a = (0..kc * MR).map(|_| next()).collect();
+        let b = (0..kc * NR).map(|_| next()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn avx512_matches_generic_bitwise() {
+        if !avx512_available() {
+            return;
+        }
+        for kc in [1usize, 2, 7, 64, 200] {
+            let (a, b) = slivers_f64(kc);
+            let fast = unsafe { micro_f64(&a, &b) };
+            let slow = micro_tile_generic(&a, &b);
+            for j in 0..NR {
+                for i in 0..MR {
+                    assert_eq!(fast[j][i].to_bits(), slow[j][i].to_bits(), "kc={kc} ({i},{j})");
+                }
+            }
+            let af: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+            let bf: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+            let fast = unsafe { micro_f32(&af, &bf) };
+            let slow = micro_tile_generic(&af, &bf);
+            for j in 0..NR {
+                for i in 0..MR {
+                    assert_eq!(fast[j][i].to_bits(), slow[j][i].to_bits(), "f32 kc={kc} ({i},{j})");
+                }
+            }
+        }
+    }
+}

@@ -4,8 +4,36 @@
 //! with large update blocks (`m ≫ k`): it computes `U ← U − L₂·L₂ᵀ`
 //! (Figure 1 of the paper). Only the lower triangle of `C` is referenced or
 //! written.
+//!
+//! The bulk of the work runs on the packed gemm engine with `op(B) = Aᵀ`
+//! and a lower-triangle write mask: tiles fully above the diagonal are
+//! skipped before their flops happen, tiles straddling it are computed at
+//! full register-tile width and stored masked, and tiles fully below use
+//! the unmasked writeback.
 
+use crate::kernel::{gemm_engine, PACK_MIN_MADDS};
+use crate::pack::OpView;
 use crate::Scalar;
+
+/// Scale the lower triangle: `C[j.., j] ← β·C[j.., j]` for each column,
+/// with the `β` cases hoisted out of the element loops (`β = 0` is a
+/// NaN-safe overwrite, matching BLAS).
+pub(crate) fn scale_lower<T: Scalar>(n: usize, beta: T, c: &mut [T], ldc: usize) {
+    if beta == T::ONE {
+        return;
+    }
+    if beta == T::ZERO {
+        for j in 0..n {
+            c[j * ldc + j..j * ldc + n].fill(T::ZERO);
+        }
+    } else {
+        for j in 0..n {
+            for v in &mut c[j * ldc + j..j * ldc + n] {
+                *v *= beta;
+            }
+        }
+    }
+}
 
 /// `C ← α·A·Aᵀ + β·C`, lower triangle only.
 ///
@@ -26,39 +54,19 @@ pub fn syrk_lower<T: Scalar>(
         return;
     }
     debug_assert!(ldc >= n && c.len() >= (n - 1) * ldc + n);
-    if beta != T::ONE {
-        for j in 0..n {
-            for v in &mut c[j * ldc + j..j * ldc + n] {
-                *v = if beta == T::ZERO { T::ZERO } else { *v * beta };
-            }
-        }
-    }
+    scale_lower(n, beta, c, ldc);
     if k == 0 || alpha == T::ZERO {
         return;
     }
     debug_assert!(lda >= n && a.len() >= (k - 1) * lda + n);
-
-    // Block over the contraction dimension so the active columns of A stay
-    // in cache; the inner loop is a contiguous axpy over rows j..n.
-    const KC: usize = 128;
-    for l0 in (0..k).step_by(KC) {
-        let l1 = (l0 + KC).min(k);
-        for j in 0..n {
-            let (head, tail) = c.split_at_mut(j * ldc + j);
-            let _ = head;
-            let cj = &mut tail[..n - j];
-            for l in l0..l1 {
-                let ajl = alpha * a[j + l * lda];
-                if ajl == T::ZERO {
-                    continue;
-                }
-                let al = &a[j + l * lda..l * lda + n];
-                for (cv, &av) in cj.iter_mut().zip(al) {
-                    *cv += ajl * av;
-                }
-            }
-        }
+    // The triangle holds ~n²k/2 useful multiply-adds.
+    if n < 2 || n * n * k / 2 < PACK_MIN_MADDS {
+        crate::naive::syrk_accum(n, k, alpha, a, lda, c, ldc);
+        return;
     }
+    let av = OpView { data: a, ld: lda, trans: false };
+    let bv = OpView { data: a, ld: lda, trans: true };
+    gemm_engine(n, n, k, alpha, av, bv, c, ldc, Some(0));
 }
 
 #[cfg(test)]
@@ -89,10 +97,7 @@ mod tests {
             // Compare lower triangles only.
             for j in 0..n {
                 for i in j..n {
-                    assert!(
-                        (c[(i, j)] - cref[(i, j)]).abs() < 1e-12,
-                        "n={n} k={k} at ({i},{j})"
-                    );
+                    assert!((c[(i, j)] - cref[(i, j)]).abs() < 1e-12, "n={n} k={k} at ({i},{j})");
                 }
             }
         }

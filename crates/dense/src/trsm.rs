@@ -4,8 +4,17 @@
 //! variant `X·Lᵀ = B` (computing the sub-diagonal panel `L₂ = A₂·L₁⁻ᵀ`,
 //! Figure 1). The supernodal triangular solve phase additionally needs the
 //! left-side variants `L·X = B` (forward) and `Lᵀ·X = B` (backward).
+//!
+//! All three are blocked right-looking algorithms: a width-[`TRSM_BLOCK`]
+//! diagonal block is solved with the seed substitution loops, then the
+//! entire remaining trailing region is updated in one [`gemm`] call — which
+//! routes the O(n²)-per-block bulk of the work through the packed engine.
 
+use crate::gemm::{gemm, Transpose};
 use crate::Scalar;
+
+/// Diagonal-block width of the blocked triangular solves.
+const TRSM_BLOCK: usize = 16;
 
 /// Solve `X·Lᵀ = B` in place: `B` (`m × n`, leading dimension `ldb`) is
 /// overwritten by `X`; `L` is `n × n` lower triangular (leading dimension
@@ -23,25 +32,42 @@ pub fn trsm_right_lower_trans<T: Scalar>(
     }
     debug_assert!(lda >= n && a.len() >= (n - 1) * lda + n);
     debug_assert!(ldb >= m && b.len() >= (n - 1) * ldb + m);
-    // Column j of X depends on columns 0..j:
-    //   X[:,j] = (B[:,j] − Σ_{l<j} X[:,l]·L[j,l]) / L[j,j]
-    for j in 0..n {
-        let (done, rest) = b.split_at_mut(j * ldb);
-        let bj = &mut rest[..m];
-        for l in 0..j {
-            let ljl = a[j + l * lda];
-            if ljl == T::ZERO {
-                continue;
-            }
-            let xl = &done[l * ldb..l * ldb + m];
-            for (bv, &xv) in bj.iter_mut().zip(xl) {
-                *bv -= ljl * xv;
-            }
+    if n <= TRSM_BLOCK {
+        return crate::naive::trsm_right_lower_trans(m, n, a, lda, b, ldb);
+    }
+    // Right-looking: solve the columns of one diagonal block, then push the
+    // rank-w update X_blk·L₂₁ᵀ into every trailing column at once.
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + TRSM_BLOCK).min(n);
+        let w = j1 - j0;
+        {
+            let bj = &mut b[j0 * ldb..];
+            crate::naive::trsm_right_lower_trans(m, w, &a[j0 + j0 * lda..], lda, bj, ldb);
         }
-        let inv = T::ONE / a[j + j * lda];
-        for bv in bj.iter_mut() {
-            *bv *= inv;
+        if j1 < n {
+            // Trailing columns and the solved block live in disjoint column
+            // ranges of B, so a split borrows both sides without copies.
+            let (head, trail) = b.split_at_mut(j1 * ldb);
+            let xblk = &head[j0 * ldb..];
+            let l21 = &a[j1 + j0 * lda..];
+            gemm(
+                Transpose::No,
+                Transpose::Yes,
+                m,
+                n - j1,
+                w,
+                -T::ONE,
+                xblk,
+                ldb,
+                l21,
+                lda,
+                T::ONE,
+                trail,
+                ldb,
+            );
         }
+        j0 = j1;
     }
 }
 
@@ -61,20 +87,39 @@ pub fn trsm_left_lower_notrans<T: Scalar>(
     }
     debug_assert!(lda >= n && a.len() >= (n - 1) * lda + n);
     debug_assert!(ldb >= n && b.len() >= (nrhs - 1) * ldb + n);
-    for r in 0..nrhs {
-        let bcol = &mut b[r * ldb..r * ldb + n];
-        for j in 0..n {
-            let xj = bcol[j] / a[j + j * lda];
-            bcol[j] = xj;
-            if xj == T::ZERO {
-                continue;
+    if n <= TRSM_BLOCK {
+        return left_notrans_block(n, nrhs, a, lda, b, ldb);
+    }
+    // The solved block's rows interleave with the trailing rows inside each
+    // column of B, so stage the block in scratch for the aliasing-free gemm.
+    let mut xbuf = vec![T::ZERO; TRSM_BLOCK * nrhs];
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + TRSM_BLOCK).min(n);
+        let w = j1 - j0;
+        left_notrans_block(w, nrhs, &a[j0 + j0 * lda..], lda, &mut b[j0..], ldb);
+        if j1 < n {
+            for r in 0..nrhs {
+                xbuf[r * w..r * w + w].copy_from_slice(&b[j0 + r * ldb..j1 + r * ldb]);
             }
-            let (_, below) = bcol.split_at_mut(j + 1);
-            let acol = &a[j * lda + j + 1..j * lda + n];
-            for (bv, &av) in below.iter_mut().zip(acol) {
-                *bv -= xj * av;
-            }
+            let l21 = &a[j1 + j0 * lda..];
+            gemm(
+                Transpose::No,
+                Transpose::No,
+                n - j1,
+                nrhs,
+                w,
+                -T::ONE,
+                l21,
+                lda,
+                &xbuf[..w * nrhs],
+                w,
+                T::ONE,
+                &mut b[j1..],
+                ldb,
+            );
         }
+        j0 = j1;
     }
 }
 
@@ -93,6 +138,81 @@ pub fn trsm_left_lower_trans<T: Scalar>(
     }
     debug_assert!(lda >= n && a.len() >= (n - 1) * lda + n);
     debug_assert!(ldb >= n && b.len() >= (nrhs - 1) * ldb + n);
+    if n <= TRSM_BLOCK {
+        return left_trans_block(n, nrhs, a, lda, b, ldb);
+    }
+    // Blocks run bottom-up; each block is staged in scratch so its gemm
+    // update can read the already-solved rows below it from B.
+    let mut xbuf = vec![T::ZERO; TRSM_BLOCK * nrhs];
+    let nblocks = n.div_ceil(TRSM_BLOCK);
+    for blk in (0..nblocks).rev() {
+        let j0 = blk * TRSM_BLOCK;
+        let j1 = (j0 + TRSM_BLOCK).min(n);
+        let w = j1 - j0;
+        for r in 0..nrhs {
+            xbuf[r * w..r * w + w].copy_from_slice(&b[j0 + r * ldb..j1 + r * ldb]);
+        }
+        if j1 < n {
+            // xbuf −= L[j1.., j0..j1]ᵀ · X[j1..]
+            let l21 = &a[j1 + j0 * lda..];
+            gemm(
+                Transpose::Yes,
+                Transpose::No,
+                w,
+                nrhs,
+                n - j1,
+                -T::ONE,
+                l21,
+                lda,
+                &b[j1..],
+                ldb,
+                T::ONE,
+                &mut xbuf[..w * nrhs],
+                w,
+            );
+        }
+        left_trans_block(w, nrhs, &a[j0 + j0 * lda..], lda, &mut xbuf, w);
+        for r in 0..nrhs {
+            b[j0 + r * ldb..j1 + r * ldb].copy_from_slice(&xbuf[r * w..r * w + w]);
+        }
+    }
+}
+
+/// Seed forward substitution on one diagonal block.
+fn left_notrans_block<T: Scalar>(
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    for r in 0..nrhs {
+        let bcol = &mut b[r * ldb..r * ldb + n];
+        for j in 0..n {
+            let xj = bcol[j] / a[j + j * lda];
+            bcol[j] = xj;
+            if xj == T::ZERO {
+                continue;
+            }
+            let (_, below) = bcol.split_at_mut(j + 1);
+            let acol = &a[j * lda + j + 1..j * lda + n];
+            for (bv, &av) in below.iter_mut().zip(acol) {
+                *bv -= xj * av;
+            }
+        }
+    }
+}
+
+/// Seed backward substitution on one diagonal block.
+fn left_trans_block<T: Scalar>(
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
     for r in 0..nrhs {
         let bcol = &mut b[r * ldb..r * ldb + n];
         for j in (0..n).rev() {

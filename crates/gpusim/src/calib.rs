@@ -204,11 +204,7 @@ pub struct CpuConfig {
 /// The paper's host: one core of an Intel Xeon 5160 @ 3.0 GHz running
 /// ATLAS-backed BLAS. Asymptotes from Table III.
 pub fn xeon_5160_core() -> CpuConfig {
-    let c = |asym_gf: f64| RateCurve {
-        asymptote: asym_gf * 1e9,
-        half_sat: 2.0e4,
-        launch: 2.0e-7,
-    };
+    let c = |asym_gf: f64| RateCurve { asymptote: asym_gf * 1e9, half_sat: 2.0e4, launch: 2.0e-7 };
     CpuConfig {
         name: "Xeon 5160 (1 core, f64, ATLAS)",
         peak_dp: 12.0e9,

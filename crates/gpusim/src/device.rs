@@ -20,8 +20,8 @@ use crate::calib::{exact_ops, GpuConfig, KernelKind};
 use crate::host::HostClock;
 use crate::memory::{DevBuf, DevMat, DeviceMemory, DeviceOom};
 use crate::profile::{Component, ProfileRecord};
-use mf_dense::{gemm, syrk_lower, trsm_right_lower_trans, Transpose};
 use mf_dense::potrf_unblocked;
+use mf_dense::{gemm, syrk_lower, trsm_right_lower_trans, Transpose};
 
 /// Handle to an in-order command stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -410,7 +410,6 @@ impl Gpu {
 mod tests {
     use super::*;
     use crate::calib::{tesla_t10, xeon_5160_core};
-    use mf_dense::{potrf, DenseMat};
 
     fn setup() -> (Gpu, HostClock) {
         (Gpu::new(tesla_t10()), HostClock::new(xeon_5160_core()))

@@ -89,7 +89,11 @@ impl ProfileSummary {
 
     /// Grand total of categorised time.
     pub fn total(&self) -> f64 {
-        self.cpu_kernel_time + self.gpu_kernel_time + self.copy_time + self.pinned_time + self.memop_time
+        self.cpu_kernel_time
+            + self.gpu_kernel_time
+            + self.copy_time
+            + self.pinned_time
+            + self.memop_time
     }
 }
 
@@ -100,11 +104,41 @@ mod tests {
     #[test]
     fn summary_buckets() {
         let recs = vec![
-            ProfileRecord { component: Component::CpuKernel(KernelKind::Potrf), ops: 1e6, bytes: 0, start: 0.0, end: 1.0 },
-            ProfileRecord { component: Component::GpuKernel(KernelKind::Syrk), ops: 1e8, bytes: 0, start: 1.0, end: 1.5 },
-            ProfileRecord { component: Component::CopyH2D, ops: 0.0, bytes: 100, start: 0.0, end: 0.25 },
-            ProfileRecord { component: Component::CopyD2H, ops: 0.0, bytes: 100, start: 0.5, end: 0.75 },
-            ProfileRecord { component: Component::PinnedAlloc, ops: 0.0, bytes: 10, start: 0.0, end: 0.1 },
+            ProfileRecord {
+                component: Component::CpuKernel(KernelKind::Potrf),
+                ops: 1e6,
+                bytes: 0,
+                start: 0.0,
+                end: 1.0,
+            },
+            ProfileRecord {
+                component: Component::GpuKernel(KernelKind::Syrk),
+                ops: 1e8,
+                bytes: 0,
+                start: 1.0,
+                end: 1.5,
+            },
+            ProfileRecord {
+                component: Component::CopyH2D,
+                ops: 0.0,
+                bytes: 100,
+                start: 0.0,
+                end: 0.25,
+            },
+            ProfileRecord {
+                component: Component::CopyD2H,
+                ops: 0.0,
+                bytes: 100,
+                start: 0.5,
+                end: 0.75,
+            },
+            ProfileRecord {
+                component: Component::PinnedAlloc,
+                ops: 0.0,
+                bytes: 10,
+                start: 0.0,
+                end: 0.1,
+            },
         ];
         let s = ProfileSummary::from_records(&recs);
         assert_eq!(s.cpu_kernel_time, 1.0);
@@ -115,9 +149,21 @@ mod tests {
 
     #[test]
     fn rate_computation() {
-        let r = ProfileRecord { component: Component::GpuKernel(KernelKind::Gemm), ops: 2e9, bytes: 0, start: 0.0, end: 0.01 };
+        let r = ProfileRecord {
+            component: Component::GpuKernel(KernelKind::Gemm),
+            ops: 2e9,
+            bytes: 0,
+            start: 0.0,
+            end: 0.01,
+        };
         assert!((r.rate() - 2e11).abs() < 1.0);
-        let t = ProfileRecord { component: Component::CopyH2D, ops: 0.0, bytes: 8, start: 0.0, end: 0.01 };
+        let t = ProfileRecord {
+            component: Component::CopyH2D,
+            ops: 0.0,
+            bytes: 8,
+            start: 0.0,
+            end: 0.01,
+        };
         assert_eq!(t.rate(), 0.0);
     }
 }

@@ -126,7 +126,8 @@ mod tests {
         assert_eq!(a.get(5, 0), Some(-0.5));
         let b = laplacian_3d(3, 3, 3, Stencil::Full);
         // Corner neighbor weight 1/3.
-        let corner = b.get((1 * 3 + 1) * 3 + 1, 0).unwrap();
+        // Node (1,1,1) in x-fastest order: (1·3 + 1)·3 + 1 = 13.
+        let corner = b.get(13, 0).unwrap();
         assert!((corner + 1.0 / 3.0).abs() < 1e-12);
     }
 

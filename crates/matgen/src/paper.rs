@@ -117,9 +117,7 @@ mod tests {
         // sgi_1M stand-in must be the largest N; lmco the smallest, as in
         // Table II.
         let suite = paper_suite(0.3);
-        let n_of = |pm: PaperMatrix| {
-            suite.iter().find(|(m, _)| *m == pm).unwrap().1.order()
-        };
+        let n_of = |pm: PaperMatrix| suite.iter().find(|(m, _)| *m == pm).unwrap().1.order();
         assert!(n_of(PaperMatrix::Sgi1M) >= n_of(PaperMatrix::Kyushu));
         assert!(n_of(PaperMatrix::Lmco) <= n_of(PaperMatrix::Audikw1));
         assert!(n_of(PaperMatrix::Lmco) <= n_of(PaperMatrix::NastranB));

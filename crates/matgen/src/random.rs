@@ -26,8 +26,8 @@ pub fn random_spd_sparse(n: usize, avg_nnz_per_row: usize, seed: u64) -> SymCsc<
         rowsum[i] += v.abs();
         rowsum[j] += v.abs();
     }
-    for i in 0..n {
-        t.push(i, i, rowsum[i] + 1.0);
+    for (i, &rs) in rowsum.iter().enumerate() {
+        t.push(i, i, rs + 1.0);
     }
     t.assemble()
 }

@@ -134,8 +134,7 @@ impl<T: Scalar> SymCsc<T> {
         for j in 0..n {
             assert!(colptr[j] <= colptr[j + 1], "colptr must be non-decreasing");
             let mut prev = None;
-            for p in colptr[j]..colptr[j + 1] {
-                let r = rowind[p];
+            for &r in &rowind[colptr[j]..colptr[j + 1]] {
                 assert!(r >= j, "entry ({r},{j}) above the diagonal");
                 assert!(r < n, "row index {r} out of range");
                 if let Some(pr) = prev {
@@ -404,7 +403,8 @@ mod tests {
         let mut y = vec![0.0; 5];
         a.matvec(&x, &mut y);
         // Dense reference.
-        let mut dense = vec![[0.0f64; 5]; 5];
+        let mut dense = [[0.0f64; 5]; 5];
+        #[allow(clippy::needless_range_loop)]
         for j in 0..5 {
             for (&i, &v) in a.col_rows(j).iter().zip(a.col_vals(j)) {
                 dense[i][j] = v;

@@ -249,7 +249,7 @@ mod tests {
         let a = arrow(8);
         let t = elimination_tree(&a);
         let post = t.postorder();
-        let mut rank = vec![0usize; 8];
+        let mut rank = [0usize; 8];
         for (r, &v) in post.iter().enumerate() {
             rank[v] = r;
         }
@@ -305,8 +305,8 @@ mod tests {
         let a = tp.assemble();
         let t = elimination_tree(&a);
         let cc = column_counts(&a, &t);
-        for j in 0..n {
-            assert_eq!(cc[j], n - j, "col {j}");
+        for (j, &c) in cc.iter().enumerate() {
+            assert_eq!(c, n - j, "col {j}");
         }
     }
 

@@ -37,9 +37,7 @@ impl From<std::io::Error> for MmError {
 /// Read a `matrix coordinate real symmetric` Matrix Market stream.
 pub fn read_matrix_market<T: Scalar, R: BufRead>(reader: R) -> Result<SymCsc<T>, MmError> {
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| MmError::Parse("empty input".into()))??;
+    let header = lines.next().ok_or_else(|| MmError::Parse("empty input".into()))??;
     let h = header.to_ascii_lowercase();
     if !h.starts_with("%%matrixmarket") {
         return Err(MmError::Parse("missing %%MatrixMarket header".into()));
@@ -52,9 +50,7 @@ pub fn read_matrix_market<T: Scalar, R: BufRead>(reader: R) -> Result<SymCsc<T>,
     }
     // Skip comments, find the size line.
     let size_line = loop {
-        let line = lines
-            .next()
-            .ok_or_else(|| MmError::Parse("missing size line".into()))??;
+        let line = lines.next().ok_or_else(|| MmError::Parse("missing size line".into()))??;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;

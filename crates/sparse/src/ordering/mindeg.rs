@@ -26,7 +26,8 @@ pub fn minimum_degree(g: &Adjacency) -> Permutation {
     let mut absorbed = vec![false; n];
 
     // Lazy min-heap keyed by (degree, vertex); stale entries skipped on pop.
-    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = (0..n).map(|v| Reverse((degree[v], v))).collect();
+    let mut heap: BinaryHeap<Reverse<(usize, usize)>> =
+        (0..n).map(|v| Reverse((degree[v], v))).collect();
 
     // Stamp-based set membership scratch.
     let mut stamp = vec![0u64; n];

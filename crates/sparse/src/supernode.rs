@@ -140,10 +140,10 @@ pub fn amalgamate(
     };
     // Track, for each live group, its column span and an estimate of its
     // structural row count (rows of the front = colcount of its first col).
-    let mut span: Vec<(usize, usize)> = (0..nsn).map(|s| (part.starts[s], part.starts[s + 1])).collect();
+    let mut span: Vec<(usize, usize)> =
+        (0..nsn).map(|s| (part.starts[s], part.starts[s + 1])).collect();
 
-    for s in 0..nsn {
-        let p = sn_parent[s];
+    for (s, &p) in sn_parent.iter().enumerate() {
         if p == NONE {
             continue;
         }
@@ -172,9 +172,8 @@ pub fn amalgamate(
         // Explicit zeros introduced anywhere in the merged trapezoid: column
         // at offset i would hold rows_merged − i entries vs. its own count.
         let mut zeros = 0usize;
-        for c in s0..p1 {
-            let have = colcount[c];
-            let would = rows_merged - (c - s0);
+        for (off, &have) in colcount[s0..p1].iter().enumerate() {
+            let would = rows_merged - off;
             zeros += would.saturating_sub(have);
         }
         let total: usize = (0..merged_width).map(|i| rows_merged - i).sum();
@@ -186,10 +185,8 @@ pub fn amalgamate(
     }
 
     // Collect surviving group spans in column order.
-    let mut starts: Vec<usize> = (0..nsn)
-        .filter(|&s| find(&merged_into, s) == s)
-        .map(|s| span[s].0)
-        .collect();
+    let mut starts: Vec<usize> =
+        (0..nsn).filter(|&s| find(&merged_into, s) == s).map(|s| span[s].0).collect();
     starts.sort_unstable();
     starts.push(*part.starts.last().unwrap());
     let out = SupernodePartition { starts };

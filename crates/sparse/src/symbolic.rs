@@ -7,10 +7,12 @@
 //! repeated factorizations with the same pattern.
 
 use crate::csc::SymCsc;
-use crate::etree::{elimination_tree, column_counts, EliminationTree, NONE};
+use crate::etree::{column_counts, elimination_tree, EliminationTree, NONE};
 use crate::ordering::{order, OrderingKind};
 use crate::perm::Permutation;
-use crate::supernode::{amalgamate, fundamental_supernodes, AmalgamationOptions, SupernodePartition};
+use crate::supernode::{
+    amalgamate, fundamental_supernodes, AmalgamationOptions, SupernodePartition,
+};
 use mf_dense::{FuFlops, Scalar};
 
 /// Per-supernode symbolic information.
@@ -139,8 +141,8 @@ pub fn symbolic_factor<T: Scalar>(
     // Children lists + supernode postorder (children before parents).
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); nsn];
     let mut roots = Vec::new();
-    for s in 0..nsn {
-        match sn_parent[s] {
+    for (s, &p) in sn_parent.iter().enumerate() {
+        match p {
             NONE => roots.push(s),
             p => children[p].push(s),
         }
@@ -167,8 +169,8 @@ pub fn symbolic_factor<T: Scalar>(
         let c1 = part.starts[s + 1];
         let mut rows: Vec<usize> = Vec::new();
         // Pivot rows first (always present).
-        for c in c0..c1 {
-            mark[c] = s;
+        for m in &mut mark[c0..c1] {
+            *m = s;
         }
         // Pattern of A in the supernode's columns, below c0.
         for c in c0..c1 {

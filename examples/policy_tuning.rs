@@ -44,18 +44,23 @@ fn main() {
 
     let (tr, te) = data.split(0.8, 7);
     let ec = train(&tr, &TrainOptions::default());
-    let ce = train(
-        &tr,
-        &TrainOptions { objective: Objective::CrossEntropy, ..Default::default() },
-    );
+    let ce = train(&tr, &TrainOptions { objective: Objective::CrossEntropy, ..Default::default() });
 
     let t_ideal = te.ideal_time();
     let t_ec = te.predictor_time(|m, k| ec.predict(m, k));
     let t_ce = te.predictor_time(|m, k| ce.predict(m, k));
     println!("held-out expected time:");
     println!("  ideal hybrid       {:.3} ms", t_ideal * 1e3);
-    println!("  expected-cost model {:.3} ms ({:+.2} % vs ideal)", t_ec * 1e3, 100.0 * (t_ec / t_ideal - 1.0));
-    println!("  cross-entropy model {:.3} ms ({:+.2} % vs ideal)", t_ce * 1e3, 100.0 * (t_ce / t_ideal - 1.0));
+    println!(
+        "  expected-cost model {:.3} ms ({:+.2} % vs ideal)",
+        t_ec * 1e3,
+        100.0 * (t_ec / t_ideal - 1.0)
+    );
+    println!(
+        "  cross-entropy model {:.3} ms ({:+.2} % vs ideal)",
+        t_ce * 1e3,
+        100.0 * (t_ce / t_ideal - 1.0)
+    );
 
     // Learned policy map vs the simulator's ideal map (Figure 12 analogue).
     println!("\nlearned policy map (m →, k ↑; digits = chosen policy):");
@@ -69,13 +74,14 @@ fn main() {
         for col_m in 0..cells {
             let m = col_m * cell + cell / 2;
             model_row.push(char::from(b'1' + ec.predict(m, k).index() as u8));
-            let best = PolicyKind::ALL
-                .iter()
-                .min_by(|&&a, &&b| {
-                    estimate_fu_time(&mut machine, m, k, a, 64, false)
-                        .total_cmp(&estimate_fu_time(&mut machine, m, k, b, 64, false))
-                })
-                .unwrap();
+            let best =
+                PolicyKind::ALL
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        estimate_fu_time(&mut machine, m, k, a, 64, false)
+                            .total_cmp(&estimate_fu_time(&mut machine, m, k, b, 64, false))
+                    })
+                    .unwrap();
             ideal_row.push(char::from(b'1' + best.index() as u8));
         }
         println!("k≈{k:>4}  model {model_row}   ideal {ideal_row}");

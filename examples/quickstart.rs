@@ -29,10 +29,9 @@ fn main() {
     };
     let solver = SpdSolver::new(&a, &mut machine, &opts).expect("SPD matrix must factor");
     println!(
-        "factored: {} supernodal nnz, {:.3} ms simulated on {}",
+        "factored: {} supernodal nnz, {:.3} ms simulated on Xeon 5160 + Tesla T10",
         solver.factor_nnz(),
         solver.factor_time() * 1e3,
-        "Xeon 5160 + Tesla T10"
     );
     let counts = solver.stats().policy_counts();
     println!(
@@ -43,14 +42,12 @@ fn main() {
     // Solve with a known solution and refine to double precision.
     let (xtrue, b) = rhs_for_solution(&a, 42);
     let sol = solver.solve_refined(&b, 4, 1e-13);
-    let err = sol
-        .x
-        .iter()
-        .zip(&xtrue)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let err = sol.x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("refinement history (relative residual): {:?}", sol.residual_history);
-    println!("forward error vs known solution: {err:.3e} after {} refinement steps", sol.iterations);
+    println!(
+        "forward error vs known solution: {err:.3e} after {} refinement steps",
+        sol.iterations
+    );
     assert!(err < 1e-7, "refinement must recover double-precision-grade accuracy");
     println!("OK");
 }

@@ -23,7 +23,8 @@ fn main() {
         a.nnz_full() as f64 / a.order() as f64
     );
 
-    let analysis = analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+    let analysis =
+        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
     println!(
         "analysis: {} supernodes, factor nnz = {}, {:.2e} flops",
         analysis.symbolic.num_supernodes(),

@@ -81,7 +81,12 @@ fn f32_needs_refinement_f64_does_not() {
     // The paper's single-precision story, measured quantitatively.
     let a = laplacian_3d(9, 8, 7, Stencil::Full);
     let mut machine = Machine::paper_node();
-    let s32 = SpdSolver::new(&a, &mut machine, &opts(PolicySelector::Fixed(PolicyKind::P4), Precision::F32)).unwrap();
+    let s32 = SpdSolver::new(
+        &a,
+        &mut machine,
+        &opts(PolicySelector::Fixed(PolicyKind::P4), Precision::F32),
+    )
+    .unwrap();
     let (_, b) = rhs_for_solution(&a, 2);
     let refined = s32.solve_refined(&b, 5, 1e-14);
     assert!(refined.residual_history[0] > 1e-9, "f32 must start imprecise");
@@ -132,9 +137,12 @@ fn tiny_and_degenerate_systems() {
     t.push(0, 0, 4.0);
     let a = t.assemble();
     let mut machine = Machine::paper_node();
-    let solver =
-        SpdSolver::new(&a, &mut machine, &opts(PolicySelector::Fixed(PolicyKind::P1), Precision::F64))
-            .unwrap();
+    let solver = SpdSolver::new(
+        &a,
+        &mut machine,
+        &opts(PolicySelector::Fixed(PolicyKind::P1), Precision::F64),
+    )
+    .unwrap();
     let x = solver.solve(&[8.0]);
     assert!((x[0] - 2.0).abs() < 1e-12);
 
@@ -145,9 +153,12 @@ fn tiny_and_degenerate_systems() {
     }
     let a = t.assemble();
     let mut machine = Machine::paper_node();
-    let solver =
-        SpdSolver::new(&a, &mut machine, &opts(PolicySelector::Fixed(PolicyKind::P2), Precision::F32))
-            .unwrap();
+    let solver = SpdSolver::new(
+        &a,
+        &mut machine,
+        &opts(PolicySelector::Fixed(PolicyKind::P2), Precision::F32),
+    )
+    .unwrap();
     let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
     let x = solver.solve(&b);
     for (i, &xi) in x.iter().enumerate() {
@@ -164,7 +175,11 @@ fn indefinite_matrix_rejected_cleanly() {
     t.push(3, 3, 1.0);
     let a = t.assemble();
     let mut machine = Machine::paper_node();
-    let r = SpdSolver::new(&a, &mut machine, &opts(PolicySelector::Fixed(PolicyKind::P1), Precision::F64));
+    let r = SpdSolver::new(
+        &a,
+        &mut machine,
+        &opts(PolicySelector::Fixed(PolicyKind::P1), Precision::F64),
+    );
     assert!(r.is_err(), "indefinite matrix must be rejected");
 }
 

@@ -20,9 +20,7 @@ fn policy_stats(
 ) -> gpu_multifrontal::core::FactorStats {
     let mut machine = Machine::paper_node();
     let opts = FactorOptions { selector, record_stats: true, ..Default::default() };
-    factor_permuted(a32, &analysis.symbolic, &analysis.perm, &mut machine, &opts)
-        .expect("SPD")
-        .1
+    factor_permuted(a32, &analysis.symbolic, &analysis.perm, &mut machine, &opts).expect("SPD").1
 }
 
 /// Table III: asymptotic rates within 1 % of the paper's values.
@@ -46,7 +44,8 @@ fn table3_rates_match_paper() {
 #[test]
 fn most_calls_are_small() {
     let a = laplacian_3d(16, 16, 16, Stencil::Faces);
-    let analysis = analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+    let analysis =
+        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
     let a32: SymCsc<f32> = analysis.permuted.0.cast();
     let st = policy_stats(&a32, &analysis, PolicySelector::Fixed(PolicyKind::P1));
     let small = st.records.iter().filter(|r| r.k <= 500 && r.m <= 1000).count();
@@ -86,8 +85,14 @@ fn policy_progression_with_size() {
         PolicyKind::ALL
             .into_iter()
             .min_by(|&a, &b| {
-                estimate_fu_time(&mut machine, m, k, a, 64, false)
-                    .total_cmp(&estimate_fu_time(&mut machine, m, k, b, 64, false))
+                estimate_fu_time(&mut machine, m, k, a, 64, false).total_cmp(&estimate_fu_time(
+                    &mut machine,
+                    m,
+                    k,
+                    b,
+                    64,
+                    false,
+                ))
             })
             .unwrap()
     };
@@ -108,7 +113,8 @@ fn policy_progression_with_size() {
 #[test]
 fn model_hybrid_near_ideal() {
     let a = laplacian_3d(14, 14, 14, Stencil::Full);
-    let analysis = analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+    let analysis =
+        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
     let a32: SymCsc<f32> = analysis.permuted.0.cast();
     let stats: Vec<_> = PolicyKind::ALL
         .into_iter()
@@ -140,7 +146,8 @@ fn speedup_ordering_matches_paper() {
     // Needs a matrix large enough for GPU policies to pay off at all
     // (N ≈ 14k; the paper's are ~1M).
     let a = laplacian_3d(24, 24, 24, Stencil::Full);
-    let analysis = analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+    let analysis =
+        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
     let a32: SymCsc<f32> = analysis.permuted.0.cast();
     let stats: Vec<_> = PolicyKind::ALL
         .into_iter()
