@@ -1,0 +1,169 @@
+//! Wall-clock benchmark of the parallel factorization driver: serial
+//! `factor_permuted` vs `factor_permuted_parallel` at 2/4/8 workers, on the
+//! paper's 3-D stand-ins (scaled down for bench runtimes).
+//!
+//! Two distinct speedup numbers come out of this, deliberately side by
+//! side in `BENCH_factor.json`:
+//!
+//! * **measured** — real elapsed seconds on this host, which depends on the
+//!   machine's hardware thread count (`hardware_threads` in the report; on
+//!   a single-core container the measured speedup is necessarily ≈ 1), and
+//! * **simulated** — the `simulate_tree_schedule` makespan prediction from
+//!   a recorded serial run, which models the paper's multi-worker node and
+//!   is hardware-independent.
+//!
+//! The per-worker delta between the two validates the schedule model
+//! against the real runtime wherever the host has threads to spare.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mf_core::{
+    durations_by_supernode, factor_permuted, factor_permuted_parallel, simulate_tree_schedule,
+    BaselineThresholds, FactorOptions, MoldableModel, ParallelOptions, PolicySelector,
+};
+use mf_gpusim::Machine;
+use mf_matgen::PaperMatrix;
+use mf_sparse::symbolic::{analyze, Analysis};
+use mf_sparse::{AmalgamationOptions, OrderingKind, SymCsc};
+
+const WORKER_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// Matrices: the largest 3-D stand-in (sgi_1M) plus a vector-FE stand-in
+/// (audikw_1), both shrunk to bench-friendly orders.
+fn suite() -> Vec<(&'static str, SymCsc<f64>)> {
+    let scale =
+        std::env::var("MF_BENCH_SCALE").ok().and_then(|s| s.parse::<f64>().ok()).unwrap_or(0.30);
+    vec![
+        ("sgi_1M", PaperMatrix::Sgi1M.generate_scaled(scale)),
+        ("audikw_1", PaperMatrix::Audikw1.generate_scaled(scale)),
+    ]
+}
+
+fn analysis_of(a: &SymCsc<f64>) -> Analysis {
+    analyze(a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+}
+
+fn opts() -> FactorOptions {
+    FactorOptions {
+        selector: PolicySelector::Baseline(BaselineThresholds::default()),
+        ..Default::default()
+    }
+}
+
+fn bench_factor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factor_parallel");
+    for (name, a) in suite() {
+        let an = analysis_of(&a);
+        let opts = opts();
+        g.bench_with_input(BenchmarkId::new("serial", name), &(), |b, _| {
+            b.iter(|| {
+                let mut machine = Machine::paper_node();
+                factor_permuted(&an.permuted.0, &an.symbolic, &an.perm, &mut machine, &opts)
+                    .unwrap()
+            })
+        });
+        for w in WORKER_COUNTS {
+            g.bench_with_input(BenchmarkId::new(format!("w{w}"), name), &w, |b, &w| {
+                b.iter(|| {
+                    let mut machines: Vec<Machine> =
+                        (0..w).map(|_| Machine::paper_node()).collect();
+                    factor_permuted_parallel(
+                        &an.permuted.0,
+                        &an.symbolic,
+                        &an.perm,
+                        &mut machines,
+                        &opts,
+                        &ParallelOptions::default(),
+                    )
+                    .unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_factor
+}
+
+/// Simulated tree-schedule speedups for one matrix, from a recorded serial
+/// run (molding on — the analogue of the runtime's kernel-width widening).
+fn simulated_speedups(a: &SymCsc<f64>) -> Vec<(usize, f64)> {
+    let an = analysis_of(a);
+    let mut machine = Machine::paper_node();
+    let ropts = FactorOptions { record_stats: true, ..opts() };
+    let (_, stats) =
+        factor_permuted(&an.permuted.0, &an.symbolic, &an.perm, &mut machine, &ropts).unwrap();
+    let (durations, ops) = durations_by_supernode(&an.symbolic, &stats);
+    WORKER_COUNTS
+        .iter()
+        .map(|&w| {
+            let r = simulate_tree_schedule(
+                &an.symbolic,
+                &durations,
+                &ops,
+                w,
+                Some(MoldableModel::default()),
+            );
+            (w, r.speedup())
+        })
+        .collect()
+}
+
+/// Write `BENCH_factor.json`: per matrix, the serial mean plus — per worker
+/// count — measured wall-clock speedup, simulated makespan speedup, and
+/// their difference.
+fn write_bench_json() {
+    let recs = criterion::records();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"hardware_threads\": {threads},\n"));
+    out.push_str(
+        "  \"note\": \"measured = real wall-clock on this host (bounded by hardware_threads); \
+         simulated = tree-schedule model of the paper's multi-worker node\",\n",
+    );
+    out.push_str("  \"matrices\": [\n");
+    let mut blocks: Vec<String> = Vec::new();
+    for (name, a) in suite() {
+        let mean_of = |id: String| {
+            recs.iter()
+                .find(|r| r.group == "factor_parallel" && r.id == id)
+                .map(|r| r.mean_ns / 1.0e6)
+        };
+        let Some(serial_ms) = mean_of(format!("serial/{name}")) else { continue };
+        let sim = simulated_speedups(&a);
+        let mut rows: Vec<String> = Vec::new();
+        for &w in &WORKER_COUNTS {
+            let Some(par_ms) = mean_of(format!("w{w}/{name}")) else { continue };
+            let measured = serial_ms / par_ms;
+            let simulated = sim.iter().find(|&&(sw, _)| sw == w).map(|&(_, s)| s).unwrap_or(1.0);
+            rows.push(format!(
+                "        {{\"workers\": {w}, \"measured_ms\": {par_ms:.3}, \
+                 \"measured_speedup\": {measured:.3}, \"simulated_speedup\": {simulated:.3}, \
+                 \"sim_minus_measured\": {:.3}}}",
+                simulated - measured
+            ));
+        }
+        blocks.push(format!(
+            "    {{\"name\": \"{name}\", \"order\": {}, \"serial_ms\": {serial_ms:.3}, \
+             \"runs\": [\n{}\n      ]}}",
+            a.order(),
+            rows.join(",\n")
+        ));
+    }
+    out.push_str(&blocks.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_factor.json");
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote BENCH_factor.json ({} hardware threads)", threads);
+    }
+}
+
+fn main() {
+    benches();
+    write_bench_json();
+}

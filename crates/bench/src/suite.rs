@@ -5,8 +5,8 @@
 use crate::config::ExpConfig;
 use mf_autotune::{train, Dataset, TrainOptions};
 use mf_core::{
-    factor_permuted, BaselineThresholds, FactorOptions, FactorStats, LinearPolicyModel, PolicyKind,
-    PolicySelector,
+    factor_permuted, factor_permuted_parallel, BaselineThresholds, FactorOptions, FactorStats,
+    LinearPolicyModel, ParallelOptions, PolicyKind, PolicySelector,
 };
 use mf_gpusim::Machine;
 use mf_matgen::paper::{paper_suite, PaperMatrix};
@@ -59,6 +59,49 @@ impl MatrixRuns {
     /// Ideal-hybrid stats (per-supernode oracle from the dataset).
     pub fn run_ideal(&self) -> FactorStats {
         self.run_with(PolicySelector::Oracle(self.dataset.oracle_table()), false)
+    }
+
+    /// *Measured* wall-clock seconds of one serial baseline-hybrid
+    /// factorization on this host — real elapsed time, not the simulated
+    /// `total_time` the other columns report.
+    pub fn measured_serial_wall(&self) -> f64 {
+        let mut machine = Machine::paper_node();
+        let a32: SymCsc<f32> = self.analysis.permuted.0.cast();
+        let opts = FactorOptions {
+            selector: PolicySelector::Baseline(BaselineThresholds::default()),
+            ..Default::default()
+        };
+        let (_, stats) = factor_permuted(
+            &a32,
+            &self.analysis.symbolic,
+            &self.analysis.perm,
+            &mut machine,
+            &opts,
+        )
+        .expect("suite matrices are SPD");
+        stats.wall_time
+    }
+
+    /// *Measured* wall-clock seconds of the real work-stealing parallel
+    /// driver at `workers` tree-level workers (same baseline-hybrid
+    /// configuration as [`Self::measured_serial_wall`]).
+    pub fn measured_parallel_wall(&self, workers: usize) -> f64 {
+        let mut machines: Vec<Machine> = (0..workers).map(|_| Machine::paper_node()).collect();
+        let a32: SymCsc<f32> = self.analysis.permuted.0.cast();
+        let opts = FactorOptions {
+            selector: PolicySelector::Baseline(BaselineThresholds::default()),
+            ..Default::default()
+        };
+        let (_, stats) = factor_permuted_parallel(
+            &a32,
+            &self.analysis.symbolic,
+            &self.analysis.perm,
+            &mut machines,
+            &opts,
+            &ParallelOptions::default(),
+        )
+        .expect("suite matrices are SPD");
+        stats.wall_time
     }
 }
 

@@ -135,6 +135,88 @@ impl<T: Scalar> CholeskyFactor<T> {
     }
 }
 
+/// Everything one supernode's task produces: its factor panel, the update
+/// matrix destined for its parent's extend-add, and bookkeeping.
+pub(crate) struct SnOutput<T> {
+    /// The `s × k` factor panel.
+    pub panel: Vec<T>,
+    /// The `m × m` update matrix (`None` for root fronts, `m = 0`).
+    pub update: Option<UpdateMatrix<T>>,
+    /// Per-call timing record, when `opts.record_stats` is set.
+    pub record: Option<FuRecord>,
+    /// Whether a device OOM forced a P1 fallback.
+    pub oom_fallback: bool,
+}
+
+/// One supernode's complete task body: assemble the front from `A` and the
+/// buffered child updates (extend-added in the order given — the serial
+/// postorder child rank), execute the factor-update under the selected
+/// policy, and extract the panel and update matrix.
+///
+/// This is shared verbatim by the serial postorder driver and the
+/// work-stealing parallel driver
+/// ([`crate::parallel::factor_permuted_parallel`]), which is what makes the
+/// parallel factor bitwise identical to the serial one: both run exactly
+/// this code per supernode, on child updates in exactly this order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_supernode<T: Scalar>(
+    a: &SymCsc<T>,
+    symbolic: &SymbolicFactor,
+    sn: usize,
+    children: &[UpdateMatrix<T>],
+    machine: &mut Machine,
+    pool: &mut PinnedPool,
+    opts: &FactorOptions,
+    kernel_threads: Option<usize>,
+) -> Result<SnOutput<T>, FactorError> {
+    let info = &symbolic.supernodes[sn];
+    let (m, k) = (info.m(), info.k());
+
+    let mut front = assemble_front(a, info, children, &mut machine.host);
+    let t_assemble_records = if opts.record_stats { machine.take_records() } else { Vec::new() };
+
+    let policy = opts.selector.choose(sn, m, k);
+    let t0 = machine.host.now();
+    let mut ctx = FuContext {
+        machine,
+        pool,
+        panel_width: opts.panel_width,
+        copy_optimized: opts.copy_optimized,
+        timing_only: false,
+        kernel_threads,
+    };
+    let outcome = execute_fu(&mut front, policy, &mut ctx).map_err(|e| match e {
+        FuError::NotPositiveDefinite { local_column } => {
+            FactorError::NotPositiveDefinite { column: info.col_start + local_column }
+        }
+    })?;
+    let t1 = machine.host.now();
+
+    let record = if opts.record_stats {
+        let mut rec = FuRecord {
+            sn,
+            m,
+            k,
+            policy: outcome.executed,
+            total: t1 - t0,
+            t_potrf: 0.0,
+            t_trsm: 0.0,
+            t_syrk: 0.0,
+            t_copy: 0.0,
+            t_assemble: 0.0,
+        };
+        rec.absorb(&t_assemble_records);
+        rec.absorb(&machine.take_records());
+        Some(rec)
+    } else {
+        None
+    };
+
+    let panel = extract_panel(&front, &mut machine.host);
+    let update = if m > 0 { Some(extract_update(&front, info, &mut machine.host)) } else { None };
+    Ok(SnOutput { panel, update, record, oom_fallback: outcome.oom_fallback })
+}
+
 /// Factor an already-permuted matrix on the given machine.
 ///
 /// `a` must be the permuted matrix `P·A·Pᵀ` whose structure `symbolic`
@@ -153,65 +235,29 @@ pub fn factor_permuted<T: Scalar>(
     let mut panels: Vec<Vec<T>> = vec![Vec::new(); nsn];
     let mut stats = FactorStats::default();
     machine.set_recording(opts.record_stats);
+    let wall0 = std::time::Instant::now();
 
     for &sn in &symbolic.postorder {
-        let info = &symbolic.supernodes[sn];
-        let (m, k) = (info.m(), info.k());
-
         // Gather children updates (consumed by the extend-add).
         let children: Vec<UpdateMatrix<T>> = symbolic.children[sn]
             .iter()
             .map(|&c| updates[c].take().expect("child update must exist in postorder"))
             .collect();
-        let mut front = assemble_front(a, info, &children, &mut machine.host);
+        let out = process_supernode(a, symbolic, sn, &children, machine, &mut pool, opts, None)?;
         drop(children);
-        let t_assemble_records =
-            if opts.record_stats { machine.take_records() } else { Vec::new() };
 
-        let policy = opts.selector.choose(sn, m, k);
-        let t0 = machine.host.now();
-        let mut ctx = FuContext {
-            machine,
-            pool: &mut pool,
-            panel_width: opts.panel_width,
-            copy_optimized: opts.copy_optimized,
-            timing_only: false,
-        };
-        let outcome = execute_fu(&mut front, policy, &mut ctx).map_err(|e| match e {
-            FuError::NotPositiveDefinite { local_column } => {
-                FactorError::NotPositiveDefinite { column: info.col_start + local_column }
-            }
-        })?;
-        let t1 = machine.host.now();
-
-        if outcome.oom_fallback {
+        if out.oom_fallback {
             stats.oom_fallbacks += 1;
         }
-        if opts.record_stats {
-            let mut rec = FuRecord {
-                sn,
-                m,
-                k,
-                policy: outcome.executed,
-                total: t1 - t0,
-                t_potrf: 0.0,
-                t_trsm: 0.0,
-                t_syrk: 0.0,
-                t_copy: 0.0,
-                t_assemble: 0.0,
-            };
-            rec.absorb(&t_assemble_records);
-            rec.absorb(&machine.take_records());
+        if let Some(rec) = out.record {
             stats.records.push(rec);
         }
-
-        panels[sn] = extract_panel(&front, &mut machine.host);
-        if m > 0 {
-            updates[sn] = Some(extract_update(&front, info, &mut machine.host));
-        }
+        panels[sn] = out.panel;
+        updates[sn] = out.update;
     }
 
     stats.total_time = machine.elapsed();
+    stats.wall_time = wall0.elapsed().as_secs_f64();
     machine.set_recording(false);
     Ok((CholeskyFactor { symbolic: symbolic.clone(), perm: perm.clone(), panels }, stats))
 }

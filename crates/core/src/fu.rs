@@ -66,6 +66,14 @@ pub struct FuContext<'a> {
     /// data movement. Requires the machine's GPU and the pool to be in
     /// virtual mode (see [`estimate_fu_time`]). The front may be a dummy.
     pub timing_only: bool,
+    /// Dense-engine thread width for this call, from the tree runtime's
+    /// [`ThreadBudget`](mf_runtime::ThreadBudget) arbitration: `Some(w)`
+    /// caps the engine's column-slab threading at `w` for the duration
+    /// (leaf fronts under a busy pool get 1, a lone root front gets the
+    /// whole budget). `None` leaves the process-wide cap untouched (the
+    /// serial driver). Thread width never changes results — the engine is
+    /// bitwise deterministic at every thread count.
+    pub kernel_threads: Option<usize>,
 }
 
 /// Outcome of an F-U call.
@@ -85,6 +93,13 @@ pub fn execute_fu<T: Scalar>(
     policy: PolicyKind,
     ctx: &mut FuContext<'_>,
 ) -> Result<FuOutcome, FuError> {
+    if let Some(w) = ctx.kernel_threads {
+        // Process-global cap: concurrent tasks each set their own width and
+        // the last store wins for kernels launched after it — a benign race
+        // (widths only steer wall-clock, never bits). The parallel driver
+        // restores the caller's cap once the whole run finishes.
+        mf_dense::set_num_threads(w);
+    }
     let requested = if ctx.machine.gpu.is_some() { policy } else { PolicyKind::P1 };
     let attempt = match requested {
         PolicyKind::P1 => {
@@ -152,14 +167,26 @@ pub fn estimate_fu_time(
     // amortises growth across thousands of calls; a cold-pool estimate
     // would bias against the policies with large staging footprints).
     {
-        let mut ctx =
-            FuContext { machine, pool: &mut pool, panel_width, copy_optimized, timing_only: true };
+        let mut ctx = FuContext {
+            machine,
+            pool: &mut pool,
+            panel_width,
+            copy_optimized,
+            timing_only: true,
+            kernel_threads: None,
+        };
         execute_fu(&mut front, policy, &mut ctx)
             .expect("timing-only execution cannot fail numerically");
     }
     machine.reset();
-    let mut ctx =
-        FuContext { machine, pool: &mut pool, panel_width, copy_optimized, timing_only: true };
+    let mut ctx = FuContext {
+        machine,
+        pool: &mut pool,
+        panel_width,
+        copy_optimized,
+        timing_only: true,
+        kernel_threads: None,
+    };
     let out = execute_fu(&mut front, policy, &mut ctx)
         .expect("timing-only execution cannot fail numerically");
     let _ = out;
@@ -610,6 +637,7 @@ mod tests {
             panel_width: 16,
             copy_optimized: false,
             timing_only: false,
+            kernel_threads: None,
         };
         let out = execute_fu(&mut front, policy, &mut ctx).unwrap();
         assert_eq!(out.executed, policy);
@@ -674,6 +702,7 @@ mod tests {
                 panel_width: 4,
                 copy_optimized: false,
                 timing_only: false,
+                kernel_threads: None,
             };
             let err = execute_fu(&mut front, p, &mut ctx).unwrap_err();
             assert_eq!(err, FuError::NotPositiveDefinite { local_column: 4 }, "{p}");
@@ -715,6 +744,7 @@ mod tests {
             panel_width: 16,
             copy_optimized: false,
             timing_only: false,
+            kernel_threads: None,
         };
         let out = execute_fu(&mut front, PolicyKind::P4, &mut ctx).unwrap();
         assert_eq!(out.executed, PolicyKind::P1);
@@ -735,6 +765,7 @@ mod tests {
             panel_width: 8,
             copy_optimized: false,
             timing_only: false,
+            kernel_threads: None,
         };
         let out = execute_fu(&mut front, PolicyKind::P3, &mut ctx).unwrap();
         assert_eq!(out.executed, PolicyKind::P1);
@@ -754,6 +785,7 @@ mod tests {
                 panel_width: 32,
                 copy_optimized: opt,
                 timing_only: false,
+                kernel_threads: None,
             };
             execute_fu(&mut front, PolicyKind::P4, &mut ctx).unwrap();
             t[idx] = machine.elapsed();
@@ -774,6 +806,7 @@ mod tests {
             panel_width: 16,
             copy_optimized: true,
             timing_only: false,
+            kernel_threads: None,
         };
         execute_fu(&mut front, PolicyKind::P4, &mut ctx).unwrap();
         for j in 0..s {
@@ -803,6 +836,7 @@ mod tests {
             panel_width: 32,
             copy_optimized: false,
             timing_only: false,
+            kernel_threads: None,
         };
         execute_fu(&mut front, PolicyKind::P3, &mut ctx).unwrap();
         assert!(machine.elapsed() > t_fast * 5.0);
@@ -828,6 +862,7 @@ mod tests {
                     panel_width: 16,
                     copy_optimized: false,
                     timing_only: false,
+                    kernel_threads: None,
                 };
                 execute_fu(&mut front, p, &mut ctx).unwrap();
                 if pass == 1 {
@@ -868,6 +903,7 @@ mod tests {
                 panel_width: 16,
                 copy_optimized: false,
                 timing_only: false,
+                kernel_threads: None,
             };
             execute_fu(&mut front, p, &mut ctx).unwrap();
             assert_eq!(machine.gpu.as_ref().unwrap().mem_used(), 0, "{p} leaked device memory");

@@ -43,7 +43,10 @@ pub use factor::{factor_permuted, CholeskyFactor, FactorError, FactorOptions, Po
 pub use features::{raw_features, LinearPolicyModel, NUM_FEATURES};
 pub use frontal::{Front, UpdateMatrix};
 pub use fu::{estimate_fu_time, execute_fu, FuContext, FuError, FuOutcome, DEFAULT_PANEL_WIDTH};
-pub use parallel::{simulate_tree_schedule, MoldableModel, ScheduleResult};
+pub use parallel::{
+    durations_by_supernode, factor_permuted_parallel, simulate_tree_schedule, MoldableModel,
+    ParallelOptions, ScheduleResult,
+};
 pub use pinned_pool::PinnedPool;
 pub use policy::{BaselineThresholds, PolicyKind};
 pub use solver::{Precision, RefinedSolution, SolverOptions, SpdSolver};

@@ -1,21 +1,37 @@
-//! Deterministic parallel-execution model: list scheduling of the
-//! supernodal task DAG over multiple workers.
+//! Parallel execution of the supernodal task DAG — both the *model* and
+//! the *real thing*.
 //!
-//! The paper's Table VII compares against a 4-thread WSMP run and reports a
-//! 2-thread/2-GPU configuration. Both are *makespan* quantities of the
-//! task-parallel elimination-tree traversal. We reproduce them with a
-//! deterministic list schedule on per-worker virtual timelines:
+//! Two complementary halves:
 //!
-//! * a supernode's task becomes ready when all children finished;
-//! * ready tasks are assigned largest-bottom-level first to the earliest
-//!   free worker;
-//! * large tasks are *moldable*: when workers idle and the ready queue is
-//!   shorter than the worker count, a task may span several workers with a
-//!   bounded-efficiency speedup — modelling WSMP's intra-front parallel
-//!   BLAS near the root of the tree, without which tree-only parallelism
-//!   stalls on the sequential root front.
+//! 1. [`simulate_tree_schedule`] — the deterministic list-schedule model of
+//!    the paper's Table VII (4-thread WSMP column, 2-thread/2-GPU row):
+//!    per-worker virtual timelines, largest-bottom-level-first priorities,
+//!    and moldable large tasks standing in for intra-front parallel BLAS.
+//! 2. [`factor_permuted_parallel`] — a real wall-clock parallel numeric
+//!    factorization on the `mf-runtime` work-stealing scheduler: every
+//!    supernode is a task whose remaining-children counter releases the
+//!    parent, child update matrices are buffered and extend-added in
+//!    postorder child rank (so the factor is **bitwise identical** to
+//!    [`factor_permuted`](crate::factor::factor_permuted) at every worker
+//!    count), and a shared [`ThreadBudget`] arbitrates hardware threads
+//!    between tree-level workers and the dense engine's column-slab
+//!    threading.
+//!
+//! The model predicts; the runtime measures. `mf-bench`'s
+//! `factor_parallel` bench writes both curves side by side
+//! (`BENCH_factor.json`) so the simulated speedups stay honest.
 
+use crate::factor::{process_supernode, CholeskyFactor, FactorError, FactorOptions};
+use crate::frontal::UpdateMatrix;
+use crate::pinned_pool::PinnedPool;
+use crate::stats::{FactorStats, FuRecord};
+use mf_dense::{FuFlops, Scalar};
+use mf_gpusim::Machine;
+use mf_runtime::{Runtime, TaskGraph, ThreadBudget};
 use mf_sparse::symbolic::SymbolicFactor;
+use mf_sparse::{Permutation, SymCsc};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Intra-task (moldable) parallelism model.
 #[derive(Debug, Clone, Copy)]
@@ -145,6 +161,176 @@ pub fn simulate_tree_schedule(
     ScheduleResult { makespan, busy, serial_time }
 }
 
+/// Per-supernode `(durations, ops)` vectors extracted from a recorded run —
+/// exactly the inputs [`simulate_tree_schedule`] wants. The run must have
+/// covered every supernode with `record_stats: true`; unrecorded supernodes
+/// get zero duration.
+pub fn durations_by_supernode(
+    symbolic: &SymbolicFactor,
+    stats: &FactorStats,
+) -> (Vec<f64>, Vec<f64>) {
+    let nsn = symbolic.num_supernodes();
+    let mut durations = vec![0.0f64; nsn];
+    let mut ops = vec![0.0f64; nsn];
+    for r in &stats.records {
+        durations[r.sn] = r.total;
+        ops[r.sn] = FuFlops::new(r.m, r.k).total();
+    }
+    (durations, ops)
+}
+
+/// Options for the wall-clock parallel driver
+/// [`factor_permuted_parallel`].
+#[derive(Debug, Clone)]
+pub struct ParallelOptions {
+    /// Total hardware-thread budget shared between tree-level workers and
+    /// the dense engine's column-slab threading. Each task grabs
+    /// `budget / active_workers` kernel threads for its duration, so leaf
+    /// phases (many small fronts in flight) run narrow kernels across many
+    /// workers while the root front (last task standing) runs the full-width
+    /// kernel alone. Defaults to the machine's available parallelism.
+    pub thread_budget: usize,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        let t = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ParallelOptions { thread_budget: t }
+    }
+}
+
+/// Per-worker mutable state for the parallel driver. Workers never share any
+/// of this; the only cross-worker traffic is the buffered update-matrix
+/// hand-off guarded by per-supernode mutexes.
+struct WorkerCtx<'m> {
+    machine: &'m mut Machine,
+    pool: PinnedPool,
+    /// `(postorder_rank, record)` pairs, merged into postorder at the end.
+    records: Vec<(usize, FuRecord)>,
+    oom: usize,
+}
+
+/// Factor an already-permuted matrix in parallel across the elimination
+/// tree, one worker thread per entry of `machines`.
+///
+/// The supernodal task DAG (child supernodes block their parent) runs on the
+/// `mf-runtime` work-stealing scheduler. Each worker owns one [`Machine`]
+/// (its simulated CPU+GPU node) and one [`PinnedPool`]; child update
+/// matrices are buffered per supernode and consumed by the parent's
+/// extend-add in postorder child rank — the same order and the same
+/// [`process_supernode`] body as the serial driver, which makes the result
+/// **bitwise identical** to [`crate::factor::factor_permuted`] at every
+/// worker count.
+///
+/// Returned [`FactorStats`]: `records` are merged back into postorder,
+/// `total_time` is the maximum per-worker simulated clock, and `wall_time`
+/// is the real measured wall-clock of this call — the quantity the
+/// `factor_parallel` bench compares against [`simulate_tree_schedule`]'s
+/// predicted makespan.
+pub fn factor_permuted_parallel<T: Scalar>(
+    a: &SymCsc<T>,
+    symbolic: &SymbolicFactor,
+    perm: &Permutation,
+    machines: &mut [Machine],
+    opts: &FactorOptions,
+    par: &ParallelOptions,
+) -> Result<(CholeskyFactor<T>, FactorStats), FactorError> {
+    let workers = machines.len();
+    assert!(workers >= 1, "need at least one worker machine");
+    let nsn = symbolic.num_supernodes();
+    let wall0 = Instant::now();
+
+    // Postorder rank of each supernode: its execution position in the
+    // serial driver. Used to merge stats and to pick the serial-first error.
+    let mut rank = vec![0usize; nsn];
+    for (r, &sn) in symbolic.postorder.iter().enumerate() {
+        rank[sn] = r;
+    }
+    let parents: Vec<usize> = symbolic.supernodes.iter().map(|s| s.parent).collect();
+    let graph = TaskGraph::from_parents(&parents);
+
+    // Hand-off buffers. A child's slot is written exactly once (by the
+    // worker that ran the child) and taken exactly once (by the worker that
+    // runs the parent, after the dependency counter ordered the two), so
+    // the mutexes are uncontended in practice.
+    let updates: Vec<Mutex<Option<UpdateMatrix<T>>>> = (0..nsn).map(|_| Mutex::new(None)).collect();
+    let panels: Vec<Mutex<Vec<T>>> = (0..nsn).map(|_| Mutex::new(Vec::new())).collect();
+
+    let budget = ThreadBudget::new(par.thread_budget);
+    let saved_cap = mf_dense::thread_cap();
+
+    let states: Vec<WorkerCtx<'_>> = machines
+        .iter_mut()
+        .map(|machine| {
+            machine.set_recording(opts.record_stats);
+            let pool =
+                if opts.pinned_reuse { PinnedPool::new(2) } else { PinnedPool::without_reuse(2) };
+            WorkerCtx { machine, pool, records: Vec::new(), oom: 0 }
+        })
+        .collect();
+
+    let runtime = Runtime::new(workers);
+    let (mut states, errors) = runtime.run(&graph, states, |st: &mut WorkerCtx<'_>, sn| {
+        // Gather buffered child updates in postorder child rank — the order
+        // the serial driver consumes them, which keeps the extend-add
+        // reduction (and hence the factor bits) identical.
+        let children: Vec<UpdateMatrix<T>> = symbolic.children[sn]
+            .iter()
+            .map(|&c| {
+                updates[c].lock().unwrap().take().expect("child update must exist before parent")
+            })
+            .collect();
+        let width = budget.begin();
+        let out = process_supernode(
+            a,
+            symbolic,
+            sn,
+            &children,
+            st.machine,
+            &mut st.pool,
+            opts,
+            Some(width),
+        );
+        budget.end();
+        let out = out?;
+        drop(children);
+        if out.oom_fallback {
+            st.oom += 1;
+        }
+        if let Some(rec) = out.record {
+            st.records.push((rank[sn], rec));
+        }
+        *panels[sn].lock().unwrap() = out.panel;
+        *updates[sn].lock().unwrap() = out.update;
+        Ok(())
+    });
+
+    // Workers widened the process-global dense-engine cap while running;
+    // restore whatever the caller had configured.
+    mf_dense::set_num_threads(saved_cap);
+
+    let mut stats = FactorStats::default();
+    for st in states.iter_mut() {
+        stats.total_time = stats.total_time.max(st.machine.elapsed());
+        stats.oom_fallbacks += st.oom;
+        st.machine.set_recording(false);
+    }
+    // On failure report the error the serial driver would have hit first
+    // (minimal postorder rank), so error surfacing is deterministic too.
+    if let Some((_, err)) = errors.into_iter().min_by_key(|(sn, _)| rank[*sn]) {
+        return Err(err);
+    }
+    stats.merge_worker_records(
+        states.iter_mut().map(|st| std::mem::take(&mut st.records)).collect(),
+    );
+    stats.wall_time = wall0.elapsed().as_secs_f64();
+    drop(states);
+
+    let panels: Vec<Vec<T>> =
+        panels.into_iter().map(|m| m.into_inner().expect("no poisoned panel slots")).collect();
+    Ok((CholeskyFactor { symbolic: symbolic.clone(), perm: perm.clone(), panels }, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +436,103 @@ mod tests {
             assert!(r.utilization() <= 1.0 + 1e-9);
             assert!(r.utilization() > 0.2);
         }
+    }
+
+    use crate::factor::factor_permuted;
+    use crate::policy::BaselineThresholds;
+    use crate::PolicySelector;
+
+    fn machines(n: usize) -> Vec<Machine> {
+        (0..n).map(|_| Machine::paper_node()).collect()
+    }
+
+    #[test]
+    fn parallel_factor_is_bitwise_serial() {
+        let a = laplacian_2d(14, 11, Stencil::Faces);
+        let analysis =
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        let opts = FactorOptions {
+            selector: PolicySelector::Baseline(BaselineThresholds::default()),
+            record_stats: true,
+            ..Default::default()
+        };
+        let mut serial = Machine::paper_node();
+        let (fs, ss) = factor_permuted(
+            &analysis.permuted.0,
+            &analysis.symbolic,
+            &analysis.perm,
+            &mut serial,
+            &opts,
+        )
+        .unwrap();
+        for w in [1usize, 3] {
+            let mut ms = machines(w);
+            let (fp, sp) = factor_permuted_parallel(
+                &analysis.permuted.0,
+                &analysis.symbolic,
+                &analysis.perm,
+                &mut ms,
+                &opts,
+                &ParallelOptions { thread_budget: 2 },
+            )
+            .unwrap();
+            for (p, q) in fs.panels.iter().zip(&fp.panels) {
+                assert_eq!(p.len(), q.len());
+                assert!(p.iter().zip(q).all(|(x, y)| x.to_bits() == y.to_bits()));
+            }
+            // Stats merge back into postorder, covering every supernode.
+            assert_eq!(sp.records.len(), ss.records.len());
+            assert!(sp.records.iter().zip(&ss.records).all(|(x, y)| x.sn == y.sn));
+            assert!(sp.total_time > 0.0);
+            assert!(sp.wall_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_error_matches_serial_column() {
+        use mf_sparse::Triplet;
+        let mut t = Triplet::new(6);
+        for i in 0..6 {
+            t.push(i, i, if i == 3 { -5.0 } else { 4.0 });
+            if i + 1 < 6 {
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        let a = t.assemble();
+        let analysis = analyze(&a, OrderingKind::Natural, None);
+        let mut ms = machines(2);
+        let err = factor_permuted_parallel(
+            &analysis.permuted.0,
+            &analysis.symbolic,
+            &analysis.perm,
+            &mut ms,
+            &FactorOptions::default(),
+            &ParallelOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, crate::FactorError::NotPositiveDefinite { column: 3 });
+    }
+
+    #[test]
+    fn durations_cover_recorded_run() {
+        let a = laplacian_2d(10, 10, Stencil::Faces);
+        let analysis =
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        let mut machine = Machine::paper_node();
+        let opts = FactorOptions { record_stats: true, ..Default::default() };
+        let (_, stats) = factor_permuted(
+            &analysis.permuted.0,
+            &analysis.symbolic,
+            &analysis.perm,
+            &mut machine,
+            &opts,
+        )
+        .unwrap();
+        let (d, o) = durations_by_supernode(&analysis.symbolic, &stats);
+        assert_eq!(d.len(), analysis.symbolic.num_supernodes());
+        assert!(d.iter().all(|&x| x > 0.0));
+        assert!(o.iter().all(|&x| x > 0.0));
+        let total: f64 = d.iter().sum();
+        assert!((total - stats.sum(|r| r.total)).abs() < 1e-12);
     }
 }

@@ -71,13 +71,30 @@ impl FuRecord {
 pub struct FactorStats {
     /// Per-supernode records in postorder execution order.
     pub records: Vec<FuRecord>,
-    /// Total simulated factorization time (makespan of the run).
+    /// Total simulated factorization time. For the serial driver this is
+    /// the machine's elapsed clock; for the parallel driver it is the
+    /// maximum per-worker elapsed clock (each worker's simulated busy
+    /// time — a lower bound on the simulated makespan).
     pub total_time: f64,
+    /// Measured wall-clock seconds of the driver call on the real hardware
+    /// this process ran on (unlike `total_time`, which is simulated).
+    pub wall_time: f64,
     /// Supernodes that fell back to P1 because the device was out of memory.
     pub oom_fallbacks: usize,
 }
 
 impl FactorStats {
+    /// Merge per-worker record buffers from a parallel run into this run's
+    /// record list, restoring the serial convention: records sorted by the
+    /// supernode's postorder rank (its execution position in the serial
+    /// driver). Each buffer entry is `(postorder_rank, record)`; workers
+    /// append to their own buffer race-free during the run and the merge
+    /// happens once at the end.
+    pub fn merge_worker_records(&mut self, buffers: Vec<Vec<(usize, FuRecord)>>) {
+        let mut tagged: Vec<(usize, FuRecord)> = buffers.into_iter().flatten().collect();
+        tagged.sort_by_key(|&(rank, _)| rank);
+        self.records.extend(tagged.into_iter().map(|(_, r)| r));
+    }
     /// Sum of a field over all records.
     pub fn sum(&self, f: impl Fn(&FuRecord) -> f64) -> f64 {
         self.records.iter().map(f).sum()
@@ -180,6 +197,7 @@ mod tests {
         let stats = FactorStats {
             records: vec![rec(100, 100, 1.0), rec(900, 100, 3.0), rec(2000, 2000, 6.0)],
             total_time: 10.0,
+            wall_time: 0.0,
             oom_fallbacks: 0,
         };
         let g = stats.time_fraction_grid(500, 2500);
@@ -196,6 +214,19 @@ mod tests {
         let r = rec(0, 100, 2.0);
         let expect = (100f64.powi(3) / 3.0) / 2.0;
         assert!((r.rate() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_worker_records_restores_postorder() {
+        let mut s = FactorStats::default();
+        // Worker 0 ran ranks 2 and 0, worker 1 ran ranks 1 and 3.
+        let buffers = vec![
+            vec![(2usize, rec(2, 2, 0.2)), (0, rec(0, 0, 0.0))],
+            vec![(1usize, rec(1, 1, 0.1)), (3, rec(3, 3, 0.3))],
+        ];
+        s.merge_worker_records(buffers);
+        let ms: Vec<usize> = s.records.iter().map(|r| r.m).collect();
+        assert_eq!(ms, vec![0, 1, 2, 3], "records must come back in postorder rank");
     }
 
     #[test]

@@ -61,6 +61,13 @@ pub fn set_num_threads(n: usize) {
     MAX_THREADS.store(n, Ordering::Relaxed);
 }
 
+/// The raw requested cap as last passed to [`set_num_threads`] (`0` =
+/// "ask the OS"). Unlike [`num_threads`] this does not resolve `0`, so a
+/// caller that temporarily overrides the cap can restore it exactly.
+pub fn thread_cap() -> usize {
+    MAX_THREADS.load(Ordering::Relaxed)
+}
+
 /// The worker-thread cap currently in effect.
 pub fn num_threads() -> usize {
     // `available_parallelism` re-reads cgroup state on every call (>10 µs on

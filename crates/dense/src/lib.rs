@@ -46,7 +46,7 @@ mod syrk;
 mod trsm;
 
 pub use gemm::{gemm, gemm_nt, Transpose};
-pub use kernel::{num_threads, set_num_threads};
+pub use kernel::{num_threads, set_num_threads, thread_cap};
 pub use matrix::{ColMajor, DenseMat};
 pub use potrf::{potrf, potrf_blocked, potrf_unblocked, PotrfError};
 pub use reference::{gemm_ref, potrf_ref, syrk_ref, trsm_ref};

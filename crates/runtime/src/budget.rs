@@ -1,0 +1,99 @@
+//! Nested-parallelism arbitration between the tree runtime and the dense
+//! engine's column-slab threading.
+//!
+//! Near the leaves of the elimination tree many small fronts run
+//! concurrently and each should keep its dense kernels single-threaded;
+//! near the root one huge front runs alone and should take every hardware
+//! thread inside the kernel. [`ThreadBudget`] implements that hand-off with
+//! one shared counter: a task entering execution claims a slot and receives
+//! `max(1, total / active)` kernel threads, so the *sum* of kernel widths
+//! never exceeds the budget by more than the rounding slack — no
+//! oversubscription when a root front runs under a busy pool.
+//!
+//! Widths may vary run to run (they depend on how many tasks happen to be
+//! in flight), which is safe because the dense engine is bitwise
+//! deterministic at every thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A shared hardware-thread budget split between concurrently running tasks.
+#[derive(Debug)]
+pub struct ThreadBudget {
+    total: usize,
+    active: AtomicUsize,
+}
+
+impl ThreadBudget {
+    /// A budget of `total` hardware threads (clamped to at least 1).
+    pub fn new(total: usize) -> Self {
+        ThreadBudget { total: total.max(1), active: AtomicUsize::new(0) }
+    }
+
+    /// The total budget.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Currently running tasks.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Enter a task: claims a slot and returns the kernel-thread width this
+    /// task may use. Pair with [`Self::end`].
+    pub fn begin(&self) -> usize {
+        let running = self.active.fetch_add(1, Ordering::AcqRel) + 1;
+        (self.total / running).max(1)
+    }
+
+    /// Leave a task entered with [`Self::begin`].
+    pub fn end(&self) {
+        let prev = self.active.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "ThreadBudget::end without begin");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_task_gets_the_whole_budget() {
+        let b = ThreadBudget::new(8);
+        assert_eq!(b.begin(), 8);
+        b.end();
+        assert_eq!(b.active(), 0);
+    }
+
+    #[test]
+    fn concurrent_tasks_split_the_budget() {
+        let b = ThreadBudget::new(8);
+        assert_eq!(b.begin(), 8); // 1 active
+        assert_eq!(b.begin(), 4); // 2 active
+        assert_eq!(b.begin(), 2); // 3 active → 8/3 = 2
+        assert_eq!(b.begin(), 2); // 4 active
+        for _ in 0..4 {
+            b.end();
+        }
+    }
+
+    #[test]
+    fn width_never_drops_below_one() {
+        let b = ThreadBudget::new(2);
+        for _ in 0..5 {
+            assert!(b.begin() >= 1);
+        }
+        assert_eq!(b.active(), 5);
+        for _ in 0..5 {
+            b.end();
+        }
+    }
+
+    #[test]
+    fn zero_budget_clamps_to_one() {
+        let b = ThreadBudget::new(0);
+        assert_eq!(b.total(), 1);
+        assert_eq!(b.begin(), 1);
+        b.end();
+    }
+}

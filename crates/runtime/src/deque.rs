@@ -1,0 +1,204 @@
+//! A Chase–Lev-style work-stealing deque of task ids.
+//!
+//! The classic single-owner / multi-thief deque (Chase & Lev, SPAA'05, with
+//! the memory orderings of Lê et al., PPoPP'13 §3): the owning worker pushes
+//! and pops at the *bottom*, thieves race a CAS on the *top*. Two properties
+//! of our workload let the whole structure stay in safe Rust:
+//!
+//! * elements are plain `usize` task ids stored in `AtomicUsize` slots, so a
+//!   racy read of a slot that loses its CAS returns a stale integer, never a
+//!   torn or dangling value;
+//! * every task is pushed at most once over the lifetime of a run, so a
+//!   deque sized to the task count never wraps — no slot is ever
+//!   overwritten while a thief may still read it, which removes the ABA /
+//!   buffer-growth machinery of the general algorithm.
+//!
+//! `push` may therefore assume free capacity (checked with a `debug_assert`
+//! and guaranteed by the runtime, which sizes each deque to the graph).
+
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// A task was stolen.
+    Task(usize),
+}
+
+/// A fixed-capacity Chase–Lev deque of `usize` task ids.
+#[derive(Debug)]
+pub struct TaskDeque {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buf: Box<[AtomicUsize]>,
+    mask: usize,
+}
+
+impl TaskDeque {
+    /// A deque able to hold `capacity` concurrently-pending tasks (rounded
+    /// up to a power of two).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1).next_power_of_two();
+        TaskDeque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buf: (0..cap).map(|_| AtomicUsize::new(0)).collect(),
+            mask: cap - 1,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, i: isize) -> &AtomicUsize {
+        &self.buf[i as usize & self.mask]
+    }
+
+    /// Number of tasks currently in the deque (racy snapshot).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque is observed empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner-side push at the bottom. Only the owning worker may call this.
+    pub fn push(&self, task: usize) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        debug_assert!(
+            (b - t) < self.buf.len() as isize,
+            "TaskDeque overflow: runtime must size deques to the task count"
+        );
+        self.slot(b).store(task, Ordering::Relaxed);
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-side pop at the bottom (LIFO). Only the owning worker may call
+    /// this.
+    pub fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let task = self.slot(b).load(Ordering::Relaxed);
+            if t == b {
+                // Last element: race thieves for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    Some(task)
+                } else {
+                    None
+                }
+            } else {
+                Some(task)
+            }
+        } else {
+            // Deque was empty; restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief-side steal at the top (FIFO). Any thread may call this.
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let task = self.slot(t).load(Ordering::Relaxed);
+            if self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok() {
+                Steal::Task(task)
+            } else {
+                Steal::Retry
+            }
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn lifo_for_owner() {
+        let d = TaskDeque::new(8);
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), Some(1));
+        assert_eq!(d.pop(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn fifo_for_thieves() {
+        let d = TaskDeque::new(8);
+        d.push(10);
+        d.push(11);
+        assert_eq!(d.steal(), Steal::Task(10));
+        assert_eq!(d.steal(), Steal::Task(11));
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn owner_and_thieves_partition_the_work() {
+        // Every pushed id is consumed exactly once across the owner and a
+        // gang of thieves, whatever the interleaving.
+        const N: usize = 20_000;
+        const THIEVES: usize = 4;
+        let d = TaskDeque::new(N);
+        let seen = (0..N).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..THIEVES {
+                s.spawn(|| loop {
+                    match d.steal() {
+                        Steal::Task(t) => {
+                            seen[t].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            for i in 0..N {
+                d.push(i);
+                if i % 3 == 0 {
+                    if let Some(t) = d.pop() {
+                        seen[t].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            while let Some(t) = d.pop() {
+                seen[t].fetch_add(1, Ordering::Relaxed);
+            }
+            done.store(true, Ordering::Release);
+        });
+        for (i, c) in seen.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {i} consumed wrong number of times");
+        }
+    }
+}

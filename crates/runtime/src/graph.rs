@@ -1,0 +1,142 @@
+//! A dependency-counted task graph.
+//!
+//! Tasks are dense ids `0..n`. Each task carries an atomic
+//! remaining-prerequisite counter; completing a prerequisite decrements the
+//! counter of every dependent, and the decrement that reaches zero *releases*
+//! the dependent (the caller then schedules it). For the multifrontal
+//! factorization the graph is the postordered supernodal elimination tree —
+//! [`TaskGraph::from_parents`] builds exactly that shape — but arbitrary
+//! DAGs are supported through [`TaskGraph::add_dependency`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A DAG of `usize` tasks with atomic remaining-dependency counters.
+#[derive(Debug)]
+pub struct TaskGraph {
+    /// `dependents[t]` = tasks that need `t` finished first.
+    dependents: Vec<Vec<usize>>,
+    /// Static prerequisite counts (for [`Self::reset`]).
+    ndeps: Vec<usize>,
+    /// Live remaining-prerequisite counters.
+    remaining: Vec<AtomicUsize>,
+}
+
+impl TaskGraph {
+    /// An edgeless graph of `n` tasks (every task initially ready).
+    pub fn new(n: usize) -> Self {
+        TaskGraph {
+            dependents: vec![Vec::new(); n],
+            ndeps: vec![0; n],
+            remaining: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Declare that `task` cannot start until `prereq` has completed.
+    pub fn add_dependency(&mut self, task: usize, prereq: usize) {
+        assert!(task != prereq, "task cannot depend on itself");
+        self.dependents[prereq].push(task);
+        self.ndeps[task] += 1;
+        *self.remaining[task].get_mut() += 1;
+    }
+
+    /// Build the graph of a forest given by a parent array (`usize::MAX`
+    /// marks a root): each parent depends on all of its children. This is
+    /// the elimination-tree shape — leaves form the initial ready set.
+    pub fn from_parents(parents: &[usize]) -> Self {
+        let mut g = TaskGraph::new(parents.len());
+        for (child, &p) in parents.iter().enumerate() {
+            if p != usize::MAX {
+                g.add_dependency(p, child);
+            }
+        }
+        g
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.ndeps.len()
+    }
+
+    /// Whether the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.ndeps.is_empty()
+    }
+
+    /// Tasks with no prerequisites, in ascending id order (the leaf seed of
+    /// the ready queue).
+    pub fn initial_ready(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&t| self.ndeps[t] == 0).collect()
+    }
+
+    /// Tasks that are waiting on `task`.
+    pub fn dependents(&self, task: usize) -> &[usize] {
+        &self.dependents[task]
+    }
+
+    /// Record that one prerequisite of `task` finished; returns `true` when
+    /// this was the last one, i.e. `task` is now ready to run. The
+    /// release/acquire pairing on the counter makes every write of the
+    /// prerequisite's outputs visible to the task that observes readiness.
+    pub fn complete_one(&self, task: usize) -> bool {
+        let prev = self.remaining[task].fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "dependency counter underflow on task {task}");
+        prev == 1
+    }
+
+    /// Restore every counter to its static value so the graph can drive
+    /// another run.
+    pub fn reset(&mut self) {
+        for (r, &d) in self.remaining.iter_mut().zip(&self.ndeps) {
+            *r.get_mut() = d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parents_builds_tree_counts() {
+        // 0 and 1 are children of 2; 2 and 3 are children of 4 (root).
+        let parents = [2, 2, 4, 4, usize::MAX];
+        let g = TaskGraph::from_parents(&parents);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.initial_ready(), vec![0, 1, 3]);
+        assert_eq!(g.dependents(0), &[2]);
+        assert_eq!(g.dependents(2), &[4]);
+        assert!(g.dependents(4).is_empty());
+    }
+
+    #[test]
+    fn counters_release_on_last_child() {
+        let parents = [2, 2, usize::MAX];
+        let g = TaskGraph::from_parents(&parents);
+        assert!(!g.complete_one(2), "first child must not release the parent");
+        assert!(g.complete_one(2), "second child must release the parent");
+    }
+
+    #[test]
+    fn reset_restores_counts() {
+        let parents = [1, usize::MAX];
+        let mut g = TaskGraph::from_parents(&parents);
+        assert!(g.complete_one(1));
+        g.reset();
+        assert!(g.complete_one(1), "after reset the counter must be restored");
+    }
+
+    #[test]
+    fn general_dag_dependencies() {
+        // Diamond: 3 depends on 1 and 2, both depend on 0.
+        let mut g = TaskGraph::new(4);
+        g.add_dependency(1, 0);
+        g.add_dependency(2, 0);
+        g.add_dependency(3, 1);
+        g.add_dependency(3, 2);
+        assert_eq!(g.initial_ready(), vec![0]);
+        assert!(g.complete_one(1));
+        assert!(g.complete_one(2));
+        assert!(!g.complete_one(3));
+        assert!(g.complete_one(3));
+    }
+}

@@ -16,6 +16,8 @@
 //!   CUBLAS-like kernels computing real f32 numerics on simulated time),
 //! * [`core`] — the hybrid multifrontal factorization, policies P1–P4,
 //!   hybrid selectors, solves, iterative refinement, parallel scheduling,
+//! * [`runtime`] — the work-stealing elimination-tree runtime backing the
+//!   wall-clock parallel driver,
 //! * [`autotune`] — the expected-cost policy classifier (paper Eq. 3),
 //! * [`matgen`] — the synthetic matrix suite standing in for Table II.
 //!
@@ -43,6 +45,7 @@ pub use mf_core as core;
 pub use mf_dense as dense;
 pub use mf_gpusim as gpusim;
 pub use mf_matgen as matgen;
+pub use mf_runtime as runtime;
 pub use mf_sparse as sparse;
 
 /// Glob-import of the user-facing solver API.

@@ -1,0 +1,208 @@
+//! Determinism guarantees of the wall-clock parallel driver.
+//!
+//! `factor_permuted_parallel` must produce a factor **bitwise identical** to
+//! the serial `factor_permuted` at every worker count, for every precision,
+//! every policy mix, and every thread-budget setting — the parallel runtime
+//! reorders *when* supernodes run, never *what* they compute or in which
+//! order child updates are extend-added. These tests pin that contract, and
+//! a stress test drives many independent parallel factorizations
+//! concurrently to shake out any hidden shared state.
+
+use gpu_multifrontal::core::{
+    factor_permuted, factor_permuted_parallel, FactorError, ParallelOptions,
+};
+use gpu_multifrontal::dense::Scalar;
+use gpu_multifrontal::matgen::{elasticity_3d, laplacian_2d, laplacian_3d, Stencil};
+use gpu_multifrontal::prelude::*;
+use gpu_multifrontal::sparse::symbolic::{analyze, SymbolicFactor};
+use gpu_multifrontal::sparse::{AmalgamationOptions, Permutation};
+
+fn analysis_of(a: &SymCsc<f64>) -> gpu_multifrontal::sparse::symbolic::Analysis {
+    analyze(a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+}
+
+fn baseline_opts() -> FactorOptions {
+    FactorOptions {
+        selector: PolicySelector::Baseline(BaselineThresholds::default()),
+        record_stats: true,
+        ..Default::default()
+    }
+}
+
+/// Every factor entry as `f64` bits (exact for both `f32` and `f64`).
+fn panel_bits<T: Scalar>(panels: &[Vec<T>]) -> Vec<u64> {
+    panels.iter().flatten().map(|&x| x.to_f64().to_bits()).collect()
+}
+
+/// Factor serially, then at each worker count, and require bit equality.
+fn assert_bitwise_deterministic<T: Scalar>(
+    a: &SymCsc<T>,
+    symbolic: &SymbolicFactor,
+    perm: &Permutation,
+    opts: &FactorOptions,
+) {
+    let mut serial_machine = Machine::paper_node();
+    let (fs, ss) = factor_permuted(a, symbolic, perm, &mut serial_machine, opts).unwrap();
+    let reference = panel_bits(&fs.panels);
+    for workers in [1usize, 2, 4, 8] {
+        let mut machines: Vec<Machine> = (0..workers).map(|_| Machine::paper_node()).collect();
+        let par = ParallelOptions { thread_budget: 4 };
+        let (fp, sp) =
+            factor_permuted_parallel(a, symbolic, perm, &mut machines, opts, &par).unwrap();
+        assert_eq!(
+            reference,
+            panel_bits(&fp.panels),
+            "{workers}-worker factor must be bitwise identical to serial"
+        );
+        // Stats come back in postorder, one record per supernode, and count
+        // the same OOM fallbacks the serial traversal hit.
+        let sns: Vec<usize> = sp.records.iter().map(|r| r.sn).collect();
+        assert_eq!(sns, symbolic.postorder, "records must be merged into postorder");
+        assert_eq!(sp.oom_fallbacks, ss.oom_fallbacks);
+    }
+}
+
+#[test]
+fn bitwise_identical_f64_all_families() {
+    for a in [
+        laplacian_2d(20, 17, Stencil::Faces),
+        laplacian_3d(8, 7, 6, Stencil::Faces),
+        elasticity_3d(4, 4, 3),
+    ] {
+        let an = analysis_of(&a);
+        assert_bitwise_deterministic(&an.permuted.0, &an.symbolic, &an.perm, &baseline_opts());
+    }
+}
+
+#[test]
+fn bitwise_identical_f32_gpu_policies() {
+    // f32 runs exercise the GPU policies (P2–P4) under the baseline
+    // selector — staging buffers, simulated device state, pinned pools.
+    for a in [
+        laplacian_2d(18, 15, Stencil::Faces),
+        laplacian_3d(7, 7, 7, Stencil::Faces),
+        elasticity_3d(4, 3, 3),
+    ] {
+        let an = analysis_of(&a);
+        let a32: SymCsc<f32> = an.permuted.0.cast();
+        assert_bitwise_deterministic(&a32, &an.symbolic, &an.perm, &baseline_opts());
+        for p in [PolicyKind::P2, PolicyKind::P4] {
+            let opts = FactorOptions { selector: PolicySelector::Fixed(p), ..baseline_opts() };
+            assert_bitwise_deterministic(&a32, &an.symbolic, &an.perm, &opts);
+        }
+    }
+}
+
+#[test]
+fn thread_budget_never_changes_bits() {
+    // The nested-parallelism arbitration only picks kernel widths; the
+    // dense engine is bitwise deterministic at any width, so any budget
+    // must give the same factor.
+    let a = laplacian_3d(7, 6, 8, Stencil::Faces);
+    let an = analysis_of(&a);
+    let opts = baseline_opts();
+    let mut reference: Option<Vec<u64>> = None;
+    for budget in [1usize, 2, 8] {
+        let mut machines: Vec<Machine> = (0..3).map(|_| Machine::paper_node()).collect();
+        let (f, _) = factor_permuted_parallel(
+            &an.permuted.0,
+            &an.symbolic,
+            &an.perm,
+            &mut machines,
+            &opts,
+            &ParallelOptions { thread_budget: budget },
+        )
+        .unwrap();
+        let bits = panel_bits(&f.panels);
+        match &reference {
+            None => reference = Some(bits),
+            Some(r) => assert_eq!(r, &bits, "thread_budget={budget} changed the factor"),
+        }
+    }
+}
+
+#[test]
+fn parallel_error_is_serial_first_error() {
+    // An indefinite matrix must report the same (first-in-postorder) pivot
+    // failure at every worker count, even though another worker may hit a
+    // later failure concurrently.
+    let mut t = Triplet::new(40);
+    for i in 0..40 {
+        // Two negative pivots; natural ordering keeps columns in place.
+        t.push(i, i, if i == 13 || i == 29 { -3.0 } else { 4.0 });
+        if i + 1 < 40 {
+            t.push(i + 1, i, -1.0);
+        }
+    }
+    let a = t.assemble();
+    let an = analyze(&a, OrderingKind::Natural, None);
+    let mut serial_machine = Machine::paper_node();
+    let serial_err = factor_permuted(
+        &an.permuted.0,
+        &an.symbolic,
+        &an.perm,
+        &mut serial_machine,
+        &FactorOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(serial_err, FactorError::NotPositiveDefinite { .. }));
+    for workers in [1usize, 2, 4] {
+        let mut machines: Vec<Machine> = (0..workers).map(|_| Machine::paper_node()).collect();
+        let err = factor_permuted_parallel(
+            &an.permuted.0,
+            &an.symbolic,
+            &an.perm,
+            &mut machines,
+            &FactorOptions::default(),
+            &ParallelOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, serial_err, "{workers}-worker run must surface the serial error");
+    }
+}
+
+#[test]
+fn sixty_four_concurrent_factorizations() {
+    // 8 OS threads × 8 matrices each, every one factored by a 2-worker
+    // parallel runtime — 16 scheduler threads live at peak. Each result is
+    // compared bit-for-bit against its own serial factorization, so any
+    // cross-talk through process-global state (dense thread caps, pools)
+    // would show up as a mismatch.
+    std::thread::scope(|scope| {
+        for tid in 0..8usize {
+            scope.spawn(move || {
+                for j in 0..8usize {
+                    let nx = 5 + (tid + j) % 4;
+                    let ny = 4 + (tid * 3 + j) % 5;
+                    let a = laplacian_2d(nx, ny, Stencil::Faces);
+                    let an = analysis_of(&a);
+                    let opts = baseline_opts();
+                    let mut serial_machine = Machine::paper_node();
+                    let (fs, _) = factor_permuted(
+                        &an.permuted.0,
+                        &an.symbolic,
+                        &an.perm,
+                        &mut serial_machine,
+                        &opts,
+                    )
+                    .unwrap();
+                    let mut machines = vec![Machine::paper_node(), Machine::paper_node()];
+                    let (fp, _) = factor_permuted_parallel(
+                        &an.permuted.0,
+                        &an.symbolic,
+                        &an.perm,
+                        &mut machines,
+                        &opts,
+                        &ParallelOptions { thread_budget: 2 },
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        panel_bits(&fs.panels),
+                        panel_bits(&fp.panels),
+                        "thread {tid} matrix {j} diverged under concurrency"
+                    );
+                }
+            });
+        }
+    });
+}
