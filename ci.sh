@@ -17,10 +17,10 @@ cargo test -q
 echo "==> workspace tests"
 cargo test -q --workspace
 
-# The parallel-driver determinism contract (bitwise-identical factors at
-# every worker count) must hold both with the test harness running cases
-# concurrently (default) and fully serialized — the two schedules exercise
-# different interleavings of the work-stealing runtime.
+# The parallel-driver determinism contracts (bitwise-identical factors AND
+# solves at every worker count) must hold both with the test harness running
+# cases concurrently (default) and fully serialized — the two schedules
+# exercise different interleavings of the work-stealing runtime.
 echo "==> determinism suite (default test threads)"
 cargo test -q --release --test determinism
 
@@ -29,5 +29,8 @@ RUST_TEST_THREADS=1 cargo test -q --release --test determinism
 
 echo "==> factor_parallel bench (writes BENCH_factor.json)"
 cargo bench -p mf-bench --bench factor_parallel
+
+echo "==> solve bench (writes BENCH_solve.json)"
+cargo bench -p mf-bench --bench solve
 
 echo "CI OK"

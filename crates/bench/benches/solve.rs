@@ -1,0 +1,159 @@
+//! Wall-clock benchmark of the solve path: batched multi-RHS triangular
+//! solves vs looping the single-RHS solve, and the tree-parallel sweeps vs
+//! the serial postorder traversal.
+//!
+//! `BENCH_solve.json` reports, per matrix:
+//!
+//! * **looped_ms / batched_ms** at several RHS counts — the batched path
+//!   amortises the factor-panel traversal over all columns and routes the
+//!   trailing updates through one multi-RHS GEMM per supernode, so it must
+//!   win once the RHS block is wide enough (the acceptance gate checks
+//!   `nrhs = 8`), and
+//! * **parallel_ms** at several worker counts for the widest block —
+//!   wall-clock of the elimination-tree-parallel forward/backward sweeps,
+//!   which are bitwise identical to the serial solve by construction.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mf_core::{factor_permuted, BaselineThresholds, CholeskyFactor, FactorOptions, PolicySelector};
+use mf_gpusim::Machine;
+use mf_matgen::PaperMatrix;
+use mf_sparse::symbolic::analyze;
+use mf_sparse::{AmalgamationOptions, OrderingKind, SymCsc};
+
+const RHS_COUNTS: [usize; 3] = [1, 8, 32];
+const WORKER_COUNTS: [usize; 2] = [2, 4];
+const PAR_NRHS: usize = 8;
+
+fn suite() -> Vec<(&'static str, SymCsc<f64>)> {
+    let scale =
+        std::env::var("MF_BENCH_SCALE").ok().and_then(|s| s.parse::<f64>().ok()).unwrap_or(0.30);
+    vec![
+        ("sgi_1M", PaperMatrix::Sgi1M.generate_scaled(scale)),
+        ("audikw_1", PaperMatrix::Audikw1.generate_scaled(scale)),
+    ]
+}
+
+fn factor_of(a: &SymCsc<f64>) -> CholeskyFactor<f64> {
+    let an = analyze(a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+    let opts = FactorOptions {
+        selector: PolicySelector::Baseline(BaselineThresholds::default()),
+        ..Default::default()
+    };
+    let mut machine = Machine::paper_node();
+    factor_permuted(&an.permuted.0, &an.symbolic, &an.perm, &mut machine, &opts).unwrap().0
+}
+
+fn rhs_block(n: usize, nrhs: usize) -> Vec<f64> {
+    (0..n * nrhs)
+        .map(|i| {
+            let (r, c) = (i % n, i / n);
+            ((r * 31 + c * 17 + 7) % 13) as f64 / 13.0 - 0.4
+        })
+        .collect()
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve");
+    for (name, a) in suite() {
+        let f = factor_of(&a);
+        let n = a.order();
+        for nrhs in RHS_COUNTS {
+            let b = rhs_block(n, nrhs);
+            g.bench_with_input(BenchmarkId::new(format!("looped_r{nrhs}"), name), &(), |be, _| {
+                be.iter(|| {
+                    let mut x = Vec::with_capacity(n * nrhs);
+                    for j in 0..nrhs {
+                        x.extend_from_slice(&f.solve(&b[j * n..(j + 1) * n]));
+                    }
+                    x
+                })
+            });
+            g.bench_with_input(BenchmarkId::new(format!("batched_r{nrhs}"), name), &(), |be, _| {
+                be.iter(|| f.solve_many(&b, nrhs))
+            });
+        }
+        let b = rhs_block(n, PAR_NRHS);
+        for w in WORKER_COUNTS {
+            g.bench_with_input(
+                BenchmarkId::new(format!("parallel_w{w}_r{PAR_NRHS}"), name),
+                &w,
+                |be, &w| be.iter(|| f.solve_many_parallel(&b, PAR_NRHS, w)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_solve
+}
+
+/// Write `BENCH_solve.json`: per matrix, looped-vs-batched times and speedup
+/// at each RHS count, plus parallel-sweep times at `PAR_NRHS` RHS.
+fn write_bench_json() {
+    let recs = criterion::records();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"hardware_threads\": {threads},\n"));
+    out.push_str(
+        "  \"note\": \"batched_speedup = looped_ms / batched_ms; both paths are bitwise \
+         identical per column, so this is a pure scheduling win\",\n",
+    );
+    out.push_str("  \"matrices\": [\n");
+    let mut blocks: Vec<String> = Vec::new();
+    for (name, a) in suite() {
+        let mean_of = |id: String| {
+            recs.iter().find(|r| r.group == "solve" && r.id == id).map(|r| r.mean_ns / 1.0e6)
+        };
+        let mut rhs_rows: Vec<String> = Vec::new();
+        for nrhs in RHS_COUNTS {
+            let (Some(looped), Some(batched)) = (
+                mean_of(format!("looped_r{nrhs}/{name}")),
+                mean_of(format!("batched_r{nrhs}/{name}")),
+            ) else {
+                continue;
+            };
+            rhs_rows.push(format!(
+                "        {{\"nrhs\": {nrhs}, \"looped_ms\": {looped:.3}, \
+                 \"batched_ms\": {batched:.3}, \"batched_speedup\": {:.3}}}",
+                looped / batched
+            ));
+        }
+        let mut par_rows: Vec<String> = Vec::new();
+        let serial_ms = mean_of(format!("batched_r{PAR_NRHS}/{name}"));
+        for w in WORKER_COUNTS {
+            let (Some(par_ms), Some(serial)) =
+                (mean_of(format!("parallel_w{w}_r{PAR_NRHS}/{name}")), serial_ms)
+            else {
+                continue;
+            };
+            par_rows.push(format!(
+                "        {{\"workers\": {w}, \"nrhs\": {PAR_NRHS}, \"parallel_ms\": {par_ms:.3}, \
+                 \"speedup_vs_serial\": {:.3}}}",
+                serial / par_ms
+            ));
+        }
+        blocks.push(format!(
+            "    {{\"name\": \"{name}\", \"order\": {}, \"batched\": [\n{}\n      ], \
+             \"parallel\": [\n{}\n      ]}}",
+            a.order(),
+            rhs_rows.join(",\n"),
+            par_rows.join(",\n")
+        ));
+    }
+    out.push_str(&blocks.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solve.json");
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote BENCH_solve.json ({} hardware threads)", threads);
+    }
+}
+
+fn main() {
+    benches();
+    write_bench_json();
+}

@@ -78,6 +78,14 @@ pub enum FactorError {
         /// Global (permuted) column index.
         column: usize,
     },
+    /// A parallel worker died (panicked) before handing off the update
+    /// matrix this supernode depends on. The factorization cannot continue,
+    /// but the failure is reported structurally instead of poisoning the
+    /// whole process.
+    WorkerLost {
+        /// Supernode whose child hand-off was missing.
+        supernode: usize,
+    },
 }
 
 impl std::fmt::Display for FactorError {
@@ -87,6 +95,12 @@ impl std::fmt::Display for FactorError {
                 write!(
                     f,
                     "matrix is not positive definite (pivot failure at permuted column {column})"
+                )
+            }
+            FactorError::WorkerLost { supernode } => {
+                write!(
+                    f,
+                    "parallel worker lost before supernode {supernode} received its child updates"
                 )
             }
         }
@@ -412,6 +426,7 @@ mod tests {
                 // (the first non-positive pivot may surface at 3 exactly).
                 assert_eq!(column, 3);
             }
+            FactorError::WorkerLost { .. } => panic!("serial factorization cannot lose a worker"),
         }
     }
 

@@ -362,7 +362,7 @@ fn fu_p2<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(),
     let d_w = match gpu.alloc(m * m) {
         Ok(b) => b,
         Err(_) => {
-            gpu.free(d_l2);
+            let _ = gpu.free(d_l2);
             return Err(GpuFuError::Oom);
         }
     };
@@ -415,8 +415,8 @@ fn fu_p2<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(),
         j0 += jb;
     }
     gpu.sync_all(host);
-    gpu.free(d_l2);
-    gpu.free(d_w);
+    let _ = gpu.free(d_l2);
+    let _ = gpu.free(d_w);
 
     let w = if timing { Vec::new() } else { pool.slot(SLOT_UPDATE)[..m * m].to_vec() };
     apply_update_block(front, &w, host, timing);
@@ -439,15 +439,15 @@ fn fu_p3<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(),
     let d_l1 = match gpu.alloc(k * k) {
         Ok(b) => b,
         Err(_) => {
-            gpu.free(d_panel);
+            let _ = gpu.free(d_panel);
             return Err(GpuFuError::Oom);
         }
     };
     let d_w = match gpu.alloc(m * m) {
         Ok(b) => b,
         Err(_) => {
-            gpu.free(d_panel);
-            gpu.free(d_l1);
+            let _ = gpu.free(d_panel);
+            let _ = gpu.free(d_l1);
             return Err(GpuFuError::Oom);
         }
     };
@@ -466,9 +466,9 @@ fn fu_p3<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(),
 
     // CPU potrf of the pivot block (overlapping the A₂ upload).
     if let Err(e) = cpu_potrf(front, host, timing) {
-        gpu.free(d_panel);
-        gpu.free(d_l1);
-        gpu.free(d_w);
+        let _ = gpu.free(d_panel);
+        let _ = gpu.free(d_l1);
+        let _ = gpu.free(d_w);
         return Err(e.into());
     }
 
@@ -496,9 +496,9 @@ fn fu_p3<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(),
     gpu.d2h(copy, wv, m, m, pool.slot_mut(SLOT_UPDATE), m, true, CopyMode::Async, host);
 
     gpu.sync_all(host);
-    gpu.free(d_panel);
-    gpu.free(d_l1);
-    gpu.free(d_w);
+    let _ = gpu.free(d_panel);
+    let _ = gpu.free(d_l1);
+    let _ = gpu.free(d_w);
 
     // Unstage L₂ into the front, apply U += W.
     if !timing {
@@ -555,7 +555,7 @@ fn fu_p4<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(),
     while p < k {
         let wb = w.min(k - p);
         if let Err(col) = gpu.panel_potrf(compute, fv.offset(p, p), wb, host) {
-            gpu.free(d_front);
+            let _ = gpu.free(d_front);
             return Err(GpuFuError::NotPd(p + col));
         }
         let rest = s - p - wb;
@@ -598,7 +598,7 @@ fn fu_p4<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(),
         gpu.d2h(compute, fv, s, s, dst, s, true, CopyMode::Async, host);
     }
     gpu.sync_all(host);
-    gpu.free(d_front);
+    let _ = gpu.free(d_front);
 
     // Unstage into the host front.
     if !timing {

@@ -49,12 +49,18 @@ pub use parallel::{
 };
 pub use pinned_pool::PinnedPool;
 pub use policy::{BaselineThresholds, PolicyKind};
-pub use solver::{Precision, RefinedSolution, SolverOptions, SpdSolver};
+pub use solver::{
+    Precision, RefactorError, RefineInfo, RefineStop, RefinedManySolution, RefinedSolution,
+    SolverOptions, SpdSolver,
+};
 pub use stats::{FactorStats, FuRecord};
 
 /// Convenient glob-import of the solver-facing API.
 pub mod prelude {
     pub use crate::factor::{FactorOptions, PolicySelector};
     pub use crate::policy::{BaselineThresholds, PolicyKind};
-    pub use crate::solver::{Precision, SolverOptions, SpdSolver};
+    pub use crate::solver::{
+        Precision, RefactorError, RefineStop, RefinedManySolution, RefinedSolution, SolverOptions,
+        SpdSolver,
+    };
 }

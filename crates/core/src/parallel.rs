@@ -273,13 +273,19 @@ pub fn factor_permuted_parallel<T: Scalar>(
     let (mut states, errors) = runtime.run(&graph, states, |st: &mut WorkerCtx<'_>, sn| {
         // Gather buffered child updates in postorder child rank — the order
         // the serial driver consumes them, which keeps the extend-add
-        // reduction (and hence the factor bits) identical.
-        let children: Vec<UpdateMatrix<T>> = symbolic.children[sn]
-            .iter()
-            .map(|&c| {
-                updates[c].lock().unwrap().take().expect("child update must exist before parent")
-            })
-            .collect();
+        // reduction (and hence the factor bits) identical. The dependency
+        // counters guarantee every slot is filled before this task runs; a
+        // missing or poisoned slot means a worker died mid-task, which is
+        // surfaced as a structured error (still selected by minimal
+        // postorder rank below) rather than a cascading panic.
+        let mut children: Vec<UpdateMatrix<T>> = Vec::with_capacity(symbolic.children[sn].len());
+        for &c in &symbolic.children[sn] {
+            let taken = updates[c].lock().unwrap_or_else(|poison| poison.into_inner()).take();
+            match taken {
+                Some(u) => children.push(u),
+                None => return Err(FactorError::WorkerLost { supernode: sn }),
+            }
+        }
         let width = budget.begin();
         let out = process_supernode(
             a,
@@ -300,8 +306,8 @@ pub fn factor_permuted_parallel<T: Scalar>(
         if let Some(rec) = out.record {
             st.records.push((rank[sn], rec));
         }
-        *panels[sn].lock().unwrap() = out.panel;
-        *updates[sn].lock().unwrap() = out.update;
+        *panels[sn].lock().unwrap_or_else(|poison| poison.into_inner()) = out.panel;
+        *updates[sn].lock().unwrap_or_else(|poison| poison.into_inner()) = out.update;
         Ok(())
     });
 
@@ -326,8 +332,10 @@ pub fn factor_permuted_parallel<T: Scalar>(
     stats.wall_time = wall0.elapsed().as_secs_f64();
     drop(states);
 
-    let panels: Vec<Vec<T>> =
-        panels.into_iter().map(|m| m.into_inner().expect("no poisoned panel slots")).collect();
+    let panels: Vec<Vec<T>> = panels
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|poison| poison.into_inner()))
+        .collect();
     Ok((CholeskyFactor { symbolic: symbolic.clone(), perm: perm.clone(), panels }, stats))
 }
 

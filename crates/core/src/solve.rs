@@ -1,114 +1,409 @@
 //! Supernodal triangular solves with the panel-form factor.
 //!
-//! Given `P·A·Pᵀ = L·Lᵀ`, solving `A·x = b` proceeds as
-//! `y = L⁻¹·(P·b)`, `z = L⁻ᵀ·y`, `x = Pᵀ·z`. The forward pass walks the
-//! supernodes in postorder (ascending column order works too since children
-//! columns precede parents); the backward pass walks in reverse.
+//! Given `P·A·Pᵀ = L·Lᵀ`, solving `A·X = B` proceeds as
+//! `Y = L⁻¹·(P·B)`, `Z = L⁻ᵀ·Y`, `X = Pᵀ·Z`. The forward pass walks the
+//! supernodes leaf→root, the backward pass root→leaf; both exist in a
+//! serial and a tree-parallel flavour built from **one shared per-supernode
+//! body each**, which is what makes the parallel solve bitwise identical to
+//! the serial one at every worker count (the same contract as
+//! [`crate::parallel::factor_permuted_parallel`]).
+//!
+//! ## Determinism design
+//!
+//! *Backward* is embarrassingly deterministic: a supernode's off-diagonal
+//! update reads only ancestor columns, which the root→leaf dependency order
+//! (via [`TaskGraph::from_parents_reversed`]) finalises before the supernode
+//! runs, and each task writes only its own columns.
+//!
+//! *Forward* is the interesting one: sibling subtrees both contribute
+//! subtractions to shared ancestor rows, and letting them race on the global
+//! vector would make the float summation order depend on the schedule.
+//! Instead each supernode produces a buffered *subtrahend* (`m × nrhs`, rows
+//! = its update rows) that is handed to its parent, exactly like the update
+//! matrices of the numeric factorization. The parent folds child buffers in
+//! child-list order — rows inside its own columns subtract straight into its
+//! right-hand-side block, rows beyond accumulate into its own outgoing
+//! buffer — so every addition happens at a fixed tree position in a fixed
+//! order, independent of the schedule.
+//!
+//! All right-hand-side blocks are `n × nrhs` column-major with leading
+//! dimension `n`. Every dense call goes through the RHS-count-invariant
+//! entry points ([`trsm_left_lower_notrans_multi`], [`gemm_multi_rhs`]), so
+//! column `j` of a batched solve is additionally bitwise identical to a
+//! single-RHS solve of column `j` alone.
 
 use crate::factor::CholeskyFactor;
-use mf_dense::{gemm, trsm_left_lower_notrans, trsm_left_lower_trans, Scalar, Transpose};
+use mf_dense::{
+    gemm_multi_rhs, trsm_left_lower_notrans_multi, trsm_left_lower_trans_multi, Scalar, Transpose,
+};
+use mf_runtime::{Runtime, TaskGraph};
+use mf_sparse::symbolic::SymbolicFactor;
+use std::sync::Mutex;
+
+/// Shared view of the permuted right-hand-side block for the parallel
+/// sweeps.
+///
+/// # Safety
+///
+/// Tasks write disjoint element sets: in both sweeps a task writes only the
+/// rows of its own supernode's columns (forward contributions to other rows
+/// travel through the buffered hand-off, never through `X`), and reads of
+/// other rows are ordered after the writing task by the release/acquire
+/// dependency counters of the [`TaskGraph`]. Raw pointers are used because
+/// handing overlapping `&mut` slices to concurrent tasks would be aliasing
+/// UB even with disjoint index sets.
+struct SharedX<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Sync for SharedX<T> {}
+unsafe impl<T: Send> Send for SharedX<T> {}
+
+impl<T: Scalar> SharedX<T> {
+    fn new(x: &mut [T]) -> Self {
+        SharedX { ptr: x.as_mut_ptr(), len: x.len() }
+    }
+
+    #[inline]
+    fn read(&self, idx: usize) -> T {
+        debug_assert!(idx < self.len);
+        // SAFETY: in-bounds; disjointness/ordering per the type-level note.
+        unsafe { *self.ptr.add(idx) }
+    }
+
+    #[inline]
+    fn write(&self, idx: usize, v: T) {
+        debug_assert!(idx < self.len);
+        // SAFETY: in-bounds; disjointness/ordering per the type-level note.
+        unsafe { *self.ptr.add(idx) = v }
+    }
+}
+
+/// Take a buffered child contribution, tolerating a poisoned lock (the
+/// buffer itself is always fully written before the dependency counter
+/// releases the parent, so the value is intact even if some other task
+/// panicked while holding an unrelated slot).
+fn take_buffer<T>(slot: &Mutex<Option<Vec<T>>>) -> Vec<T> {
+    slot.lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+        .take()
+        .expect("child solve buffer must exist before its parent runs")
+}
+
+/// Forward-substitution body of one supernode: fold the children's buffered
+/// subtrahends, solve the diagonal block, and produce this supernode's own
+/// outgoing subtrahend (`None` for root supernodes, `m = 0`).
+///
+/// Shared verbatim by the serial postorder driver and the work-stealing
+/// parallel driver — the bitwise-identity anchor.
+#[allow(clippy::too_many_arguments)]
+fn forward_supernode<T: Scalar>(
+    symbolic: &SymbolicFactor,
+    panels: &[Vec<T>],
+    sn: usize,
+    nrhs: usize,
+    ldx: usize,
+    x: &SharedX<T>,
+    children: &[(usize, Vec<T>)],
+    xk: &mut Vec<T>,
+) -> Option<Vec<T>> {
+    let info = &symbolic.supernodes[sn];
+    let (k, m) = (info.k(), info.m());
+    let s = info.front_size();
+    let (c0, c1) = (info.col_start, info.col_end);
+    let panel = &panels[sn];
+
+    // Gather this supernode's rows of the RHS block into contiguous k×nrhs
+    // scratch (the global block is ldx-strided).
+    xk.clear();
+    xk.resize(k * nrhs, T::ZERO);
+    for j in 0..nrhs {
+        for i in 0..k {
+            xk[i + j * k] = x.read(c0 + i + j * ldx);
+        }
+    }
+
+    let own_rows = &info.rows[k..];
+    let mut ubuf = vec![T::ZERO; m * nrhs];
+
+    // Extend-add the children's subtrahends in child-list order (the serial
+    // consumption order): rows inside [c0, c1) land in xk, rows beyond fold
+    // into the outgoing buffer via a merge against our sorted row list.
+    for (c, cbuf) in children {
+        let cinfo = &symbolic.supernodes[*c];
+        let crows = &cinfo.rows[cinfo.k()..];
+        let mc = crows.len();
+        let mut pos = 0usize;
+        for (i, &r) in crows.iter().enumerate() {
+            if r < c1 {
+                debug_assert!(r >= c0);
+                let li = r - c0;
+                for j in 0..nrhs {
+                    xk[li + j * k] -= cbuf[i + j * mc];
+                }
+            } else {
+                while own_rows[pos] < r {
+                    pos += 1;
+                }
+                debug_assert_eq!(own_rows[pos], r, "child row must appear in parent front");
+                for j in 0..nrhs {
+                    ubuf[pos + j * m] += cbuf[i + j * mc];
+                }
+            }
+        }
+    }
+
+    // Diagonal block: xk ← L₁⁻¹ xk.
+    trsm_left_lower_notrans_multi(k, nrhs, panel, s, xk, k);
+
+    // Rows [c0, c1) are written by this task alone.
+    for j in 0..nrhs {
+        for i in 0..k {
+            x.write(c0 + i + j * ldx, xk[i + j * k]);
+        }
+    }
+
+    if m == 0 {
+        return None;
+    }
+    // ubuf += L₂ · xk — this supernode's own contribution to its ancestors
+    // (L₂ = rows k..s of the panel).
+    gemm_multi_rhs(Transpose::No, m, nrhs, k, T::ONE, &panel[k..], s, xk, k, T::ONE, &mut ubuf, m);
+    Some(ubuf)
+}
+
+/// Backward-substitution body of one supernode: gather the (already final)
+/// ancestor rows, apply the transposed off-diagonal update, solve the
+/// diagonal block, scatter back. Shared by the serial and parallel drivers.
+#[allow(clippy::too_many_arguments)]
+fn backward_supernode<T: Scalar>(
+    symbolic: &SymbolicFactor,
+    panels: &[Vec<T>],
+    sn: usize,
+    nrhs: usize,
+    ldx: usize,
+    x: &SharedX<T>,
+    xk: &mut Vec<T>,
+    xu: &mut Vec<T>,
+) {
+    let info = &symbolic.supernodes[sn];
+    let (k, m) = (info.k(), info.m());
+    let s = info.front_size();
+    let (c0, _c1) = (info.col_start, info.col_end);
+    let panel = &panels[sn];
+
+    xk.clear();
+    xk.resize(k * nrhs, T::ZERO);
+    for j in 0..nrhs {
+        for i in 0..k {
+            xk[i + j * k] = x.read(c0 + i + j * ldx);
+        }
+    }
+    if m > 0 {
+        xu.clear();
+        xu.resize(m * nrhs, T::ZERO);
+        for j in 0..nrhs {
+            for (i, &r) in info.rows[k..].iter().enumerate() {
+                xu[i + j * m] = x.read(r + j * ldx);
+            }
+        }
+        // xk −= L₂ᵀ · x[update rows].
+        gemm_multi_rhs(Transpose::Yes, k, nrhs, m, -T::ONE, &panel[k..], s, xu, m, T::ONE, xk, k);
+    }
+    // Diagonal block: xk ← L₁⁻ᵀ xk.
+    trsm_left_lower_trans_multi(k, nrhs, panel, s, xk, k);
+    for j in 0..nrhs {
+        for i in 0..k {
+            x.write(c0 + i + j * ldx, xk[i + j * k]);
+        }
+    }
+}
 
 impl<T: Scalar> CholeskyFactor<T> {
     /// Solve `A·x = b` (original, unpermuted ordering). `b` is given in the
     /// factor's scalar type.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
-        assert_eq!(b.len(), self.order());
-        let mut x = self.perm.permute_vec(b);
-        self.solve_permuted_in_place(&mut x);
-        self.perm.unpermute_vec(&x)
+        self.solve_many(b, 1)
+    }
+
+    /// Solve `A·X = B` for a block of `nrhs` right-hand sides (`B` is
+    /// `n × nrhs` column-major, original ordering).
+    ///
+    /// Column `j` of the result is bitwise identical to `solve` on column
+    /// `j` alone: the whole path runs on RHS-count-invariant kernels.
+    pub fn solve_many(&self, b: &[T], nrhs: usize) -> Vec<T> {
+        let mut x = self.permute_rhs(b, nrhs);
+        self.solve_permuted_in_place_multi(&mut x, nrhs);
+        self.unpermute_rhs(&x, nrhs)
+    }
+
+    /// [`CholeskyFactor::solve_many`] with the triangular sweeps scheduled
+    /// across `workers` threads on the elimination tree. Bitwise identical
+    /// to the serial path at every worker count.
+    pub fn solve_many_parallel(&self, b: &[T], nrhs: usize, workers: usize) -> Vec<T> {
+        let mut x = self.permute_rhs(b, nrhs);
+        self.forward_in_place_multi_parallel(&mut x, nrhs, workers);
+        self.backward_in_place_multi_parallel(&mut x, nrhs, workers);
+        self.unpermute_rhs(&x, nrhs)
     }
 
     /// Solve `(P·A·Pᵀ)·x = b` in place on a permuted right-hand side.
     pub fn solve_permuted_in_place(&self, x: &mut [T]) {
-        assert_eq!(x.len(), self.order());
-        self.forward_in_place(x);
-        self.backward_in_place(x);
+        self.solve_permuted_in_place_multi(x, 1);
+    }
+
+    /// Solve `(P·A·Pᵀ)·X = B` in place on a permuted `n × nrhs` block.
+    pub fn solve_permuted_in_place_multi(&self, x: &mut [T], nrhs: usize) {
+        self.forward_in_place_multi(x, nrhs);
+        self.backward_in_place_multi(x, nrhs);
     }
 
     /// Forward substitution `x ← L⁻¹·x` (permuted ordering).
-    ///
-    /// Each supernode is a diagonal-block `trsm` plus a dense update
-    /// `x[rows] −= L₂·x[c0..c1]`: the update rows are gathered into a
-    /// contiguous scratch vector once, updated with a single `gemm` against
-    /// the stored panel (no per-element index arithmetic in the hot loop),
-    /// and scattered back.
     pub fn forward_in_place(&self, x: &mut [T]) {
-        let mut xu = vec![T::ZERO; self.max_update_size()];
+        self.forward_in_place_multi(x, 1);
+    }
+
+    /// Backward substitution `x ← L⁻ᵀ·x` (permuted ordering).
+    pub fn backward_in_place(&self, x: &mut [T]) {
+        self.backward_in_place_multi(x, 1);
+    }
+
+    /// Forward substitution `X ← L⁻¹·X` on a permuted `n × nrhs` block.
+    pub fn forward_in_place_multi(&self, x: &mut [T], nrhs: usize) {
+        let n = self.order();
+        assert_eq!(x.len(), n * nrhs);
+        if nrhs == 0 || n == 0 {
+            return;
+        }
+        let shared = SharedX::new(x);
+        let nsn = self.symbolic.num_supernodes();
+        let mut bufs: Vec<Option<Vec<T>>> = (0..nsn).map(|_| None).collect();
+        let mut xk = Vec::new();
         for &sn in &self.symbolic.postorder {
-            let info = &self.symbolic.supernodes[sn];
-            let (k, m) = (info.k(), info.m());
-            let s = info.front_size();
-            let panel = &self.panels[sn];
-            let (c0, c1) = (info.col_start, info.col_end);
-            // Diagonal block solve: x[c0..c1] ← L₁⁻¹ x[c0..c1].
-            trsm_left_lower_notrans(k, 1, panel, s, &mut x[c0..c1], k);
-            if m > 0 {
-                let xu = &mut xu[..m];
-                for (u, &r) in xu.iter_mut().zip(&info.rows[k..]) {
-                    *u = x[r];
-                }
-                // xu −= L₂ · x[c0..c1]  (L₂ = rows k..s of the panel).
-                gemm(
-                    Transpose::No,
-                    Transpose::No,
-                    m,
-                    1,
-                    k,
-                    -T::ONE,
-                    &panel[k..],
-                    s,
-                    &x[c0..c1],
-                    k,
-                    T::ONE,
-                    xu,
-                    m,
-                );
-                for (&u, &r) in xu.iter().zip(&info.rows[k..]) {
-                    x[r] = u;
-                }
-            }
+            let children: Vec<(usize, Vec<T>)> = self.symbolic.children[sn]
+                .iter()
+                .map(|&c| (c, bufs[c].take().expect("child solve buffer must exist in postorder")))
+                .collect();
+            bufs[sn] = forward_supernode(
+                &self.symbolic,
+                &self.panels,
+                sn,
+                nrhs,
+                n,
+                &shared,
+                &children,
+                &mut xk,
+            );
         }
     }
 
-    /// Backward substitution `x ← L⁻ᵀ·x` (permuted ordering). Mirrors
-    /// [`CholeskyFactor::forward_in_place`]: gather, one transposed `gemm`,
-    /// diagonal-block `trsm`.
-    pub fn backward_in_place(&self, x: &mut [T]) {
-        let mut xu = vec![T::ZERO; self.max_update_size()];
-        for &sn in self.symbolic.postorder.iter().rev() {
-            let info = &self.symbolic.supernodes[sn];
-            let (k, m) = (info.k(), info.m());
-            let s = info.front_size();
-            let panel = &self.panels[sn];
-            let (c0, c1) = (info.col_start, info.col_end);
-            if m > 0 {
-                let xu = &mut xu[..m];
-                for (u, &r) in xu.iter_mut().zip(&info.rows[k..]) {
-                    *u = x[r];
-                }
-                // x[c0..c1] −= L₂ᵀ · x[update rows].
-                gemm(
-                    Transpose::Yes,
-                    Transpose::No,
-                    k,
-                    1,
-                    m,
-                    -T::ONE,
-                    &panel[k..],
-                    s,
-                    xu,
-                    m,
-                    T::ONE,
-                    &mut x[c0..c1],
-                    k,
-                );
-            }
-            // Diagonal block: x[c0..c1] ← L₁⁻ᵀ x[c0..c1].
-            trsm_left_lower_trans(k, 1, panel, s, &mut x[c0..c1], k);
+    /// Backward substitution `X ← L⁻ᵀ·X` on a permuted `n × nrhs` block.
+    pub fn backward_in_place_multi(&self, x: &mut [T], nrhs: usize) {
+        let n = self.order();
+        assert_eq!(x.len(), n * nrhs);
+        if nrhs == 0 || n == 0 {
+            return;
         }
+        let shared = SharedX::new(x);
+        let mut xk = Vec::new();
+        let mut xu = Vec::new();
+        for &sn in self.symbolic.postorder.iter().rev() {
+            backward_supernode(
+                &self.symbolic,
+                &self.panels,
+                sn,
+                nrhs,
+                n,
+                &shared,
+                &mut xk,
+                &mut xu,
+            );
+        }
+    }
+
+    /// Tree-parallel forward substitution (leaf→root) on `workers` threads.
+    /// Bitwise identical to [`CholeskyFactor::forward_in_place_multi`].
+    pub fn forward_in_place_multi_parallel(&self, x: &mut [T], nrhs: usize, workers: usize) {
+        let n = self.order();
+        assert_eq!(x.len(), n * nrhs);
+        if nrhs == 0 || n == 0 {
+            return;
+        }
+        let nsn = self.symbolic.num_supernodes();
+        let parents: Vec<usize> = self.symbolic.supernodes.iter().map(|s| s.parent).collect();
+        let graph = TaskGraph::from_parents(&parents);
+        let bufs: Vec<Mutex<Option<Vec<T>>>> = (0..nsn).map(|_| Mutex::new(None)).collect();
+        let shared = SharedX::new(x);
+        let runtime = Runtime::new(workers);
+        let states: Vec<Vec<T>> = (0..runtime.workers()).map(|_| Vec::new()).collect();
+        let (_, errors) = runtime.run(&graph, states, |xk: &mut Vec<T>, sn| -> Result<(), ()> {
+            let children: Vec<(usize, Vec<T>)> =
+                self.symbolic.children[sn].iter().map(|&c| (c, take_buffer(&bufs[c]))).collect();
+            let out = forward_supernode(
+                &self.symbolic,
+                &self.panels,
+                sn,
+                nrhs,
+                n,
+                &shared,
+                &children,
+                xk,
+            );
+            if let Some(b) = out {
+                *bufs[sn].lock().unwrap_or_else(|poison| poison.into_inner()) = Some(b);
+            }
+            Ok(())
+        });
+        debug_assert!(errors.is_empty(), "solve tasks are infallible");
+    }
+
+    /// Tree-parallel backward substitution (root→leaf, on the reversed
+    /// elimination tree) on `workers` threads. Bitwise identical to
+    /// [`CholeskyFactor::backward_in_place_multi`].
+    pub fn backward_in_place_multi_parallel(&self, x: &mut [T], nrhs: usize, workers: usize) {
+        let n = self.order();
+        assert_eq!(x.len(), n * nrhs);
+        if nrhs == 0 || n == 0 {
+            return;
+        }
+        let parents: Vec<usize> = self.symbolic.supernodes.iter().map(|s| s.parent).collect();
+        let graph = TaskGraph::from_parents_reversed(&parents);
+        let shared = SharedX::new(x);
+        let runtime = Runtime::new(workers);
+        let states: Vec<(Vec<T>, Vec<T>)> =
+            (0..runtime.workers()).map(|_| (Vec::new(), Vec::new())).collect();
+        let (_, errors) = runtime.run(&graph, states, |st, sn| -> Result<(), ()> {
+            let (xk, xu) = st;
+            backward_supernode(&self.symbolic, &self.panels, sn, nrhs, n, &shared, xk, xu);
+            Ok(())
+        });
+        debug_assert!(errors.is_empty(), "solve tasks are infallible");
+    }
+
+    /// Permute a block of right-hand sides column by column (`x = P·b`).
+    fn permute_rhs(&self, b: &[T], nrhs: usize) -> Vec<T> {
+        let n = self.order();
+        assert_eq!(b.len(), n * nrhs, "B must be n × nrhs column-major");
+        let mut x = Vec::with_capacity(n * nrhs);
+        for j in 0..nrhs {
+            x.extend(self.perm.permute_vec(&b[j * n..(j + 1) * n]));
+        }
+        x
+    }
+
+    /// Un-permute a block of solutions column by column (`x = Pᵀ·z`).
+    fn unpermute_rhs(&self, z: &[T], nrhs: usize) -> Vec<T> {
+        let n = self.order();
+        let mut x = Vec::with_capacity(n * nrhs);
+        for j in 0..nrhs {
+            x.extend(self.perm.unpermute_vec(&z[j * n..(j + 1) * n]));
+        }
+        x
     }
 
     /// Largest update-row count over all supernodes (gather scratch size).
+    #[allow(dead_code)]
     fn max_update_size(&self) -> usize {
         self.symbolic.supernodes.iter().map(|i| i.m()).max().unwrap_or(0)
     }
@@ -116,12 +411,26 @@ impl<T: Scalar> CholeskyFactor<T> {
 
 #[cfg(test)]
 mod tests {
-    use crate::factor::{factor_permuted, FactorOptions, PolicySelector};
+    use crate::factor::{factor_permuted, CholeskyFactor, FactorOptions, PolicySelector};
     use crate::policy::PolicyKind;
     use mf_gpusim::Machine;
     use mf_matgen::{laplacian_2d, laplacian_3d, rhs_for_solution, Stencil};
     use mf_sparse::symbolic::analyze;
     use mf_sparse::{AmalgamationOptions, OrderingKind, SymCsc};
+
+    fn factor_of(a: &SymCsc<f64>, ordering: OrderingKind) -> CholeskyFactor<f64> {
+        let analysis = analyze(a, ordering, Some(&AmalgamationOptions::default()));
+        let mut machine = Machine::paper_node();
+        let (f, _) = factor_permuted(
+            &analysis.permuted.0,
+            &analysis.symbolic,
+            &analysis.perm,
+            &mut machine,
+            &FactorOptions::default(),
+        )
+        .unwrap();
+        f
+    }
 
     fn solve_with(
         a: &SymCsc<f64>,
@@ -184,16 +493,7 @@ mod tests {
     #[test]
     fn forward_then_backward_equals_solve() {
         let a = laplacian_2d(7, 9, Stencil::Faces);
-        let analysis = analyze(&a, OrderingKind::NestedDissection, None);
-        let mut machine = Machine::paper_node();
-        let (f, _) = factor_permuted(
-            &analysis.permuted.0,
-            &analysis.symbolic,
-            &analysis.perm,
-            &mut machine,
-            &FactorOptions::default(),
-        )
-        .unwrap();
+        let f = factor_of(&a, OrderingKind::NestedDissection);
         let (_, b) = rhs_for_solution(&a, 7);
         let via_solve = f.solve(&b);
         let mut x = f.perm.permute_vec(&b);
@@ -201,5 +501,71 @@ mod tests {
         f.backward_in_place(&mut x);
         let manual = f.perm.unpermute_vec(&x);
         assert_eq!(via_solve, manual);
+    }
+
+    /// Multi-RHS B block: column j is `rhs_for_solution(a, seed + j)`.
+    fn rhs_block(a: &SymCsc<f64>, nrhs: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let n = a.order();
+        let mut xtrue = Vec::with_capacity(n * nrhs);
+        let mut b = Vec::with_capacity(n * nrhs);
+        for j in 0..nrhs {
+            let (xt, bj) = rhs_for_solution(a, seed + j as u64);
+            xtrue.extend(xt);
+            b.extend(bj);
+        }
+        (xtrue, b)
+    }
+
+    #[test]
+    fn solve_many_recovers_all_columns() {
+        let a = laplacian_3d(5, 6, 4, Stencil::Faces);
+        let f = factor_of(&a, OrderingKind::NestedDissection);
+        let n = a.order();
+        let nrhs = 7;
+        let (xtrue, b) = rhs_block(&a, nrhs, 3);
+        let x = f.solve_many(&b, nrhs);
+        assert_eq!(x.len(), n * nrhs);
+        let err = x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-8, "forward error {err}");
+    }
+
+    #[test]
+    fn solve_many_is_bitwise_looped_single_rhs() {
+        let a = laplacian_2d(19, 14, Stencil::Faces);
+        let f = factor_of(&a, OrderingKind::NestedDissection);
+        let n = a.order();
+        let nrhs = 8;
+        let (_, b) = rhs_block(&a, nrhs, 11);
+        let batched = f.solve_many(&b, nrhs);
+        for j in 0..nrhs {
+            let single = f.solve(&b[j * n..(j + 1) * n]);
+            for i in 0..n {
+                assert_eq!(batched[i + j * n].to_bits(), single[i].to_bits(), "rhs {j} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_solve_is_bitwise_serial() {
+        let a = laplacian_3d(6, 5, 5, Stencil::Faces);
+        let f = factor_of(&a, OrderingKind::NestedDissection);
+        let n = a.order();
+        let nrhs = 4;
+        let (_, b) = rhs_block(&a, nrhs, 21);
+        let serial = f.solve_many(&b, nrhs);
+        for workers in [1, 2, 4] {
+            let par = f.solve_many_parallel(&b, nrhs, workers);
+            for i in 0..n * nrhs {
+                assert_eq!(serial[i].to_bits(), par[i].to_bits(), "{workers} workers, idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_nrhs_is_a_noop() {
+        let a = laplacian_2d(5, 5, Stencil::Faces);
+        let f = factor_of(&a, OrderingKind::Natural);
+        assert!(f.solve_many(&[], 0).is_empty());
+        assert!(f.solve_many_parallel(&[], 0, 2).is_empty());
     }
 }

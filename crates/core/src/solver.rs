@@ -6,11 +6,29 @@
 //! (§III-B). [`SpdSolver`] packages exactly that workflow: analysis →
 //! (possibly f32, possibly GPU-accelerated) factorization → triangular
 //! solves → f64 refinement against the original matrix.
+//!
+//! The solver is *refactorizable*: it caches the symbolic analysis
+//! (ordering, elimination tree, supernodes, postorder) so a new matrix with
+//! the same sparsity pattern re-runs only the numeric factorization
+//! ([`SpdSolver::refactor`]) — the amortization lever for time-stepping and
+//! Newton-type workloads where the pattern is fixed and values change.
+//!
+//! ## Refinement convergence contract
+//!
+//! [`SpdSolver::solve_refined`] / [`SpdSolver::solve_refined_many`] iterate
+//! `x ← x + L⁻ᵀL⁻¹(b − A·x)` with f64 residuals and stop, in priority
+//! order, when (1) the relative residual is ≤ `tol` (**converged**), (2)
+//! the correction budget `max_iters` is exhausted, or (3) after at least two
+//! corrections the residual improved by less than 10% (**stagnated** — the
+//! factor's precision floor has been reached). The outcome is reported
+//! explicitly in [`RefinedSolution::converged`] / [`RefinedSolution::stop`];
+//! callers must not infer success from `residual_history.last()`, which can
+//! be a perfectly finite stagnation plateau.
 
 use crate::factor::{factor_permuted, CholeskyFactor, FactorError, FactorOptions};
 use crate::stats::FactorStats;
 use mf_gpusim::Machine;
-use mf_sparse::symbolic::{analyze, Analysis};
+use mf_sparse::symbolic::{analyze, Analysis, SymCscF64Holder};
 use mf_sparse::{AmalgamationOptions, OrderingKind, SymCsc};
 
 /// Which precision the factor is stored/computed in.
@@ -36,16 +54,63 @@ pub struct SolverOptions {
     pub precision: Precision,
 }
 
+/// Why a refinement loop stopped (see the module-level convergence
+/// contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineStop {
+    /// Relative residual reached `tol`.
+    Converged,
+    /// The `max_iters` correction budget ran out first.
+    MaxIterations,
+    /// Improvement fell below 10% between consecutive corrections — the
+    /// factor-precision floor.
+    Stagnated,
+}
+
 /// Result of an iterative-refinement solve.
 #[derive(Debug, Clone)]
 pub struct RefinedSolution {
     /// The solution in the original ordering.
     pub x: Vec<f64>,
     /// Relative residual ‖b − A·x‖∞ / (‖A‖∞·‖x‖∞) after each step
-    /// (index 0 = before any refinement).
+    /// (index 0 = before any refinement; see [`SpdSolver::solve_refined`]
+    /// for the denominator fallbacks).
     pub residual_history: Vec<f64>,
     /// Refinement steps taken.
     pub iterations: usize,
+    /// Whether the relative residual reached `tol`.
+    pub converged: bool,
+    /// Why the loop stopped.
+    pub stop: RefineStop,
+}
+
+/// Per-column refinement outcome of [`SpdSolver::solve_refined_many`].
+#[derive(Debug, Clone)]
+pub struct RefineInfo {
+    /// Relative residual after each step (index 0 = before refinement).
+    pub residual_history: Vec<f64>,
+    /// Corrections applied to this column.
+    pub iterations: usize,
+    /// Whether this column reached `tol`.
+    pub converged: bool,
+    /// Why this column stopped.
+    pub stop: RefineStop,
+}
+
+/// Result of a blocked multi-RHS refinement solve.
+#[derive(Debug, Clone)]
+pub struct RefinedManySolution {
+    /// Solutions in the original ordering, `n × nrhs` column-major.
+    pub x: Vec<f64>,
+    /// Per-column convergence report.
+    pub columns: Vec<RefineInfo>,
+}
+
+impl RefinedManySolution {
+    /// Whether every column converged.
+    pub fn all_converged(&self) -> bool {
+        self.columns.iter().all(|c| c.converged)
+    }
 }
 
 enum FactorHolder {
@@ -53,12 +118,37 @@ enum FactorHolder {
     F32(CholeskyFactor<f32>),
 }
 
-/// A factored SPD system ready for repeated solves.
+/// Failure of [`SpdSolver::refactor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefactorError {
+    /// The new matrix's sparsity pattern differs from the analyzed one; the
+    /// cached symbolic factorization cannot be reused.
+    PatternMismatch,
+    /// The numeric factorization itself failed.
+    Factor(FactorError),
+}
+
+impl std::fmt::Display for RefactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefactorError::PatternMismatch => {
+                write!(f, "matrix pattern differs from the cached symbolic analysis")
+            }
+            RefactorError::Factor(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RefactorError {}
+
+/// A factored SPD system ready for repeated solves and same-pattern
+/// refactorization.
 pub struct SpdSolver {
     a: SymCsc<f64>,
     factor: FactorHolder,
     stats: FactorStats,
-    analysis_symbolic_nnz: usize,
+    analysis: Analysis,
+    opts: SolverOptions,
 }
 
 impl SpdSolver {
@@ -80,36 +170,45 @@ impl SpdSolver {
         machine: &mut Machine,
         opts: &SolverOptions,
     ) -> Result<Self, FactorError> {
-        let nnz = analysis.symbolic.factor_nnz();
-        let factor = match opts.precision {
-            Precision::F64 => {
-                let (f, stats) = factor_permuted(
-                    &analysis.permuted.0,
-                    &analysis.symbolic,
-                    &analysis.perm,
-                    machine,
-                    &opts.factor,
-                )?;
-                (FactorHolder::F64(f), stats)
-            }
-            Precision::F32 => {
-                let a32: SymCsc<f32> = analysis.permuted.0.cast();
-                let (f, stats) = factor_permuted(
-                    &a32,
-                    &analysis.symbolic,
-                    &analysis.perm,
-                    machine,
-                    &opts.factor,
-                )?;
-                (FactorHolder::F32(f), stats)
-            }
-        };
+        let (factor, stats) = factor_holder(analysis, machine, opts)?;
         Ok(SpdSolver {
             a: a.clone(),
-            factor: factor.0,
-            stats: factor.1,
-            analysis_symbolic_nnz: nnz,
+            factor,
+            stats,
+            analysis: analysis.clone(),
+            opts: opts.clone(),
         })
+    }
+
+    /// Re-run only the numeric factorization for a matrix with the **same
+    /// sparsity pattern** as the one this solver was built from, reusing the
+    /// cached ordering/supernodes/postorder. Much cheaper than
+    /// [`SpdSolver::new`] and produces exactly the factor a fresh solver
+    /// would (same permutation, same symbolic structure, same bits).
+    ///
+    /// On error the solver is left unchanged (the old factor stays valid).
+    pub fn refactor(
+        &mut self,
+        a: &SymCsc<f64>,
+        machine: &mut Machine,
+    ) -> Result<(), RefactorError> {
+        if !a.same_pattern(&self.a) {
+            return Err(RefactorError::PatternMismatch);
+        }
+        let mut analysis = self.analysis.clone();
+        analysis.permuted = SymCscF64Holder(analysis.perm.permute_sym(a));
+        let (factor, stats) =
+            factor_holder(&analysis, machine, &self.opts).map_err(RefactorError::Factor)?;
+        self.a = a.clone();
+        self.factor = factor;
+        self.stats = stats;
+        self.analysis = analysis;
+        Ok(())
+    }
+
+    /// The cached analysis (ordering, supernodes, postorder).
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
     }
 
     /// Per-call statistics of the factorization run.
@@ -124,50 +223,193 @@ impl SpdSolver {
 
     /// Nonzeros of the factor (supernodal storage).
     pub fn factor_nnz(&self) -> usize {
-        self.analysis_symbolic_nnz
+        self.analysis.symbolic.factor_nnz()
     }
 
     /// One direct solve (no refinement); accuracy is limited by the factor
     /// precision.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_many(b, 1)
+    }
+
+    /// Direct solve of `nrhs` right-hand sides (`b` is `n × nrhs`
+    /// column-major). Column `j` is bitwise identical to [`SpdSolver::solve`]
+    /// on column `j` alone.
+    pub fn solve_many(&self, b: &[f64], nrhs: usize) -> Vec<f64> {
         match &self.factor {
-            FactorHolder::F64(f) => f.solve(b),
+            FactorHolder::F64(f) => f.solve_many(b, nrhs),
             FactorHolder::F32(f) => {
                 let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
-                f.solve(&b32).into_iter().map(|v| v as f64).collect()
+                f.solve_many(&b32, nrhs).into_iter().map(|v| v as f64).collect()
+            }
+        }
+    }
+
+    /// [`SpdSolver::solve_many`] with the triangular sweeps scheduled across
+    /// `workers` threads on the elimination tree; bitwise identical to the
+    /// serial path at every worker count.
+    pub fn solve_many_parallel(&self, b: &[f64], nrhs: usize, workers: usize) -> Vec<f64> {
+        match &self.factor {
+            FactorHolder::F64(f) => f.solve_many_parallel(b, nrhs, workers),
+            FactorHolder::F32(f) => {
+                let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+                f.solve_many_parallel(&b32, nrhs, workers).into_iter().map(|v| v as f64).collect()
             }
         }
     }
 
     /// Solve with iterative refinement: f64 residuals against the original
-    /// matrix, corrections through the (possibly f32) factor. Stops when the
-    /// relative residual drops below `tol` or after `max_iters` corrections.
+    /// matrix, corrections through the (possibly f32) factor. Stops per the
+    /// module-level convergence contract.
+    ///
+    /// The relative residual is `‖b − A·x‖∞ / (‖A‖∞·‖x‖∞)`. When that
+    /// denominator underflows or vanishes (e.g. `b = 0` so `x = 0`), it
+    /// falls back to `‖b‖∞`, and failing that reports the absolute residual
+    /// — the history is finite for every input, never NaN.
     pub fn solve_refined(&self, b: &[f64], max_iters: usize, tol: f64) -> RefinedSolution {
+        let mut many = self.solve_refined_many(b, 1, max_iters, tol);
+        let info = many.columns.pop().expect("one column");
+        RefinedSolution {
+            x: many.x,
+            residual_history: info.residual_history,
+            iterations: info.iterations,
+            converged: info.converged,
+            stop: info.stop,
+        }
+    }
+
+    /// Blocked iterative refinement over `nrhs` right-hand sides (`b` is
+    /// `n × nrhs` column-major).
+    ///
+    /// Each round computes f64 residuals for every still-active column,
+    /// compacts them into one block, and runs a single batched correction
+    /// solve — the factor is walked once per round instead of once per
+    /// column. Columns stop independently (per the module-level contract);
+    /// because the whole solve path is RHS-count-invariant, every column's
+    /// trajectory is bitwise identical to a [`SpdSolver::solve_refined`]
+    /// call on that column alone.
+    pub fn solve_refined_many(
+        &self,
+        b: &[f64],
+        nrhs: usize,
+        max_iters: usize,
+        tol: f64,
+    ) -> RefinedManySolution {
+        let n = self.a.order();
+        assert_eq!(b.len(), n * nrhs, "B must be n × nrhs column-major");
         let norm_a = self.a.norm_inf();
-        let mut x = self.solve(b);
-        let mut history = Vec::with_capacity(max_iters + 1);
-        let rel = |x: &[f64], r: &[f64]| {
-            let rn = r.iter().map(|v| v.abs()).fold(0.0, f64::max);
-            let xn = x.iter().map(|v| v.abs()).fold(0.0, f64::max).max(1e-300);
-            rn / (norm_a * xn)
-        };
-        let mut r = self.a.residual(&x, b);
-        history.push(rel(&x, &r));
-        let mut iters = 0;
-        while iters < max_iters && history[iters] > tol {
-            let dx = self.solve(&r);
-            for (xi, di) in x.iter_mut().zip(&dx) {
-                *xi += di;
+
+        let mut x = self.solve_many(b, nrhs);
+        let mut cols: Vec<ColState> = (0..nrhs)
+            .map(|j| {
+                let bj = &b[j * n..(j + 1) * n];
+                let norm_b = bj.iter().map(|v| v.abs()).fold(0.0, f64::max);
+                let r = self.a.residual(&x[j * n..(j + 1) * n], bj);
+                let rel0 = rel_residual(norm_a, norm_b, &x[j * n..(j + 1) * n], &r);
+                ColState { history: vec![rel0], norm_b, r, stop: None }
+            })
+            .collect();
+
+        loop {
+            // Decide, per column, whether another correction is warranted —
+            // priority: converged > budget exhausted > stagnated.
+            for c in cols.iter_mut().filter(|c| c.stop.is_none()) {
+                let iters = c.history.len() - 1;
+                let cur = c.history[iters];
+                if cur <= tol {
+                    c.stop = Some(RefineStop::Converged);
+                } else if iters == max_iters {
+                    c.stop = Some(RefineStop::MaxIterations);
+                } else if iters >= 2 && cur > c.history[iters - 1] * 0.9 {
+                    c.stop = Some(RefineStop::Stagnated);
+                }
             }
-            r = self.a.residual(&x, b);
-            iters += 1;
-            history.push(rel(&x, &r));
-            // Diverging? stop.
-            if history[iters] > history[iters - 1] * 0.9 && iters >= 2 {
+            let active: Vec<usize> = (0..nrhs).filter(|&j| cols[j].stop.is_none()).collect();
+            if active.is_empty() {
                 break;
             }
+
+            // One batched correction solve over the compacted residuals.
+            let mut rblock = Vec::with_capacity(active.len() * n);
+            for &j in &active {
+                rblock.extend_from_slice(&cols[j].r);
+            }
+            let dx = self.solve_many(&rblock, active.len());
+            for (slot, &j) in active.iter().enumerate() {
+                let xj = &mut x[j * n..(j + 1) * n];
+                for (xi, di) in xj.iter_mut().zip(&dx[slot * n..(slot + 1) * n]) {
+                    *xi += di;
+                }
+                let c = &mut cols[j];
+                c.r = self.a.residual(&x[j * n..(j + 1) * n], &b[j * n..(j + 1) * n]);
+                let rel = rel_residual(norm_a, c.norm_b, &x[j * n..(j + 1) * n], &c.r);
+                c.history.push(rel);
+            }
         }
-        RefinedSolution { x, residual_history: history, iterations: iters }
+
+        let columns = cols
+            .into_iter()
+            .map(|c| {
+                let stop = c.stop.expect("every column decided");
+                RefineInfo {
+                    iterations: c.history.len() - 1,
+                    residual_history: c.history,
+                    converged: stop == RefineStop::Converged,
+                    stop,
+                }
+            })
+            .collect();
+        RefinedManySolution { x, columns }
+    }
+}
+
+/// Per-column refinement bookkeeping.
+struct ColState {
+    history: Vec<f64>,
+    norm_b: f64,
+    r: Vec<f64>,
+    stop: Option<RefineStop>,
+}
+
+/// `‖r‖∞ / (‖A‖∞·‖x‖∞)` with the denominator guarded: a vanishing or
+/// subnormal scale falls back to `‖b‖∞`, then to the absolute residual, so
+/// the result is finite (never NaN) for every input including `b = 0`.
+fn rel_residual(norm_a: f64, norm_b: f64, x: &[f64], r: &[f64]) -> f64 {
+    let rn = r.iter().map(|v| v.abs()).fold(0.0, f64::max);
+    let xn = x.iter().map(|v| v.abs()).fold(0.0, f64::max);
+    let denom = norm_a * xn;
+    if denom.is_normal() {
+        rn / denom
+    } else if norm_b.is_normal() {
+        rn / norm_b
+    } else {
+        rn
+    }
+}
+
+/// Run the numeric factorization at the precision the options ask for.
+fn factor_holder(
+    analysis: &Analysis,
+    machine: &mut Machine,
+    opts: &SolverOptions,
+) -> Result<(FactorHolder, FactorStats), FactorError> {
+    match opts.precision {
+        Precision::F64 => {
+            let (f, stats) = factor_permuted(
+                &analysis.permuted.0,
+                &analysis.symbolic,
+                &analysis.perm,
+                machine,
+                &opts.factor,
+            )?;
+            Ok((FactorHolder::F64(f), stats))
+        }
+        Precision::F32 => {
+            let a32: SymCsc<f32> = analysis.permuted.0.cast();
+            let (f, stats) =
+                factor_permuted(&a32, &analysis.symbolic, &analysis.perm, machine, &opts.factor)?;
+            Ok((FactorHolder::F32(f), stats))
+        }
     }
 }
 
@@ -217,6 +459,8 @@ mod tests {
             "well-conditioned system should refine in 1–3 steps, took {}",
             refined.iterations
         );
+        assert!(refined.converged, "must report convergence explicitly");
+        assert_eq!(refined.stop, RefineStop::Converged);
     }
 
     #[test]
@@ -270,5 +514,116 @@ mod tests {
             let err = x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             assert!(err < 1e-9);
         }
+    }
+
+    #[test]
+    fn zero_rhs_refinement_is_finite_and_converged() {
+        // b = 0 ⇒ x = 0: the ‖A‖∞·‖x‖∞ denominator vanishes. The old code
+        // produced 0/0 = NaN here and silently reported the NaN as
+        // converged; the guarded residual must report a finite (zero)
+        // history and explicit convergence.
+        let a = laplacian_3d(5, 4, 4, Stencil::Faces);
+        let mut machine = Machine::paper_node();
+        let s =
+            SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P3, Precision::F32)).unwrap();
+        let b = vec![0.0; a.order()];
+        let refined = s.solve_refined(&b, 4, 1e-14);
+        assert!(
+            refined.residual_history.iter().all(|v| v.is_finite()),
+            "history must never contain NaN/inf: {:?}",
+            refined.residual_history
+        );
+        assert!(refined.converged);
+        assert_eq!(refined.stop, RefineStop::Converged);
+        assert_eq!(refined.iterations, 0, "zero RHS needs no corrections");
+        assert!(refined.x.iter().all(|&v| v == 0.0), "solution of A·x = 0 is x = 0");
+    }
+
+    #[test]
+    fn stagnation_is_reported_not_mislabelled() {
+        // An impossible tolerance can't be met: the loop must stop on the
+        // f32 precision floor (stagnation) or the budget — and say which —
+        // instead of looping or claiming convergence.
+        let a = laplacian_3d(6, 5, 4, Stencil::Faces);
+        let mut machine = Machine::paper_node();
+        let s =
+            SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P3, Precision::F32)).unwrap();
+        let (_, b) = rhs_for_solution(&a, 5);
+        let refined = s.solve_refined(&b, 50, 1e-30);
+        assert!(!refined.converged);
+        assert_ne!(refined.stop, RefineStop::Converged);
+        assert!(
+            refined.iterations < 50,
+            "stagnation must cut the loop well before a 50-step budget"
+        );
+        assert_eq!(refined.residual_history.len(), refined.iterations + 1);
+    }
+
+    #[test]
+    fn refined_many_matches_single_column_bitwise() {
+        let a = laplacian_3d(5, 5, 4, Stencil::Full);
+        let mut machine = Machine::paper_node();
+        let s =
+            SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P3, Precision::F32)).unwrap();
+        let n = a.order();
+        let nrhs = 5;
+        let mut b = Vec::with_capacity(n * nrhs);
+        for j in 0..nrhs {
+            let (_, bj) = rhs_for_solution(&a, 100 + j as u64);
+            b.extend(bj);
+        }
+        let many = s.solve_refined_many(&b, nrhs, 5, 1e-14);
+        assert_eq!(many.columns.len(), nrhs);
+        for j in 0..nrhs {
+            let single = s.solve_refined(&b[j * n..(j + 1) * n], 5, 1e-14);
+            assert_eq!(single.residual_history, many.columns[j].residual_history, "col {j}");
+            assert_eq!(single.iterations, many.columns[j].iterations, "col {j}");
+            assert_eq!(single.converged, many.columns[j].converged, "col {j}");
+            for i in 0..n {
+                assert_eq!(single.x[i].to_bits(), many.x[i + j * n].to_bits(), "col {j} row {i}");
+            }
+        }
+        assert!(many.all_converged());
+    }
+
+    #[test]
+    fn refactor_same_pattern_matches_fresh_solver() {
+        let a = laplacian_3d(5, 5, 5, Stencil::Faces);
+        // Same pattern, different values: exact power-of-two scaling keeps
+        // the comparison bitwise-meaningful.
+        let a2 = SymCsc::from_parts(
+            a.order(),
+            a.colptr().to_vec(),
+            a.rowind().to_vec(),
+            a.values().iter().map(|&v| v * 4.0).collect(),
+        );
+        let opts = solver_opts(PolicyKind::P1, Precision::F64);
+        let mut machine = Machine::paper_node();
+        let mut s = SpdSolver::new(&a, &mut machine, &opts).unwrap();
+        s.refactor(&a2, &mut machine).unwrap();
+        let mut machine2 = Machine::paper_node();
+        let fresh = SpdSolver::new(&a2, &mut machine2, &opts).unwrap();
+        let (_, b) = rhs_for_solution(&a2, 17);
+        let x_re = s.solve(&b);
+        let x_fresh = fresh.solve(&b);
+        assert_eq!(x_re.len(), x_fresh.len());
+        for (p, q) in x_re.iter().zip(&x_fresh) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_different_pattern() {
+        let a = laplacian_3d(4, 4, 4, Stencil::Faces);
+        let other = laplacian_3d(4, 4, 4, Stencil::Full);
+        let mut machine = Machine::paper_node();
+        let mut s =
+            SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P1, Precision::F64)).unwrap();
+        assert_eq!(s.refactor(&other, &mut machine), Err(RefactorError::PatternMismatch));
+        // The old factor must still work after the rejection.
+        let (xtrue, b) = rhs_for_solution(&a, 2);
+        let x = s.solve(&b);
+        let err = x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-9);
     }
 }

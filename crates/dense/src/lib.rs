@@ -45,14 +45,17 @@ mod simd;
 mod syrk;
 mod trsm;
 
-pub use gemm::{gemm, gemm_nt, Transpose};
+pub use gemm::{gemm, gemm_multi_rhs, gemm_nt, Transpose};
 pub use kernel::{num_threads, set_num_threads, thread_cap};
 pub use matrix::{ColMajor, DenseMat};
 pub use potrf::{potrf, potrf_blocked, potrf_unblocked, PotrfError};
 pub use reference::{gemm_ref, potrf_ref, syrk_ref, trsm_ref};
 pub use scalar::Scalar;
 pub use syrk::syrk_lower;
-pub use trsm::{trsm_left_lower_notrans, trsm_left_lower_trans, trsm_right_lower_trans};
+pub use trsm::{
+    trsm_left_lower_notrans, trsm_left_lower_notrans_multi, trsm_left_lower_trans,
+    trsm_left_lower_trans_multi, trsm_right_lower_trans,
+};
 
 /// Floating point operation counts for the three F-U kernels, following the
 /// asymptotic expressions used in the paper (Section IV-B):

@@ -10,7 +10,7 @@
 //! entire remaining trailing region is updated in one [`gemm`] call — which
 //! routes the O(n²)-per-block bulk of the work through the packed engine.
 
-use crate::gemm::{gemm, Transpose};
+use crate::gemm::{gemm, gemm_multi_rhs, Transpose};
 use crate::Scalar;
 
 /// Diagonal-block width of the blocked triangular solves.
@@ -82,6 +82,34 @@ pub fn trsm_left_lower_notrans<T: Scalar>(
     b: &mut [T],
     ldb: usize,
 ) {
+    left_lower_notrans_impl(n, nrhs, a, lda, b, ldb, false);
+}
+
+/// [`trsm_left_lower_notrans`] with the **RHS-count-invariant** kernel
+/// dispatch of [`gemm_multi_rhs`]: column `j` of the solution is bitwise
+/// identical to a single-RHS call on column `j` alone, for any `nrhs`. The
+/// batched triangular-solve phase uses this variant so a blocked multi-RHS
+/// solve can be compared bit-for-bit against a loop of single-RHS solves.
+pub fn trsm_left_lower_notrans_multi<T: Scalar>(
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    left_lower_notrans_impl(n, nrhs, a, lda, b, ldb, true);
+}
+
+fn left_lower_notrans_impl<T: Scalar>(
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+    rhs_stable: bool,
+) {
     if n == 0 || nrhs == 0 {
         return;
     }
@@ -103,21 +131,38 @@ pub fn trsm_left_lower_notrans<T: Scalar>(
                 xbuf[r * w..r * w + w].copy_from_slice(&b[j0 + r * ldb..j1 + r * ldb]);
             }
             let l21 = &a[j1 + j0 * lda..];
-            gemm(
-                Transpose::No,
-                Transpose::No,
-                n - j1,
-                nrhs,
-                w,
-                -T::ONE,
-                l21,
-                lda,
-                &xbuf[..w * nrhs],
-                w,
-                T::ONE,
-                &mut b[j1..],
-                ldb,
-            );
+            if rhs_stable {
+                gemm_multi_rhs(
+                    Transpose::No,
+                    n - j1,
+                    nrhs,
+                    w,
+                    -T::ONE,
+                    l21,
+                    lda,
+                    &xbuf[..w * nrhs],
+                    w,
+                    T::ONE,
+                    &mut b[j1..],
+                    ldb,
+                );
+            } else {
+                gemm(
+                    Transpose::No,
+                    Transpose::No,
+                    n - j1,
+                    nrhs,
+                    w,
+                    -T::ONE,
+                    l21,
+                    lda,
+                    &xbuf[..w * nrhs],
+                    w,
+                    T::ONE,
+                    &mut b[j1..],
+                    ldb,
+                );
+            }
         }
         j0 = j1;
     }
@@ -132,6 +177,31 @@ pub fn trsm_left_lower_trans<T: Scalar>(
     lda: usize,
     b: &mut [T],
     ldb: usize,
+) {
+    left_lower_trans_impl(n, nrhs, a, lda, b, ldb, false);
+}
+
+/// [`trsm_left_lower_trans`] with the RHS-count-invariant dispatch of
+/// [`gemm_multi_rhs`] — see [`trsm_left_lower_notrans_multi`].
+pub fn trsm_left_lower_trans_multi<T: Scalar>(
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    left_lower_trans_impl(n, nrhs, a, lda, b, ldb, true);
+}
+
+fn left_lower_trans_impl<T: Scalar>(
+    n: usize,
+    nrhs: usize,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+    rhs_stable: bool,
 ) {
     if n == 0 || nrhs == 0 {
         return;
@@ -155,21 +225,38 @@ pub fn trsm_left_lower_trans<T: Scalar>(
         if j1 < n {
             // xbuf −= L[j1.., j0..j1]ᵀ · X[j1..]
             let l21 = &a[j1 + j0 * lda..];
-            gemm(
-                Transpose::Yes,
-                Transpose::No,
-                w,
-                nrhs,
-                n - j1,
-                -T::ONE,
-                l21,
-                lda,
-                &b[j1..],
-                ldb,
-                T::ONE,
-                &mut xbuf[..w * nrhs],
-                w,
-            );
+            if rhs_stable {
+                gemm_multi_rhs(
+                    Transpose::Yes,
+                    w,
+                    nrhs,
+                    n - j1,
+                    -T::ONE,
+                    l21,
+                    lda,
+                    &b[j1..],
+                    ldb,
+                    T::ONE,
+                    &mut xbuf[..w * nrhs],
+                    w,
+                );
+            } else {
+                gemm(
+                    Transpose::Yes,
+                    Transpose::No,
+                    w,
+                    nrhs,
+                    n - j1,
+                    -T::ONE,
+                    l21,
+                    lda,
+                    &b[j1..],
+                    ldb,
+                    T::ONE,
+                    &mut xbuf[..w * nrhs],
+                    w,
+                );
+            }
         }
         left_trans_block(w, nrhs, &a[j0 + j0 * lda..], lda, &mut xbuf, w);
         for r in 0..nrhs {
@@ -312,6 +399,101 @@ mod tests {
         let mut x = b0.clone();
         trsm_right_lower_trans(6, n, l.as_slice(), n, x.as_mut_slice(), 6);
         assert!(x.max_abs_diff(&b0) < 1e-15);
+    }
+
+    #[test]
+    fn multi_variants_solve() {
+        for &(n, nrhs) in &[(1, 1), (6, 2), (30, 5), (90, 8)] {
+            let l = lower_factor(n, 23 + n as u64);
+            let b0 = mat(n, nrhs, 8);
+            let mut x = b0.clone();
+            trsm_left_lower_notrans_multi(n, nrhs, l.as_slice(), n, x.as_mut_slice(), n);
+            assert!(l.matmul(&x).max_abs_diff(&b0) < 1e-9, "notrans n={n} nrhs={nrhs}");
+            let mut y = b0.clone();
+            trsm_left_lower_trans_multi(n, nrhs, l.as_slice(), n, y.as_mut_slice(), n);
+            assert!(l.transpose().matmul(&y).max_abs_diff(&b0) < 1e-9, "trans n={n} nrhs={nrhs}");
+        }
+    }
+
+    #[test]
+    fn multi_variants_are_bitwise_rhs_count_invariant() {
+        // n = 600 drives the trailing-update gemm well past PACK_MIN_MADDS,
+        // where the plain `gemm` dispatch would pick different kernels for
+        // nrhs = 1 vs nrhs = 8 — the `_multi` entries must not.
+        let n = 600;
+        let nrhs = 8;
+        let l = lower_factor(n, 77);
+        let b0 = mat(n, nrhs, 31);
+        for forward in [true, false] {
+            let mut batched = b0.clone();
+            if forward {
+                trsm_left_lower_notrans_multi(n, nrhs, l.as_slice(), n, batched.as_mut_slice(), n);
+            } else {
+                trsm_left_lower_trans_multi(n, nrhs, l.as_slice(), n, batched.as_mut_slice(), n);
+            }
+            for r in 0..nrhs {
+                let mut col: Vec<f64> = (0..n).map(|i| b0[(i, r)]).collect();
+                if forward {
+                    trsm_left_lower_notrans_multi(n, 1, l.as_slice(), n, &mut col, n);
+                } else {
+                    trsm_left_lower_trans_multi(n, 1, l.as_slice(), n, &mut col, n);
+                }
+                for i in 0..n {
+                    assert_eq!(
+                        batched[(i, r)].to_bits(),
+                        col[i].to_bits(),
+                        "forward={forward} rhs={r} row={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_multi_rhs_is_bitwise_rhs_count_invariant() {
+        use crate::gemm::gemm_multi_rhs;
+        // m·kk = 640·40 = 25600 ≥ PACK_MIN_MADDS: every call below takes the
+        // packed engine, regardless of nrhs.
+        let (m, kk, nrhs) = (640, 40, 8);
+        let a = mat(m, kk, 41);
+        let b = mat(kk, nrhs, 42);
+        let c0 = mat(m, nrhs, 43);
+        let mut c = c0.clone();
+        gemm_multi_rhs(
+            Transpose::No,
+            m,
+            nrhs,
+            kk,
+            -1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            kk,
+            1.0,
+            c.as_mut_slice(),
+            m,
+        );
+        for r in 0..nrhs {
+            let bcol: Vec<f64> = (0..kk).map(|i| b[(i, r)]).collect();
+            let mut ccol: Vec<f64> = (0..m).map(|i| c0[(i, r)]).collect();
+            gemm_multi_rhs(
+                Transpose::No,
+                m,
+                1,
+                kk,
+                -1.0,
+                a.as_slice(),
+                m,
+                &bcol,
+                kk,
+                1.0,
+                &mut ccol,
+                m,
+            );
+            for i in 0..m {
+                assert_eq!(c[(i, r)].to_bits(), ccol[i].to_bits(), "rhs={r} row={i}");
+            }
+        }
     }
 
     #[test]

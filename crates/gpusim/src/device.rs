@@ -18,7 +18,7 @@
 
 use crate::calib::{exact_ops, GpuConfig, KernelKind};
 use crate::host::HostClock;
-use crate::memory::{DevBuf, DevMat, DeviceMemory, DeviceOom};
+use crate::memory::{DevBuf, DevMat, DeviceMemory, DeviceOom, InvalidBuffer};
 use crate::profile::{Component, ProfileRecord};
 use mf_dense::potrf_unblocked;
 use mf_dense::{gemm, syrk_lower, trsm_right_lower_trans, Transpose};
@@ -129,7 +129,7 @@ impl Gpu {
     }
 
     /// Length (elements) of an allocated buffer.
-    pub fn buf_len(&self, buf: crate::memory::DevBuf) -> usize {
+    pub fn buf_len(&self, buf: crate::memory::DevBuf) -> Result<usize, InvalidBuffer> {
         self.mem.len(buf)
     }
 
@@ -143,13 +143,14 @@ impl Gpu {
         self.mem.alloc(len)
     }
 
-    /// Free a device buffer.
-    pub fn free(&mut self, buf: DevBuf) {
+    /// Free a device buffer. Double frees and stale handles are reported as
+    /// [`InvalidBuffer`] rather than aborting the simulation.
+    pub fn free(&mut self, buf: DevBuf) -> Result<(), InvalidBuffer> {
         self.mem.free(buf)
     }
 
     /// Read device data (test/debug helper — performs no timing).
-    pub fn peek(&self, buf: DevBuf) -> &[f32] {
+    pub fn peek(&self, buf: DevBuf) -> Result<&[f32], InvalidBuffer> {
         self.mem.get(buf)
     }
 
@@ -200,12 +201,18 @@ impl Gpu {
         host: &mut HostClock,
     ) {
         // Data moves now (eager numerics); skipped entirely in virtual mode.
+        // An invalid handle skips the data movement (debug builds assert) but
+        // still charges the simulated transfer time so clocks stay plausible.
         if !self.mem.virtual_mode {
-            let data = self.mem.get_mut(dst.buf);
-            for j in 0..cols {
-                let s = &src[j * src_ld..j * src_ld + rows];
-                let doff = dst.off + j * dst.ld;
-                data[doff..doff + rows].copy_from_slice(s);
+            match self.mem.get_mut(dst.buf) {
+                Ok(data) => {
+                    for j in 0..cols {
+                        let s = &src[j * src_ld..j * src_ld + rows];
+                        let doff = dst.off + j * dst.ld;
+                        data[doff..doff + rows].copy_from_slice(s);
+                    }
+                }
+                Err(e) => debug_assert!(false, "h2d: {e}"),
             }
         }
         self.schedule_copy(stream, rows * cols * 4, pinned, mode, Component::CopyH2D, host);
@@ -227,10 +234,15 @@ impl Gpu {
         host: &mut HostClock,
     ) {
         if !self.mem.virtual_mode {
-            let data = self.mem.get(src.buf);
-            for j in 0..cols {
-                let soff = src.off + j * src.ld;
-                dst[j * dst_ld..j * dst_ld + rows].copy_from_slice(&data[soff..soff + rows]);
+            match self.mem.get(src.buf) {
+                Ok(data) => {
+                    for j in 0..cols {
+                        let soff = src.off + j * src.ld;
+                        dst[j * dst_ld..j * dst_ld + rows]
+                            .copy_from_slice(&data[soff..soff + rows]);
+                    }
+                }
+                Err(e) => debug_assert!(false, "d2h: {e}"),
             }
         }
         self.schedule_copy(stream, rows * cols * 4, pinned, mode, Component::CopyD2H, host);
@@ -263,14 +275,14 @@ impl Gpu {
 
     /// Pack a `rows × cols` region of a device view into a dense scratch
     /// vector (simulation-internal; carries no simulated cost).
-    fn pack(&self, m: DevMat, rows: usize, cols: usize) -> Vec<f32> {
-        let data = self.mem.get(m.buf);
+    fn pack(&self, m: DevMat, rows: usize, cols: usize) -> Result<Vec<f32>, InvalidBuffer> {
+        let data = self.mem.get(m.buf)?;
         let mut out = vec![0.0f32; rows * cols];
         for j in 0..cols {
             let off = m.off + j * m.ld;
             out[j * rows..(j + 1) * rows].copy_from_slice(&data[off..off + rows]);
         }
-        out
+        Ok(out)
     }
 
     fn schedule_kernel(
@@ -313,9 +325,12 @@ impl Gpu {
         host: &mut HostClock,
     ) {
         if !self.mem.virtual_mode {
-            let lpack = self.pack(l, k, k);
-            let data = self.mem.get_mut(b.buf);
-            trsm_right_lower_trans(m, k, &lpack, k, &mut data[b.off..], b.ld);
+            let res = self.pack(l, k, k).and_then(|lpack| {
+                let data = self.mem.get_mut(b.buf)?;
+                trsm_right_lower_trans(m, k, &lpack, k, &mut data[b.off..], b.ld);
+                Ok(())
+            });
+            debug_assert!(res.is_ok(), "trsm: {:?}", res.err());
         }
         self.schedule_kernel(stream, KernelKind::Trsm, m, 0, k, host);
     }
@@ -332,9 +347,12 @@ impl Gpu {
         host: &mut HostClock,
     ) {
         if !self.mem.virtual_mode {
-            let apack = self.pack(a, n, k);
-            let data = self.mem.get_mut(c.buf);
-            syrk_lower(n, k, -1.0f32, &apack, n, 1.0, &mut data[c.off..], c.ld);
+            let res = self.pack(a, n, k).and_then(|apack| {
+                let data = self.mem.get_mut(c.buf)?;
+                syrk_lower(n, k, -1.0f32, &apack, n, 1.0, &mut data[c.off..], c.ld);
+                Ok(())
+            });
+            debug_assert!(res.is_ok(), "syrk: {:?}", res.err());
         }
         self.schedule_kernel(stream, KernelKind::Syrk, 0, n, k, host);
     }
@@ -354,24 +372,27 @@ impl Gpu {
         host: &mut HostClock,
     ) {
         if !self.mem.virtual_mode {
-            let apack = self.pack(a, m, k);
-            let bpack = self.pack(b, n, k);
-            let data = self.mem.get_mut(c.buf);
-            gemm(
-                Transpose::No,
-                Transpose::Yes,
-                m,
-                n,
-                k,
-                -1.0f32,
-                &apack,
-                m,
-                &bpack,
-                n,
-                1.0,
-                &mut data[c.off..],
-                c.ld,
-            );
+            let res = self.pack(a, m, k).and_then(|apack| {
+                let bpack = self.pack(b, n, k)?;
+                let data = self.mem.get_mut(c.buf)?;
+                gemm(
+                    Transpose::No,
+                    Transpose::Yes,
+                    m,
+                    n,
+                    k,
+                    -1.0f32,
+                    &apack,
+                    m,
+                    &bpack,
+                    n,
+                    1.0,
+                    &mut data[c.off..],
+                    c.ld,
+                );
+                Ok(())
+            });
+            debug_assert!(res.is_ok(), "gemm_nt: {:?}", res.err());
         }
         self.schedule_kernel(stream, KernelKind::Gemm, m, n, k, host);
     }
@@ -388,8 +409,13 @@ impl Gpu {
         let res = if self.mem.virtual_mode {
             Ok(())
         } else {
-            let data = self.mem.get_mut(a.buf);
-            potrf_unblocked(n, &mut data[a.off..], a.ld)
+            match self.mem.get_mut(a.buf) {
+                Ok(data) => potrf_unblocked(n, &mut data[a.off..], a.ld),
+                Err(e) => {
+                    debug_assert!(false, "panel_potrf: {e}");
+                    Ok(())
+                }
+            }
         };
         self.schedule_kernel(stream, KernelKind::PanelPotrf, 0, n, 0, host);
         res.map_err(|e| e.column)
@@ -469,7 +495,7 @@ mod tests {
                 .collect();
             mf_dense::syrk_lower(m, k, -1.0, &panel, m, 1.0, &mut hs[k + k * n..], n);
         }
-        let dev = gpu.peek(buf);
+        let dev = gpu.peek(buf).unwrap();
         for j in 0..n {
             for i in j..n {
                 let d = dev[i + j * n];
@@ -585,6 +611,18 @@ mod tests {
     }
 
     #[test]
+    fn double_free_surfaces_as_error() {
+        let (mut gpu, _host) = setup();
+        let buf = gpu.alloc(16).unwrap();
+        gpu.free(buf).unwrap();
+        assert!(gpu.free(buf).is_err());
+        assert!(gpu.buf_len(buf).is_err());
+        assert!(gpu.peek(buf).is_err());
+        // The device is still usable afterwards.
+        assert!(gpu.alloc(16).is_ok());
+    }
+
+    #[test]
     fn panel_potrf_rejects_indefinite() {
         let (mut gpu, mut host) = setup();
         let buf = gpu.alloc(16).unwrap();
@@ -604,6 +642,6 @@ mod tests {
         gpu.h2d(s0, v, 4, 4, &[1.0; 16], 4, false, CopyMode::Sync, &mut host);
         gpu.reset_clock();
         assert_eq!(gpu.stream_tail(s0), 0.0);
-        assert_eq!(gpu.peek(buf)[0], 1.0);
+        assert_eq!(gpu.peek(buf).unwrap()[0], 1.0);
     }
 }

@@ -30,7 +30,7 @@ pub use calib::{
 };
 pub use device::{CopyMode, Event, Gpu, Stream};
 pub use host::{HostClock, ISSUE_OVERHEAD};
-pub use memory::{DevBuf, DevMat, DeviceOom};
+pub use memory::{DevBuf, DevMat, DeviceOom, InvalidBuffer};
 pub use profile::{Component, ProfileRecord, ProfileSummary};
 
 /// A host/device pair with aligned virtual timelines — the "machine" on

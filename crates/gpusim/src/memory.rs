@@ -30,6 +30,23 @@ impl std::fmt::Display for DeviceOom {
 
 impl std::error::Error for DeviceOom {}
 
+/// Error for an operation on a buffer handle that is out of range or
+/// already freed (double-free / use-after-free). Reported as a value so a
+/// solve-path error can degrade gracefully instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidBuffer {
+    /// The offending handle's id.
+    pub id: usize,
+}
+
+impl std::fmt::Display for InvalidBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid device buffer handle {} (freed or never allocated)", self.id)
+    }
+}
+
+impl std::error::Error for InvalidBuffer {}
+
 /// A view into a device buffer: column-major matrix at `off` with leading
 /// dimension `ld`.
 #[derive(Debug, Clone, Copy)]
@@ -103,23 +120,37 @@ impl DeviceMemory {
         Ok(DevBuf(id))
     }
 
-    pub fn free(&mut self, buf: DevBuf) {
-        self.slabs[buf.0].take().expect("double free of device buffer");
+    /// Check that `buf` names a live slab.
+    fn check(&self, buf: DevBuf) -> Result<(), InvalidBuffer> {
+        match self.slabs.get(buf.0) {
+            Some(Some(_)) => Ok(()),
+            _ => Err(InvalidBuffer { id: buf.0 }),
+        }
+    }
+
+    /// Release a buffer. A double free or out-of-range handle is reported
+    /// as [`InvalidBuffer`] with the accounting untouched.
+    pub fn free(&mut self, buf: DevBuf) -> Result<(), InvalidBuffer> {
+        self.check(buf)?;
+        self.slabs[buf.0] = None;
         self.used -= self.lens[buf.0] * 4;
         self.free_ids.push(buf.0);
+        Ok(())
     }
 
-    pub fn len(&self, buf: DevBuf) -> usize {
-        assert!(self.slabs[buf.0].is_some(), "use after free");
-        self.lens[buf.0]
+    pub fn len(&self, buf: DevBuf) -> Result<usize, InvalidBuffer> {
+        self.check(buf)?;
+        Ok(self.lens[buf.0])
     }
 
-    pub fn get(&self, buf: DevBuf) -> &[f32] {
-        self.slabs[buf.0].as_ref().expect("use after free")
+    pub fn get(&self, buf: DevBuf) -> Result<&[f32], InvalidBuffer> {
+        self.check(buf)?;
+        Ok(self.slabs[buf.0].as_ref().unwrap())
     }
 
-    pub fn get_mut(&mut self, buf: DevBuf) -> &mut [f32] {
-        self.slabs[buf.0].as_mut().expect("use after free")
+    pub fn get_mut(&mut self, buf: DevBuf) -> Result<&mut [f32], InvalidBuffer> {
+        self.check(buf)?;
+        Ok(self.slabs[buf.0].as_mut().unwrap())
     }
 
     pub fn used(&self) -> usize {
@@ -146,10 +177,10 @@ mod tests {
         assert_eq!(m.used(), 400);
         let b = m.alloc(100).unwrap();
         assert_eq!(m.used(), 800);
-        m.free(a);
+        m.free(a).unwrap();
         assert_eq!(m.used(), 400);
         assert_eq!(m.peak(), 800);
-        m.free(b);
+        m.free(b).unwrap();
         assert_eq!(m.used(), 0);
     }
 
@@ -166,20 +197,40 @@ mod tests {
     fn slot_reuse_after_free() {
         let mut m = DeviceMemory::new(10_000);
         let a = m.alloc(10).unwrap();
-        m.free(a);
+        m.free(a).unwrap();
         let b = m.alloc(20).unwrap();
         // Freed slot id is reused.
         assert_eq!(a.0, b.0);
-        assert_eq!(m.len(b), 20);
+        assert_eq!(m.len(b), Ok(20));
     }
 
     #[test]
-    #[should_panic(expected = "double free")]
-    fn double_free_panics() {
+    fn double_free_is_an_error_not_a_panic() {
         let mut m = DeviceMemory::new(10_000);
         let a = m.alloc(10).unwrap();
-        m.free(a);
-        m.free(a);
+        m.free(a).unwrap();
+        assert_eq!(m.free(a), Err(InvalidBuffer { id: a.0 }));
+        // Accounting must be untouched by the failed free.
+        assert_eq!(m.used(), 0);
+        // The slab can still be allocated from afterwards.
+        assert!(m.alloc(10).is_ok());
+    }
+
+    #[test]
+    fn use_after_free_is_an_error_not_a_panic() {
+        let mut m = DeviceMemory::new(10_000);
+        let a = m.alloc(10).unwrap();
+        m.free(a).unwrap();
+        assert_eq!(m.len(a), Err(InvalidBuffer { id: a.0 }));
+        assert_eq!(m.get(a).err(), Some(InvalidBuffer { id: a.0 }));
+        assert_eq!(m.get_mut(a).err(), Some(InvalidBuffer { id: a.0 }));
+    }
+
+    #[test]
+    fn out_of_range_handle_is_an_error() {
+        let mut m = DeviceMemory::new(10_000);
+        assert_eq!(m.free(DevBuf(42)), Err(InvalidBuffer { id: 42 }));
+        assert_eq!(m.len(DevBuf(42)), Err(InvalidBuffer { id: 42 }));
     }
 
     #[test]
@@ -194,6 +245,6 @@ mod tests {
     fn buffers_zero_initialized() {
         let mut m = DeviceMemory::new(10_000);
         let a = m.alloc(16).unwrap();
-        assert!(m.get(a).iter().all(|&v| v == 0.0));
+        assert!(m.get(a).unwrap().iter().all(|&v| v == 0.0));
     }
 }

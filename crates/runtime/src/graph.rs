@@ -52,6 +52,22 @@ impl TaskGraph {
         g
     }
 
+    /// Build the *reversed* forest of a parent array (`usize::MAX` marks a
+    /// root): each child depends on its parent, so execution sweeps
+    /// root→leaves. This is the shape of the backward-substitution pass of
+    /// the supernodal triangular solve — a supernode's update rows all lie
+    /// in ancestor columns, so running every ancestor first is exactly the
+    /// data dependence — and the roots form the initial ready set.
+    pub fn from_parents_reversed(parents: &[usize]) -> Self {
+        let mut g = TaskGraph::new(parents.len());
+        for (child, &p) in parents.iter().enumerate() {
+            if p != usize::MAX {
+                g.add_dependency(child, p);
+            }
+        }
+        g
+    }
+
     /// Number of tasks.
     pub fn len(&self) -> usize {
         self.ndeps.len()
@@ -106,6 +122,23 @@ mod tests {
         assert_eq!(g.dependents(0), &[2]);
         assert_eq!(g.dependents(2), &[4]);
         assert!(g.dependents(4).is_empty());
+    }
+
+    #[test]
+    fn from_parents_reversed_flips_edges() {
+        // Same forest as above; reversed, the root seeds the ready set and
+        // dependents point parent → children.
+        let parents = [2, 2, 4, 4, usize::MAX];
+        let g = TaskGraph::from_parents_reversed(&parents);
+        assert_eq!(g.initial_ready(), vec![4]);
+        let mut d2 = g.dependents(2).to_vec();
+        d2.sort_unstable();
+        assert_eq!(d2, vec![0, 1]);
+        let mut d4 = g.dependents(4).to_vec();
+        d4.sort_unstable();
+        assert_eq!(d4, vec![2, 3]);
+        assert!(g.dependents(0).is_empty());
+        assert!(g.complete_one(2), "a child has exactly one prerequisite");
     }
 
     #[test]

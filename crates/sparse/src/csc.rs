@@ -187,6 +187,13 @@ impl<T: Scalar> SymCsc<T> {
         &self.values[self.colptr[j]..self.colptr[j + 1]]
     }
 
+    /// Whether `other` has exactly this matrix's sparsity pattern (same
+    /// order, column pointers, and row indices) — the precondition for
+    /// reusing a symbolic analysis across numeric refactorizations.
+    pub fn same_pattern<U: Scalar>(&self, other: &SymCsc<U>) -> bool {
+        self.n == other.n && self.colptr == other.colptr && self.rowind == other.rowind
+    }
+
     /// Look up entry `(i, j)`; either triangle may be queried.
     pub fn get(&self, i: usize, j: usize) -> Option<T> {
         let (r, c) = if i >= j { (i, j) } else { (j, i) };

@@ -161,6 +161,114 @@ fn parallel_error_is_serial_first_error() {
     }
 }
 
+/// A deterministic, full-rank block of `nrhs` right-hand sides.
+fn rhs_block<T: Scalar>(n: usize, nrhs: usize) -> Vec<T> {
+    (0..n * nrhs)
+        .map(|i| {
+            let (r, c) = (i % n, i / n);
+            T::from_f64(((r * 31 + c * 17 + 7) % 13) as f64 / 13.0 - 0.4)
+        })
+        .collect()
+}
+
+/// Solve-path analogue of `assert_bitwise_deterministic`: the tree-parallel
+/// forward/backward sweeps must reproduce the serial solve bit-for-bit at
+/// every worker count, for single and batched right-hand sides.
+fn assert_solve_bitwise_deterministic<T: Scalar>(
+    a: &SymCsc<T>,
+    symbolic: &SymbolicFactor,
+    perm: &Permutation,
+) {
+    let mut machine = Machine::paper_node();
+    let (f, _) = factor_permuted(a, symbolic, perm, &mut machine, &baseline_opts()).unwrap();
+    let n = symbolic.n;
+    for nrhs in [1usize, 4] {
+        let b = rhs_block::<T>(n, nrhs);
+        let serial = f.solve_many(&b, nrhs);
+        let serial_bits: Vec<u64> = serial.iter().map(|&x| x.to_f64().to_bits()).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let par = f.solve_many_parallel(&b, nrhs, workers);
+            let par_bits: Vec<u64> = par.iter().map(|&x| x.to_f64().to_bits()).collect();
+            assert_eq!(
+                serial_bits, par_bits,
+                "{workers}-worker solve (nrhs={nrhs}) must be bitwise identical to serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_solve_bitwise_identical_f64_all_families() {
+    for a in [
+        laplacian_2d(20, 17, Stencil::Faces),
+        laplacian_3d(8, 7, 6, Stencil::Faces),
+        elasticity_3d(4, 4, 3),
+    ] {
+        let an = analysis_of(&a);
+        assert_solve_bitwise_deterministic(&an.permuted.0, &an.symbolic, &an.perm);
+    }
+}
+
+#[test]
+fn parallel_solve_bitwise_identical_f32_all_families() {
+    for a in [
+        laplacian_2d(20, 17, Stencil::Faces),
+        laplacian_3d(8, 7, 6, Stencil::Faces),
+        elasticity_3d(4, 4, 3),
+    ] {
+        let an = analysis_of(&a);
+        let a32: SymCsc<f32> = an.permuted.0.cast();
+        assert_solve_bitwise_deterministic(&a32, &an.symbolic, &an.perm);
+    }
+}
+
+#[test]
+fn batched_solve_bitwise_matches_looped_single_rhs() {
+    // Column j of a batched solve must equal the solve of column j alone —
+    // the kernels underneath dispatch independently of the RHS count.
+    let a = laplacian_3d(8, 7, 6, Stencil::Faces);
+    let an = analysis_of(&a);
+    let mut machine = Machine::paper_node();
+    let (f, _) =
+        factor_permuted(&an.permuted.0, &an.symbolic, &an.perm, &mut machine, &baseline_opts())
+            .unwrap();
+    let n = an.symbolic.n;
+    let nrhs = 8;
+    let b = rhs_block::<f64>(n, nrhs);
+    let batched = f.solve_many(&b, nrhs);
+    for j in 0..nrhs {
+        let col = &b[j * n..(j + 1) * n];
+        let single = f.solve(col);
+        let batched_col: Vec<u64> =
+            batched[j * n..(j + 1) * n].iter().map(|x| x.to_bits()).collect();
+        let single_bits: Vec<u64> = single.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(single_bits, batched_col, "batched column {j} diverged from single-RHS solve");
+    }
+}
+
+#[test]
+fn refactorization_reuses_symbolic_and_matches_fresh_solver() {
+    // Re-running only the numeric phase on a same-pattern matrix must give
+    // the same bits as building a solver from scratch on that matrix.
+    let a = laplacian_3d(7, 6, 6, Stencil::Faces);
+    let a2 = SymCsc::from_parts(
+        a.order(),
+        a.colptr().to_vec(),
+        a.rowind().to_vec(),
+        a.values().iter().map(|&v| v * 4.0).collect(),
+    );
+    let opts = SolverOptions::default();
+    let mut m1 = Machine::paper_node();
+    let mut solver = SpdSolver::new(&a, &mut m1, &opts).unwrap();
+    solver.refactor(&a2, &mut m1).unwrap();
+    let mut m2 = Machine::paper_node();
+    let fresh = SpdSolver::new(&a2, &mut m2, &opts).unwrap();
+    let b = rhs_block::<f64>(a.order(), 1);
+    let xr: Vec<u64> = solver.solve(&b).iter().map(|x| x.to_bits()).collect();
+    let xf: Vec<u64> = fresh.solve(&b).iter().map(|x| x.to_bits()).collect();
+    assert_eq!(xr, xf, "refactored solver must match a fresh solver bitwise");
+}
+
 #[test]
 fn sixty_four_concurrent_factorizations() {
     // 8 OS threads × 8 matrices each, every one factored by a 2-worker
