@@ -14,18 +14,58 @@
 //!
 //! The per-worker delta between the two validates the schedule model
 //! against the real runtime wherever the host has threads to spare.
+//!
+//! The bench also compares the two front-storage backends — the arena
+//! (default) against the per-front heap reference — at w=1 (serial) and
+//! w=4, and reports the arena's memory contract per matrix: peak front
+//! bytes vs the symbolic working-storage bound, front allocation events,
+//! and the process-global heap allocation count of one numeric phase
+//! (measured by a counting global allocator).
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use mf_core::{
     durations_by_supernode, factor_permuted, factor_permuted_parallel, simulate_tree_schedule,
-    BaselineThresholds, FactorOptions, MoldableModel, ParallelOptions, PolicySelector,
+    BaselineThresholds, FactorOptions, FrontStorage, MoldableModel, ParallelOptions,
+    PolicySelector,
 };
 use mf_gpusim::Machine;
 use mf_matgen::PaperMatrix;
 use mf_sparse::symbolic::{analyze, Analysis};
 use mf_sparse::{AmalgamationOptions, OrderingKind, SymCsc};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation the process performs, so the
+/// report can demonstrate the numeric phase's O(1) heap traffic under the
+/// arena backend against the per-front traffic of the heap backend.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn global_allocs() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
 
 const WORKER_COUNTS: [usize; 3] = [2, 4, 8];
+/// Worker count at which the storage backends are compared in parallel.
+const COMPARE_WORKERS: usize = 4;
 
 /// Matrices: the largest 3-D stand-in (sgi_1M) plus a vector-FE stand-in
 /// (audikw_1), both shrunk to bench-friendly orders.
@@ -47,6 +87,10 @@ fn opts() -> FactorOptions {
         selector: PolicySelector::Baseline(BaselineThresholds::default()),
         ..Default::default()
     }
+}
+
+fn heap_opts() -> FactorOptions {
+    FactorOptions { front_storage: FrontStorage::Heap, ..opts() }
 }
 
 fn bench_factor(c: &mut Criterion) {
@@ -112,9 +156,89 @@ fn simulated_speedups(a: &SymCsc<f64>) -> Vec<(usize, f64)> {
         .collect()
 }
 
+/// Interleaved A/B timing of the arena backend against the per-front heap
+/// reference at `workers` (1 = serial driver). Alternating the two backends
+/// every iteration cancels the slow host drift that sequential benchmark
+/// groups pick up on shared machines; the median over paired samples
+/// resists the scheduler outliers an oversubscribed host produces. Returns
+/// median `(arena_ms, heap_ms)`.
+fn compare_backends(an: &Analysis, workers: usize, reps: usize) -> (f64, f64) {
+    let variants = [opts(), heap_opts()];
+    let warm = 3;
+    let mut samples: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    for rep in 0..reps + warm {
+        for (i, o) in variants.iter().enumerate() {
+            let t0 = std::time::Instant::now();
+            if workers == 1 {
+                let mut machine = Machine::paper_node();
+                std::hint::black_box(
+                    factor_permuted(&an.permuted.0, &an.symbolic, &an.perm, &mut machine, o)
+                        .unwrap(),
+                );
+            } else {
+                let mut machines: Vec<Machine> =
+                    (0..workers).map(|_| Machine::paper_node()).collect();
+                std::hint::black_box(
+                    factor_permuted_parallel(
+                        &an.permuted.0,
+                        &an.symbolic,
+                        &an.perm,
+                        &mut machines,
+                        o,
+                        &ParallelOptions::default(),
+                    )
+                    .unwrap(),
+                );
+            }
+            if rep >= warm {
+                samples[i].push(t0.elapsed().as_secs_f64());
+            }
+        }
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2] * 1e3
+    };
+    (median(&mut samples[0]), median(&mut samples[1]))
+}
+
+/// One warmed serial run per backend with the counting allocator snapshot
+/// around it, plus the driver's own storage accounting. Returns a JSON
+/// `"memory"` object for the matrix block.
+fn memory_report(a: &SymCsc<f64>) -> String {
+    let an = analysis_of(a);
+    let bound_bytes = an.symbolic.update_stack_peak() * std::mem::size_of::<f64>();
+    let run = |o: &FactorOptions| {
+        let mut machine = Machine::paper_node();
+        // Warm thread-local kernel scratch so the measured pass sees the
+        // steady state a refactorization loop would see.
+        factor_permuted(&an.permuted.0, &an.symbolic, &an.perm, &mut machine, o).unwrap();
+        let before = global_allocs();
+        let (_, stats) =
+            factor_permuted(&an.permuted.0, &an.symbolic, &an.perm, &mut machine, o).unwrap();
+        (stats, global_allocs() - before)
+    };
+    let (sa, ga) = run(&opts());
+    let (sh, gh) = run(&heap_opts());
+    assert!(
+        sa.peak_front_bytes <= bound_bytes,
+        "arena high-water {} exceeds symbolic bound {bound_bytes}",
+        sa.peak_front_bytes
+    );
+    format!(
+        "\"memory\": {{\"working_storage_bound_bytes\": {bound_bytes}, \
+         \"arena\": {{\"peak_front_bytes\": {}, \"front_alloc_events\": {}, \
+         \"global_alloc_events\": {ga}}}, \
+         \"heap\": {{\"peak_front_bytes\": {}, \"front_alloc_events\": {}, \
+         \"global_alloc_events\": {gh}}}}}",
+        sa.peak_front_bytes, sa.front_alloc_events, sh.peak_front_bytes, sh.front_alloc_events
+    )
+}
+
 /// Write `BENCH_factor.json`: per matrix, the serial mean plus — per worker
 /// count — measured wall-clock speedup, simulated makespan speedup, and
-/// their difference.
+/// their difference; then the arena-vs-heap storage comparison (w=1 and
+/// w=4) and the memory accounting of both backends.
 fn write_bench_json() {
     let recs = criterion::records();
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -122,7 +246,8 @@ fn write_bench_json() {
     out.push_str(&format!("  \"hardware_threads\": {threads},\n"));
     out.push_str(
         "  \"note\": \"measured = real wall-clock on this host (bounded by hardware_threads); \
-         simulated = tree-schedule model of the paper's multi-worker node\",\n",
+         simulated = tree-schedule model of the paper's multi-worker node; arena_speedup_vs_heap \
+         = per-front heap allocation baseline time / arena time, interleaved A/B timing\",\n",
     );
     out.push_str("  \"matrices\": [\n");
     let mut blocks: Vec<String> = Vec::new();
@@ -146,11 +271,23 @@ fn write_bench_json() {
                 simulated - measured
             ));
         }
+        let an = analysis_of(&a);
+        let mut cmp_rows: Vec<String> = Vec::new();
+        for w in [1usize, COMPARE_WORKERS] {
+            let (arena_ms, heap_ms) = compare_backends(&an, w, 31);
+            cmp_rows.push(format!(
+                "        {{\"workers\": {w}, \"arena_ms\": {arena_ms:.3}, \
+                 \"heap_ms\": {heap_ms:.3}, \"arena_speedup_vs_heap\": {:.3}}}",
+                heap_ms / arena_ms
+            ));
+        }
         blocks.push(format!(
             "    {{\"name\": \"{name}\", \"order\": {}, \"serial_ms\": {serial_ms:.3}, \
-             \"runs\": [\n{}\n      ]}}",
+             \"runs\": [\n{}\n      ],\n      \"storage_compare\": [\n{}\n      ],\n      {}}}",
             a.order(),
-            rows.join(",\n")
+            rows.join(",\n"),
+            cmp_rows.join(",\n"),
+            memory_report(&a)
         ));
     }
     out.push_str(&blocks.join(",\n"));

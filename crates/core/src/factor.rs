@@ -4,9 +4,18 @@
 //! assembling each frontal matrix (extend-add), executing its factor-update
 //! under the policy chosen by the active [`PolicySelector`], and harvesting
 //! the factor panels and per-call timing records.
+//!
+//! The numeric phase runs out of preallocated storage: one contiguous
+//! factor slab laid out by `SymbolicFactor::panel_ptr`, plus (under the
+//! default [`FrontStorage::Arena`]) a postorder LIFO working-storage stack
+//! sized by `SymbolicFactor::update_stack_peak` — two allocations for the
+//! whole factorization, no matter how many supernodes run.
 
+use crate::arena::FrontArena;
 use crate::features::LinearPolicyModel;
-use crate::frontal::{assemble_front, extract_panel, extract_update, UpdateMatrix};
+use crate::frontal::{
+    assemble_front_into, charge_update_extract, copy_update_packed, extract_panel_into, ChildUpdate,
+};
 use crate::fu::{execute_fu, FuContext, FuError, DEFAULT_PANEL_WIDTH};
 use crate::pinned_pool::PinnedPool;
 use crate::policy::{BaselineThresholds, PolicyKind};
@@ -42,6 +51,26 @@ impl PolicySelector {
     }
 }
 
+/// How front working storage is provided during the numeric phase. Both
+/// modes produce **bitwise identical** factors, stats records, and
+/// simulated clocks — every numeric operation and every simulated-time
+/// charge lives in the shared per-supernode body; only where the bytes sit
+/// differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontStorage {
+    /// Preallocated storage: the serial driver runs fronts on a postorder
+    /// LIFO [`FrontArena`]; the parallel driver gives each worker a
+    /// max-front buffer and hands updates across workers in pooled buffers.
+    /// Steady state performs O(1) heap allocations per factorization.
+    #[default]
+    Arena,
+    /// The reference per-front allocation path: a fresh zeroed front and a
+    /// fresh update buffer per supernode (panels still land in the
+    /// contiguous slab). Kept as the bitwise cross-check for the
+    /// determinism suite and the baseline for the allocation benchmarks.
+    Heap,
+}
+
 /// Options controlling a numeric factorization run.
 #[derive(Debug, Clone)]
 pub struct FactorOptions {
@@ -56,6 +85,8 @@ pub struct FactorOptions {
     /// Use the growth-only pinned-buffer reuse policy (§V-A2); disable for
     /// the allocation-cost ablation.
     pub pinned_reuse: bool,
+    /// Front working-storage backend (see [`FrontStorage`]).
+    pub front_storage: FrontStorage,
 }
 
 impl Default for FactorOptions {
@@ -66,6 +97,7 @@ impl Default for FactorOptions {
             copy_optimized: false,
             record_stats: false,
             pinned_reuse: true,
+            front_storage: FrontStorage::default(),
         }
     }
 }
@@ -110,21 +142,35 @@ impl std::fmt::Display for FactorError {
 impl std::error::Error for FactorError {}
 
 /// The Cholesky factor in supernodal panel form: `P·A·Pᵀ = L·Lᵀ`.
+///
+/// All panels live in **one contiguous slab** — panel `sn` is the
+/// `slab[panel_ptr[sn]..panel_ptr[sn + 1]]` region (`front_size × k`
+/// column-major with leading dimension `front_size`; rows follow
+/// `symbolic.supernodes[sn].rows`), in ascending supernode order. The solve
+/// sweeps read panels as slices of this slab; no per-supernode `Vec`s.
 #[derive(Debug, Clone)]
 pub struct CholeskyFactor<T> {
     /// Symbolic structure shared with the analysis.
     pub symbolic: SymbolicFactor,
     /// The fill-reducing permutation used (`perm[new] = old`).
     pub perm: Permutation,
-    /// Per-supernode factor panels (`front_size × k`, column-major, leading
-    /// dimension `front_size`; rows follow `symbolic.supernodes[s].rows`).
-    pub panels: Vec<Vec<T>>,
+    /// Contiguous factor storage holding every supernode's panel.
+    pub slab: Vec<T>,
+    /// Panel offsets into `slab` (length `num_supernodes + 1`; equals
+    /// `symbolic.panel_ptr()`).
+    pub panel_ptr: Vec<usize>,
 }
 
 impl<T: Scalar> CholeskyFactor<T> {
     /// Matrix order.
     pub fn order(&self) -> usize {
         self.symbolic.n
+    }
+
+    /// The `front_size × k` factor panel of supernode `sn`, as a slice of
+    /// the contiguous slab.
+    pub fn panel(&self, sn: usize) -> &[T] {
+        &self.slab[self.panel_ptr[sn]..self.panel_ptr[sn + 1]]
     }
 
     /// Entry `L[i, j]` of the factor (permuted indices; zero if outside the
@@ -145,17 +191,13 @@ impl<T: Scalar> CholeskyFactor<T> {
                 Err(_) => return T::ZERO,
             }
         };
-        self.panels[sn][lr + lc * s]
+        self.panel(sn)[lr + lc * s]
     }
 }
 
-/// Everything one supernode's task produces: its factor panel, the update
-/// matrix destined for its parent's extend-add, and bookkeeping.
-pub(crate) struct SnOutput<T> {
-    /// The `s × k` factor panel.
-    pub panel: Vec<T>,
-    /// The `m × m` update matrix (`None` for root fronts, `m = 0`).
-    pub update: Option<UpdateMatrix<T>>,
+/// Bookkeeping one supernode's task produces (the panel goes straight into
+/// the factor slab; the update stays in the caller's front storage).
+pub(crate) struct SnOutcome {
     /// Per-call timing record, when `opts.record_stats` is set.
     pub record: Option<FuRecord>,
     /// Whether a device OOM forced a P1 fallback.
@@ -163,9 +205,16 @@ pub(crate) struct SnOutput<T> {
 }
 
 /// One supernode's complete task body: assemble the front from `A` and the
-/// buffered child updates (extend-added in the order given — the serial
-/// postorder child rank), execute the factor-update under the selected
-/// policy, and extract the panel and update matrix.
+/// borrowed child update views (extend-added in the order given — the
+/// serial postorder child rank) into caller-supplied `front_data`, execute
+/// the factor-update under the selected policy, and copy the factored panel
+/// into `panel_out` (the supernode's slab region).
+///
+/// The packed `m × m` update stays in `front_data`; the *caller* moves it
+/// (arena compaction, pooled hand-off buffer, or a fresh heap buffer in the
+/// reference path) while the simulated cost of that move is charged *here*
+/// via [`charge_update_extract`] — so every storage mode and both drivers
+/// advance the simulated clock identically.
 ///
 /// This is shared verbatim by the serial postorder driver and the
 /// work-stealing parallel driver
@@ -173,20 +222,24 @@ pub(crate) struct SnOutput<T> {
 /// parallel factor bitwise identical to the serial one: both run exactly
 /// this code per supernode, on child updates in exactly this order.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn process_supernode<T: Scalar>(
+pub(crate) fn process_supernode<'c, T: Scalar + 'c>(
     a: &SymCsc<T>,
     symbolic: &SymbolicFactor,
     sn: usize,
-    children: &[UpdateMatrix<T>],
+    children: impl Iterator<Item = ChildUpdate<'c, T>>,
+    front_data: &mut [T],
+    panel_out: &mut [T],
+    rel_scratch: &mut Vec<usize>,
     machine: &mut Machine,
     pool: &mut PinnedPool,
     opts: &FactorOptions,
     kernel_threads: Option<usize>,
-) -> Result<SnOutput<T>, FactorError> {
+) -> Result<SnOutcome, FactorError> {
     let info = &symbolic.supernodes[sn];
     let (m, k) = (info.m(), info.k());
 
-    let mut front = assemble_front(a, info, children, &mut machine.host);
+    let mut front =
+        assemble_front_into(a, info, children, front_data, rel_scratch, &mut machine.host);
     let t_assemble_records = if opts.record_stats { machine.take_records() } else { Vec::new() };
 
     let policy = opts.selector.choose(sn, m, k);
@@ -226,9 +279,9 @@ pub(crate) fn process_supernode<T: Scalar>(
         None
     };
 
-    let panel = extract_panel(&front, &mut machine.host);
-    let update = if m > 0 { Some(extract_update(&front, info, &mut machine.host)) } else { None };
-    Ok(SnOutput { panel, update, record, oom_fallback: outcome.oom_fallback })
+    extract_panel_into(&front, panel_out, &mut machine.host);
+    charge_update_extract::<T>(m, &mut machine.host);
+    Ok(SnOutcome { record, oom_fallback: outcome.oom_fallback })
 }
 
 /// Factor an already-permuted matrix on the given machine.
@@ -245,35 +298,125 @@ pub fn factor_permuted<T: Scalar>(
     let nsn = symbolic.num_supernodes();
     let mut pool =
         if opts.pinned_reuse { PinnedPool::new(2) } else { PinnedPool::without_reuse(2) };
-    let mut updates: Vec<Option<UpdateMatrix<T>>> = (0..nsn).map(|_| None).collect();
-    let mut panels: Vec<Vec<T>> = vec![Vec::new(); nsn];
+    let panel_ptr = symbolic.panel_ptr();
+    let mut slab = vec![T::ZERO; symbolic.factor_slab_len()];
     let mut stats = FactorStats::default();
+    let mut rel: Vec<usize> = Vec::new();
     machine.set_recording(opts.record_stats);
     let wall0 = std::time::Instant::now();
 
-    for &sn in &symbolic.postorder {
-        // Gather children updates (consumed by the extend-add).
-        let children: Vec<UpdateMatrix<T>> = symbolic.children[sn]
-            .iter()
-            .map(|&c| updates[c].take().expect("child update must exist in postorder"))
-            .collect();
-        let out = process_supernode(a, symbolic, sn, &children, machine, &mut pool, opts, None)?;
-        drop(children);
-
-        if out.oom_fallback {
-            stats.oom_fallbacks += 1;
+    match opts.front_storage {
+        FrontStorage::Arena => {
+            // Whole-run working storage: the factor slab plus one arena
+            // sized by the symbolic stack-peak bound — the numeric phase's
+            // only front-storage allocations.
+            stats.front_alloc_events = 2;
+            let mut arena = FrontArena::<T>::with_len(symbolic.update_stack_peak());
+            // Where each retired supernode's packed update sits in the arena.
+            let mut upd_off = vec![0usize; nsn];
+            for &sn in &symbolic.postorder {
+                let info = &symbolic.supernodes[sn];
+                let (s, k) = (info.front_size(), info.k());
+                let front_off = arena.top();
+                let (below, front_data) = arena.split_for_front(s * s);
+                let kids = &symbolic.children[sn];
+                let children = kids.iter().map(|&c| {
+                    let ci = &symbolic.supernodes[c];
+                    let cm = ci.m();
+                    ChildUpdate {
+                        rows: ci.update_rows(),
+                        data: &below[upd_off[c]..upd_off[c] + cm * cm],
+                    }
+                });
+                let out = process_supernode(
+                    a,
+                    symbolic,
+                    sn,
+                    children,
+                    front_data,
+                    &mut slab[panel_ptr[sn]..panel_ptr[sn + 1]],
+                    &mut rel,
+                    machine,
+                    &mut pool,
+                    opts,
+                    None,
+                )?;
+                if out.oom_fallback {
+                    stats.oom_fallbacks += 1;
+                }
+                if let Some(rec) = out.record {
+                    stats.records.push(rec);
+                }
+                // Retire the front: in postorder the consumed child updates
+                // are the top contiguous stack region (the first child
+                // deepest), so packing this supernode's update down to the
+                // first child's offset frees front and children in one move.
+                let dest = kids.first().map_or(front_off, |&c| upd_off[c]);
+                arena.pop_and_compact(front_off, s, k, dest);
+                upd_off[sn] = dest;
+            }
+            stats.peak_front_bytes = arena.high_water() * T::BYTES;
         }
-        if let Some(rec) = out.record {
-            stats.records.push(rec);
+        FrontStorage::Heap => {
+            // Reference path: per-front allocations, as the pre-arena code
+            // did. Identical numeric body and identical charges — only the
+            // storage differs.
+            stats.front_alloc_events = 1; // the slab
+            let mut updates: Vec<Option<Vec<T>>> = (0..nsn).map(|_| None).collect();
+            let mut live = 0usize;
+            let mut peak = 0usize;
+            for &sn in &symbolic.postorder {
+                let info = &symbolic.supernodes[sn];
+                let (s, k, m) = (info.front_size(), info.k(), info.m());
+                let child_bufs: Vec<(usize, Vec<T>)> = symbolic.children[sn]
+                    .iter()
+                    .map(|&c| (c, updates[c].take().expect("child update must exist in postorder")))
+                    .collect();
+                stats.front_alloc_events += 1;
+                let mut front_data = vec![T::ZERO; s * s];
+                peak = peak.max(live + s * s);
+                let children = child_bufs.iter().map(|(c, d)| ChildUpdate {
+                    rows: symbolic.supernodes[*c].update_rows(),
+                    data: &d[..],
+                });
+                let out = process_supernode(
+                    a,
+                    symbolic,
+                    sn,
+                    children,
+                    &mut front_data,
+                    &mut slab[panel_ptr[sn]..panel_ptr[sn + 1]],
+                    &mut rel,
+                    machine,
+                    &mut pool,
+                    opts,
+                    None,
+                )?;
+                if out.oom_fallback {
+                    stats.oom_fallbacks += 1;
+                }
+                if let Some(rec) = out.record {
+                    stats.records.push(rec);
+                }
+                for (_, d) in child_bufs {
+                    live -= d.len();
+                }
+                if m > 0 {
+                    stats.front_alloc_events += 1;
+                    let mut u = vec![T::ZERO; m * m];
+                    copy_update_packed(&front_data, s, k, &mut u);
+                    live += m * m;
+                    updates[sn] = Some(u);
+                }
+            }
+            stats.peak_front_bytes = peak * T::BYTES;
         }
-        panels[sn] = out.panel;
-        updates[sn] = out.update;
     }
 
     stats.total_time = machine.elapsed();
     stats.wall_time = wall0.elapsed().as_secs_f64();
     machine.set_recording(false);
-    Ok((CholeskyFactor { symbolic: symbolic.clone(), perm: perm.clone(), panels }, stats))
+    Ok((CholeskyFactor { symbolic: symbolic.clone(), perm: perm.clone(), slab, panel_ptr }, stats))
 }
 
 #[cfg(test)]
@@ -438,5 +581,46 @@ mod tests {
         for j in 0..f.order() {
             assert!(f.l_entry(j, j) > 0.0);
         }
+    }
+
+    #[test]
+    fn arena_and_heap_storage_agree_bit_for_bit() {
+        let a = laplacian_3d(6, 5, 7, Stencil::Faces);
+        let analysis =
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        let run = |storage: FrontStorage| {
+            let mut machine = Machine::paper_node();
+            let opts = FactorOptions {
+                selector: PolicySelector::Baseline(BaselineThresholds::default()),
+                record_stats: true,
+                front_storage: storage,
+                ..Default::default()
+            };
+            factor_permuted(
+                &analysis.permuted.0,
+                &analysis.symbolic,
+                &analysis.perm,
+                &mut machine,
+                &opts,
+            )
+            .unwrap()
+        };
+        let (fa, sa) = run(FrontStorage::Arena);
+        let (fh, sh) = run(FrontStorage::Heap);
+        assert_eq!(fa.panel_ptr, fh.panel_ptr);
+        let ba: Vec<u64> = fa.slab.iter().map(|x| x.to_bits()).collect();
+        let bh: Vec<u64> = fh.slab.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(ba, bh, "arena factor must match the per-front heap path bitwise");
+        // Simulated clocks charge identically in both modes.
+        assert_eq!(sa.total_time.to_bits(), sh.total_time.to_bits());
+        assert_eq!(sa.records.len(), sh.records.len());
+        // Arena mode: factor slab + arena. Heap mode: one allocation per
+        // front plus one per non-root update on top of the slab.
+        assert_eq!(sa.front_alloc_events, 2);
+        assert!(sh.front_alloc_events > sa.front_alloc_events);
+        // The arena high-water mark respects the symbolic bound.
+        let bound = analysis.symbolic.update_stack_peak() * 8;
+        assert!(sa.peak_front_bytes <= bound, "{} > {bound}", sa.peak_front_bytes);
+        assert!(sa.peak_front_bytes > 0);
     }
 }

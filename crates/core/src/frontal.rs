@@ -1,9 +1,21 @@
-//! Frontal and update matrices, assembly, and the extend-add operation.
+//! Frontal matrices, assembly, and the extend-add operation — all running
+//! in borrowed storage supplied by the caller (a [`FrontArena`] region, a
+//! per-worker buffer, or a plain `Vec` in the reference path).
 //!
 //! A frontal matrix is stored as a dense `s × s` column-major buffer of
 //! which only the lower triangle is referenced (`s = k + m`). Columns
 //! `0..k` form the factor panel `[L₁; L₂]`; the trailing `m × m` block is
 //! the update matrix `Uⁿ` passed to the parent's extend-add.
+//!
+//! Nothing here allocates: assembly zeroes exactly the lower trapezoid it
+//! will reference (the strictly-upper remainder may hold garbage from a
+//! previous front — every downstream kernel reads only the lower triangle,
+//! so those bits never enter any computation), the panel is copied straight
+//! into the caller's slice of the contiguous factor slab, and a child's
+//! update is consumed as a borrowed [`ChildUpdate`] view whose row indices
+//! come from the shared symbolic structure.
+//!
+//! [`FrontArena`]: crate::arena::FrontArena
 
 use mf_dense::Scalar;
 use mf_gpusim::HostClock;
@@ -15,18 +27,19 @@ use mf_sparse::SymCsc;
 /// FB-DIMM Xeon node.
 pub const ASSEMBLY_BW: f64 = 6.0e9;
 
-/// A dense frontal matrix.
-#[derive(Debug, Clone)]
-pub struct Front<T> {
+/// A dense frontal matrix in borrowed storage.
+#[derive(Debug)]
+pub struct Front<'a, T> {
     /// Front order `s = k + m`.
     pub s: usize,
     /// Pivot-block width `k`.
     pub k: usize,
-    /// `s × s` column-major storage (lower triangle significant).
-    pub data: Vec<T>,
+    /// `s × s` column-major storage (lower triangle significant; the
+    /// strictly-upper part may hold stale values and must never be read).
+    pub data: &'a mut [T],
 }
 
-impl<T: Scalar> Front<T> {
+impl<T: Scalar> Front<'_, T> {
     /// Update-matrix size `m`.
     pub fn m(&self) -> usize {
         self.s - self.k
@@ -38,34 +51,61 @@ impl<T: Scalar> Front<T> {
     }
 }
 
-/// An update matrix awaiting extend-add into its parent front.
-#[derive(Debug, Clone)]
-pub struct UpdateMatrix<T> {
+/// A borrowed view of a factored child's update matrix, consumed by the
+/// parent's extend-add. `rows` points into the child's symbolic structure
+/// ([`SupernodeInfo::update_rows`]); `data` is the packed `m × m`
+/// column-major buffer (lower triangle significant).
+#[derive(Debug, Clone, Copy)]
+pub struct ChildUpdate<'a, T> {
     /// Global row indices (sorted) of the `m` rows/columns.
-    pub rows: Vec<usize>,
+    pub rows: &'a [usize],
     /// `m × m` column-major storage (lower triangle significant).
-    pub data: Vec<T>,
+    pub data: &'a [T],
 }
 
-impl<T: Scalar> UpdateMatrix<T> {
+impl<T: Scalar> ChildUpdate<'_, T> {
     /// Size `m`.
     pub fn m(&self) -> usize {
         self.rows.len()
     }
 }
 
-/// Assemble the frontal matrix of `info`: zero-init, scatter the entries of
-/// `A` belonging to the supernode's columns, then extend-add every child
-/// update matrix. Charges host assembly time.
-pub fn assemble_front<T: Scalar>(
+/// Entry count of the lower trapezoid of the first `cols` columns of an
+/// `s × s` lower-triangular layout: `Σ_{j<cols} (s − j)`.
+pub(crate) fn lower_trapezoid_len(s: usize, cols: usize) -> usize {
+    cols * s - cols * (cols.saturating_sub(1)) / 2
+}
+
+/// Assemble the frontal matrix of `info` into `data` (caller-supplied
+/// `s × s` storage): zero the lower trapezoid actually referenced, scatter
+/// the entries of `A` belonging to the supernode's columns, then extend-add
+/// every child update view in the order given. `rel` is a reusable scratch
+/// buffer for the child row-relocation map. Charges host assembly time for
+/// exactly the bytes written.
+pub fn assemble_front_into<'a, 'c, T: Scalar + 'c>(
     a: &SymCsc<T>,
     info: &SupernodeInfo,
-    children: &[UpdateMatrix<T>],
+    children: impl Iterator<Item = ChildUpdate<'c, T>>,
+    data: &'a mut [T],
+    rel: &mut Vec<usize>,
     host: &mut HostClock,
-) -> Front<T> {
+) -> Front<'a, T> {
     let s = info.front_size();
     let k = info.k();
-    let mut data = vec![T::ZERO; s * s];
+    let m = s - k;
+    debug_assert_eq!(data.len(), s * s);
+
+    // Zero only what the factorization will read or write: the panel
+    // trapezoid (cols 0..k, rows j..s) and the update triangle (cols k..s,
+    // rows k+j..s). The strictly-upper remainder keeps whatever the buffer
+    // held before — no kernel reads it.
+    for j in 0..k {
+        data[j * s + j..(j + 1) * s].fill(T::ZERO);
+    }
+    for j in 0..m {
+        data[(k + j) * s + k + j..(k + j + 1) * s].fill(T::ZERO);
+    }
+    let zeroed = lower_trapezoid_len(s, k) + m * (m + 1) / 2;
 
     // Positions of global rows in the front: the first k entries of
     // info.rows are the contiguous pivot columns, the tail is sorted. Every
@@ -101,54 +141,66 @@ pub fn assemble_front<T: Scalar>(
     // Extend-add children.
     let mut extended = 0usize;
     for child in children {
-        let m = child.m();
-        // Relative indices: child rows merged into front-local rows.
+        let cm = child.m();
+        // Relative indices: child rows merged into front-local rows, built
+        // in the caller-owned scratch (no per-child allocation).
         let mut t = 0usize;
-        let rel: Vec<usize> = child.rows.iter().map(|&r| merge_local(&mut t, r)).collect();
-        for j in 0..m {
+        rel.clear();
+        rel.extend(child.rows.iter().map(|&r| merge_local(&mut t, r)));
+        for j in 0..cm {
             let cj = rel[j];
-            let src = &child.data[j * m..];
-            for i in j..m {
+            let src = &child.data[j * cm..];
+            for i in j..cm {
                 data[rel[i] + cj * s] += src[i];
             }
         }
-        extended += m * (m + 1) / 2;
+        extended += cm * (cm + 1) / 2;
     }
 
-    // Charge: read+write per scattered/extended entry plus zero-fill.
-    let bytes = (scattered + extended) * 2 * T::BYTES + s * s * T::BYTES / 2;
+    // Charge: read+write per scattered/extended entry plus the zero-fill
+    // that was actually written (the lower trapezoid, not the full s×s).
+    let bytes = (scattered + extended) * 2 * T::BYTES + zeroed * T::BYTES;
     host.charge_memop(bytes, ASSEMBLY_BW);
 
     Front { s, k, data }
 }
 
-/// Extract the update matrix (trailing `m × m` lower block) from a factored
-/// front. Charges copy-out time.
-pub fn extract_update<T: Scalar>(
-    front: &Front<T>,
-    info: &SupernodeInfo,
-    host: &mut HostClock,
-) -> UpdateMatrix<T> {
+/// Copy the factored panel (lower trapezoid of columns `0..k`) from the
+/// front into `dst` — the supernode's `s × k` region of the contiguous
+/// factor slab. `dst` starts zeroed (slab init), so skipping the
+/// strictly-upper entries leaves them exactly zero. Charges copy-out time
+/// for the trapezoid actually moved.
+pub fn extract_panel_into<T: Scalar>(front: &Front<'_, T>, dst: &mut [T], host: &mut HostClock) {
     let s = front.s;
     let k = front.k;
-    let m = s - k;
-    let mut data = vec![T::ZERO; m * m];
-    for j in 0..m {
-        let src = &front.data[(k + j) * s + k + j..(k + j) * s + s];
-        data[j * m + j..(j + 1) * m].copy_from_slice(src);
+    debug_assert_eq!(dst.len(), s * k);
+    for j in 0..k {
+        dst[j * s + j..(j + 1) * s].copy_from_slice(&front.data[j * s + j..(j + 1) * s]);
     }
-    host.charge_memop(m * (m + 1) / 2 * T::BYTES, ASSEMBLY_BW);
-    UpdateMatrix { rows: info.update_rows().to_vec(), data }
+    host.charge_memop(lower_trapezoid_len(s, k) * T::BYTES, ASSEMBLY_BW);
 }
 
-/// Extract the factor panel (`s × k`, columns `0..k` of the front) into the
-/// factor storage. Charges copy-out time.
-pub fn extract_panel<T: Scalar>(front: &Front<T>, host: &mut HostClock) -> Vec<T> {
-    let s = front.s;
-    let k = front.k;
-    let panel = front.data[..s * k].to_vec();
-    host.charge_memop(s * k * T::BYTES, ASSEMBLY_BW);
-    panel
+/// Pack the trailing `m × m` lower block of a factored front (stored with
+/// leading dimension `s` at offset `(k, k)` in `front_data`) into `dst`
+/// (leading dimension `m`). Pure data movement — simulated time is charged
+/// separately by [`charge_update_extract`] so every storage mode (arena
+/// compaction, pooled hand-off buffer, reference heap path) pays the same
+/// clock.
+pub(crate) fn copy_update_packed<T: Scalar>(front_data: &[T], s: usize, k: usize, dst: &mut [T]) {
+    let m = s - k;
+    debug_assert!(dst.len() >= m * m);
+    for j in 0..m {
+        let src = &front_data[(k + j) * s + k + j..(k + j) * s + s];
+        dst[j * m + j..(j + 1) * m].copy_from_slice(src);
+    }
+}
+
+/// Charge the simulated cost of packing an `m × m` update matrix out of a
+/// factored front (the lower triangle actually moved).
+pub(crate) fn charge_update_extract<T: Scalar>(m: usize, host: &mut HostClock) {
+    if m > 0 {
+        host.charge_memop(m * (m + 1) / 2 * T::BYTES, ASSEMBLY_BW);
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +213,24 @@ mod tests {
         let mut rows: Vec<usize> = (col_start..col_end).collect();
         rows.extend(update_rows);
         SupernodeInfo { col_start, col_end, rows, parent: usize::MAX }
+    }
+
+    fn assemble<'a>(
+        a: &SymCsc<f64>,
+        inf: &SupernodeInfo,
+        children: &[(Vec<usize>, Vec<f64>)],
+        data: &'a mut [f64],
+        host: &mut HostClock,
+    ) -> Front<'a, f64> {
+        let mut rel = Vec::new();
+        assemble_front_into(
+            a,
+            inf,
+            children.iter().map(|(rows, d)| ChildUpdate { rows, data: d }),
+            data,
+            &mut rel,
+            host,
+        )
     }
 
     #[test]
@@ -177,7 +247,9 @@ mod tests {
         let a = t.assemble();
         let inf = info(0, 2, vec![3]);
         let mut host = HostClock::new(mf_gpusim::xeon_5160_core());
-        let f = assemble_front(&a, &inf, &[], &mut host);
+        // Poison the buffer: assembly must overwrite every referenced slot.
+        let mut data = vec![f64::NAN; 9];
+        let f = assemble(&a, &inf, &[], &mut data, &mut host);
         assert_eq!(f.s, 3);
         assert_eq!(f.k, 2);
         assert_eq!(f.at(0, 0), 4.0);
@@ -186,6 +258,8 @@ mod tests {
         assert_eq!(f.at(1, 1), 5.0);
         assert_eq!(f.at(2, 1), -3.0);
         assert_eq!(f.at(2, 2), 0.0, "A(3,3) belongs to a later supernode");
+        // Strictly-upper entries are never referenced — and never zeroed.
+        assert!(f.at(0, 1).is_nan());
         assert!(host.now() > 0.0);
     }
 
@@ -198,12 +272,11 @@ mod tests {
         let a = t.assemble();
         // Parent supernode: columns 2..4, update row 4.
         let inf = info(2, 4, vec![4]);
-        let child = UpdateMatrix {
-            rows: vec![2, 4],
-            data: vec![10.0, 20.0, 0.0, 30.0], // lower: (2,2)=10, (4,2)=20, (4,4)=30
-        };
+        // lower: (2,2)=10, (4,2)=20, (4,4)=30
+        let child = (vec![2usize, 4], vec![10.0, 20.0, 0.0, 30.0]);
         let mut host = HostClock::new(mf_gpusim::xeon_5160_core());
-        let f = assemble_front(&a, &inf, &[child], &mut host);
+        let mut data = vec![0.0f64; 9];
+        let f = assemble(&a, &inf, &[child], &mut data, &mut host);
         // Local rows: 2→0, 3→1, 4→2.
         assert_eq!(f.at(0, 0), 1.0 + 10.0);
         assert_eq!(f.at(2, 0), 20.0);
@@ -220,10 +293,11 @@ mod tests {
         }
         let a = t.assemble();
         let inf = info(0, 2, vec![2]);
-        let c1 = UpdateMatrix { rows: vec![0, 2], data: vec![1.0, 2.0, 0.0, 3.0] };
-        let c2 = UpdateMatrix { rows: vec![0, 1], data: vec![5.0, 6.0, 0.0, 7.0] };
+        let c1 = (vec![0usize, 2], vec![1.0, 2.0, 0.0, 3.0]);
+        let c2 = (vec![0usize, 1], vec![5.0, 6.0, 0.0, 7.0]);
         let mut host = HostClock::new(mf_gpusim::xeon_5160_core());
-        let f = assemble_front(&a, &inf, &[c1, c2], &mut host);
+        let mut data = vec![0.0f64; 9];
+        let f = assemble(&a, &inf, &[c1, c2], &mut data, &mut host);
         assert_eq!(f.at(0, 0), 6.0); // 1 + 5
         assert_eq!(f.at(2, 0), 2.0);
         assert_eq!(f.at(1, 0), 6.0);
@@ -233,25 +307,40 @@ mod tests {
 
     #[test]
     fn extract_update_and_panel_roundtrip() {
-        let inf = info(0, 2, vec![3, 7]);
         let s = 4;
-        let mut f = Front { s, k: 2, data: vec![0.0f64; 16] };
+        let k = 2;
+        let mut data = vec![0.0f64; 16];
         // Fill lower triangle with recognisable values.
         for j in 0..s {
             for i in j..s {
-                f.data[i + j * s] = (10 * i + j) as f64;
+                data[i + j * s] = (10 * i + j) as f64;
             }
         }
+        let f = Front { s, k, data: &mut data };
         let mut host = HostClock::new(mf_gpusim::xeon_5160_core());
-        let u = extract_update(&f, &inf, &mut host);
-        assert_eq!(u.rows, vec![3, 7]);
-        assert_eq!(u.m(), 2);
-        assert_eq!(u.data[0], 22.0); // front (2,2)
-        assert_eq!(u.data[1], 32.0); // front (3,2)
-        assert_eq!(u.data[3], 33.0); // front (3,3)
-        let p = extract_panel(&f, &mut host);
+        let m = s - k;
+        let mut u = vec![0.0f64; m * m];
+        copy_update_packed(f.data, s, k, &mut u);
+        charge_update_extract::<f64>(m, &mut host);
+        assert_eq!(u[0], 22.0); // front (2,2)
+        assert_eq!(u[1], 32.0); // front (3,2)
+        assert_eq!(u[3], 33.0); // front (3,3)
+        let mut p = vec![0.0f64; s * k];
+        extract_panel_into(&f, &mut p, &mut host);
         assert_eq!(p.len(), 8);
         assert_eq!(p[1], 10.0);
         assert_eq!(p[4 + 1], 11.0);
+        assert_eq!(p[4], 0.0, "strictly-upper panel entry stays slab-zero");
+        assert!(host.now() > 0.0);
+    }
+
+    #[test]
+    fn trapezoid_len_matches_naive_sum() {
+        for s in 0..12usize {
+            for cols in 0..=s {
+                let naive: usize = (0..cols).map(|j| s - j).sum();
+                assert_eq!(lower_trapezoid_len(s, cols), naive, "s={s} cols={cols}");
+            }
+        }
     }
 }

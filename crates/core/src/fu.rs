@@ -89,7 +89,7 @@ pub struct FuOutcome {
 /// Run one factor-update on `front` under `policy`. On device OOM the call
 /// transparently falls back to P1 and reports it in the outcome.
 pub fn execute_fu<T: Scalar>(
-    front: &mut Front<T>,
+    front: &mut Front<'_, T>,
     policy: PolicyKind,
     ctx: &mut FuContext<'_>,
 ) -> Result<FuOutcome, FuError> {
@@ -161,7 +161,8 @@ pub fn estimate_fu_time(
     }
     let mut pool = PinnedPool::new(2);
     pool.set_virtual(true);
-    let mut front = Front { s: m + k, k, data: Vec::<f32>::new() };
+    let empty: &mut [f32] = &mut [];
+    let mut front = Front { s: m + k, k, data: empty };
     // Warm-up pass: grow the pinned pool to this call's footprint so the
     // measured pass sees the steady-state cost (in a factorization the pool
     // amortises growth across thousands of calls; a cold-pool estimate
@@ -200,46 +201,67 @@ pub fn estimate_fu_time(
 
 // ----- shared CPU pieces ----------------------------------------------------
 
-/// Pack the `k × k` pivot block (lower triangle) out of the front.
-fn pack_pivot_block<T: Scalar>(front: &Front<T>) -> Vec<T> {
-    let (s, k) = (front.s, front.k);
-    let mut l1 = vec![T::ZERO; k * k];
-    for j in 0..k {
-        for i in j..k {
-            l1[i + j * k] = front.data[i + j * s];
+std::thread_local! {
+    /// Per-thread pivot-block packing scratch (u64-backed so one buffer
+    /// serves every `Scalar`). Never shrinks; a whole factorization performs
+    /// at most one allocation per thread here.
+    static PIVOT_SCRATCH: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run `body` on a thread-local scratch slice of `len` scalars. The slice
+/// is *not* zeroed between calls — `cpu_trsm` overwrites the lower triangle
+/// it reads, and `trsm_right_lower_trans` never touches the strictly-upper
+/// part, so stale bytes cannot reach any computation.
+fn with_pivot_scratch<T: Scalar, R>(len: usize, body: impl FnOnce(&mut [T]) -> R) -> R {
+    PIVOT_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        let words = (len * T::BYTES).div_ceil(std::mem::size_of::<u64>());
+        if buf.len() < words {
+            buf.resize(words, 0);
         }
-    }
-    l1
+        // SAFETY: the buffer holds at least `len * T::BYTES` bytes, u64
+        // alignment satisfies every Scalar (f32/f64), and Scalar types admit
+        // any bit pattern.
+        let slice = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<T>(), len) };
+        body(slice)
+    })
 }
 
 fn cpu_potrf<T: Scalar>(
-    front: &mut Front<T>,
+    front: &mut Front<'_, T>,
     host: &mut HostClock,
     timing_only: bool,
 ) -> Result<(), FuError> {
     let (s, k) = (front.s, front.k);
     if !timing_only {
-        potrf(k, &mut front.data, s)
+        potrf(k, front.data, s)
             .map_err(|e| FuError::NotPositiveDefinite { local_column: e.column })?;
     }
     host.charge_kernel(KernelKind::Potrf, 0, k, 0);
     Ok(())
 }
 
-fn cpu_trsm<T: Scalar>(front: &mut Front<T>, host: &mut HostClock, timing_only: bool) {
+fn cpu_trsm<T: Scalar>(front: &mut Front<'_, T>, host: &mut HostClock, timing_only: bool) {
     let (s, k) = (front.s, front.k);
     let m = s - k;
     if m == 0 {
         return;
     }
     if !timing_only {
-        let l1 = pack_pivot_block(front);
-        trsm_right_lower_trans(m, k, &l1, k, &mut front.data[k..], s);
+        // Pack the k×k pivot block (lower triangle) into reused scratch.
+        with_pivot_scratch::<T, _>(k * k, |l1| {
+            for j in 0..k {
+                for i in j..k {
+                    l1[i + j * k] = front.data[i + j * s];
+                }
+            }
+            trsm_right_lower_trans(m, k, l1, k, &mut front.data[k..], s);
+        });
     }
     host.charge_kernel(KernelKind::Trsm, m, 0, k);
 }
 
-fn cpu_syrk<T: Scalar>(front: &mut Front<T>, host: &mut HostClock, timing_only: bool) {
+fn cpu_syrk<T: Scalar>(front: &mut Front<'_, T>, host: &mut HostClock, timing_only: bool) {
     let (s, k) = (front.s, front.k);
     let m = s - k;
     if m == 0 {
@@ -256,7 +278,7 @@ fn cpu_syrk<T: Scalar>(front: &mut Front<T>, host: &mut HostClock, timing_only: 
     host.charge_kernel(KernelKind::Syrk, 0, m, k);
 }
 
-fn fu_p1<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(), FuError> {
+fn fu_p1<T: Scalar>(front: &mut Front<'_, T>, ctx: &mut FuContext<'_>) -> Result<(), FuError> {
     let timing = ctx.timing_only;
     let host = &mut ctx.machine.host;
     cpu_potrf(front, host, timing)?;
@@ -282,7 +304,7 @@ fn unstage_from_f32<T: Scalar>(src: &[f32], dst: &mut [T]) {
 /// Stage a `rows × cols` sub-block of the front (top-left at `(row0, col0)`)
 /// into a packed f32 buffer with leading dimension `rows`.
 fn stage_block<T: Scalar>(
-    front: &Front<T>,
+    front: &Front<'_, T>,
     row0: usize,
     col0: usize,
     rows: usize,
@@ -298,7 +320,7 @@ fn stage_block<T: Scalar>(
 
 /// Unstage a packed f32 buffer back into a front sub-block.
 fn unstage_block<T: Scalar>(
-    front: &mut Front<T>,
+    front: &mut Front<'_, T>,
     row0: usize,
     col0: usize,
     rows: usize,
@@ -315,7 +337,7 @@ fn unstage_block<T: Scalar>(
 /// Apply a device-computed `−L₂·L₂ᵀ` (staged in `w`, `m × m`, lower) to the
 /// front's update block: `U += w`. Charges host time.
 fn apply_update_block<T: Scalar>(
-    front: &mut Front<T>,
+    front: &mut Front<'_, T>,
     w: &[f32],
     host: &mut HostClock,
     timing_only: bool,
@@ -347,7 +369,7 @@ fn split_ctx<'b>(
 
 // ----- P2 --------------------------------------------------------------------
 
-fn fu_p2<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(), GpuFuError> {
+fn fu_p2<T: Scalar>(front: &mut Front<'_, T>, ctx: &mut FuContext<'_>) -> Result<(), GpuFuError> {
     let (s, k) = (front.s, front.k);
     let m = s - k;
     let timing = ctx.timing_only;
@@ -418,8 +440,8 @@ fn fu_p2<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(),
     let _ = gpu.free(d_l2);
     let _ = gpu.free(d_w);
 
-    let w = if timing { Vec::new() } else { pool.slot(SLOT_UPDATE)[..m * m].to_vec() };
-    apply_update_block(front, &w, host, timing);
+    let w: &[f32] = if timing { &[] } else { &pool.slot(SLOT_UPDATE)[..m * m] };
+    apply_update_block(front, w, host, timing);
     pool.release(SLOT_UPDATE, host);
     pool.release(SLOT_PANEL, host);
     Ok(())
@@ -427,7 +449,7 @@ fn fu_p2<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(),
 
 // ----- P3 --------------------------------------------------------------------
 
-fn fu_p3<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(), GpuFuError> {
+fn fu_p3<T: Scalar>(front: &mut Front<'_, T>, ctx: &mut FuContext<'_>) -> Result<(), GpuFuError> {
     let (s, k) = (front.s, front.k);
     let m = s - k;
     let timing = ctx.timing_only;
@@ -500,13 +522,13 @@ fn fu_p3<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(),
     let _ = gpu.free(d_l1);
     let _ = gpu.free(d_w);
 
-    // Unstage L₂ into the front, apply U += W.
+    // Unstage L₂ into the front, apply U += W — straight out of the pinned
+    // staging slots, no intermediate copies.
     if !timing {
-        let l2 = pool.slot(SLOT_PANEL)[..m * k].to_vec();
-        unstage_block(front, k, 0, m, k, &l2);
+        unstage_block(front, k, 0, m, k, &pool.slot(SLOT_PANEL)[..m * k]);
     }
-    let w = if timing { Vec::new() } else { pool.slot(SLOT_UPDATE)[..m * m].to_vec() };
-    apply_update_block(front, &w, host, timing);
+    let w: &[f32] = if timing { &[] } else { &pool.slot(SLOT_UPDATE)[..m * m] };
+    apply_update_block(front, w, host, timing);
     pool.release(SLOT_UPDATE, host);
     pool.release(SLOT_PANEL, host);
     Ok(())
@@ -514,7 +536,7 @@ fn fu_p3<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(),
 
 // ----- P4 --------------------------------------------------------------------
 
-fn fu_p4<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(), GpuFuError> {
+fn fu_p4<T: Scalar>(front: &mut Front<'_, T>, ctx: &mut FuContext<'_>) -> Result<(), GpuFuError> {
     let (s, k) = (front.s, front.k);
     let m = s - k;
     let w = ctx.panel_width.max(1);
@@ -600,16 +622,16 @@ fn fu_p4<T: Scalar>(front: &mut Front<T>, ctx: &mut FuContext<'_>) -> Result<(),
     gpu.sync_all(host);
     let _ = gpu.free(d_front);
 
-    // Unstage into the host front.
+    // Unstage into the host front, straight out of the staging slot.
     if !timing {
-        let stage = pool.slot(SLOT_PANEL)[..stage_len].to_vec();
+        let stage = &pool.slot(SLOT_PANEL)[..stage_len];
         if copy_optimized {
             unstage_block(front, 0, 0, s, k, &stage[..s * k]);
             if m > 0 {
                 unstage_block(front, k, k, m, m, &stage[s * k..]);
             }
         } else {
-            unstage_block(front, 0, 0, s, s, &stage);
+            unstage_block(front, 0, 0, s, s, stage);
         }
     }
     pool.release(SLOT_PANEL, host);
@@ -622,15 +644,20 @@ mod tests {
     use mf_dense::matrix::random_spd;
     use mf_gpusim::Machine;
 
-    fn spd_front(s: usize, k: usize, seed: u64) -> Front<f64> {
-        let a = random_spd::<f64>(s, seed);
-        Front { s, k, data: a.as_slice().to_vec() }
+    fn spd_data(s: usize, seed: u64) -> Vec<f64> {
+        random_spd::<f64>(s, seed).as_slice().to_vec()
     }
 
-    fn run(policy: PolicyKind, s: usize, k: usize, seed: u64) -> (Front<f64>, f64) {
+    /// Column-major entry of a front's backing buffer.
+    fn at(data: &[f64], s: usize, i: usize, j: usize) -> f64 {
+        data[i + j * s]
+    }
+
+    fn run(policy: PolicyKind, s: usize, k: usize, seed: u64) -> (Vec<f64>, f64) {
         let mut machine = Machine::paper_node();
         let mut pool = PinnedPool::new(2);
-        let mut front = spd_front(s, k, seed);
+        let mut data = spd_data(s, seed);
+        let mut front = Front { s, k, data: &mut data };
         let mut ctx = FuContext {
             machine: &mut machine,
             pool: &mut pool,
@@ -642,7 +669,7 @@ mod tests {
         let out = execute_fu(&mut front, policy, &mut ctx).unwrap();
         assert_eq!(out.executed, policy);
         assert!(!out.oom_fallback);
-        (front, machine.elapsed())
+        (data, machine.elapsed())
     }
 
     #[test]
@@ -656,7 +683,7 @@ mod tests {
             for j in 0..s {
                 for i in j..s {
                     if j < k || i >= k {
-                        max = max.max((f1.at(i, j) - fp.at(i, j)).abs());
+                        max = max.max((at(&f1, s, i, j) - at(&fp, s, i, j)).abs());
                     }
                 }
             }
@@ -672,7 +699,7 @@ mod tests {
         potrf(s, a.as_mut_slice(), s).unwrap();
         for j in 0..s {
             for i in j..s {
-                assert!((f.at(i, j) - a[(i, j)]).abs() < 1e-10);
+                assert!((at(&f, s, i, j) - a[(i, j)]).abs() < 1e-10);
             }
         }
     }
@@ -683,7 +710,7 @@ mod tests {
             let (f, t) = run(p, 32, 32, 11);
             assert!(t > 0.0);
             for j in 0..32 {
-                assert!(f.at(j, j) > 0.0, "{p} col {j}");
+                assert!(at(&f, 32, j, j) > 0.0, "{p} col {j}");
             }
         }
     }
@@ -693,9 +720,10 @@ mod tests {
         for p in PolicyKind::ALL {
             let mut machine = Machine::paper_node();
             let mut pool = PinnedPool::new(2);
-            let mut front = spd_front(20, 10, 5);
+            let mut data = spd_data(20, 5);
             // Poison a pivot column inside the block.
-            front.data[4 + 4 * 20] = -50.0;
+            data[4 + 4 * 20] = -50.0;
+            let mut front = Front { s: 20, k: 10, data: &mut data };
             let mut ctx = FuContext {
                 machine: &mut machine,
                 pool: &mut pool,
@@ -737,7 +765,8 @@ mod tests {
             cfg
         });
         let mut pool = PinnedPool::new(2);
-        let mut front = spd_front(64, 16, 21);
+        let mut data = spd_data(64, 21);
+        let mut front = Front { s: 64, k: 16, data: &mut data };
         let mut ctx = FuContext {
             machine: &mut machine,
             pool: &mut pool,
@@ -758,7 +787,8 @@ mod tests {
     fn no_gpu_machine_degrades_to_p1() {
         let mut machine = Machine::cpu_only(mf_gpusim::xeon_5160_core());
         let mut pool = PinnedPool::new(2);
-        let mut front = spd_front(30, 10, 2);
+        let mut data = spd_data(30, 2);
+        let mut front = Front { s: 30, k: 10, data: &mut data };
         let mut ctx = FuContext {
             machine: &mut machine,
             pool: &mut pool,
@@ -778,7 +808,8 @@ mod tests {
         for (idx, opt) in [false, true].into_iter().enumerate() {
             let mut machine = Machine::paper_node();
             let mut pool = PinnedPool::new(2);
-            let mut front = spd_front(s, k, 31);
+            let mut data = spd_data(s, 31);
+            let mut front = Front { s, k, data: &mut data };
             let mut ctx = FuContext {
                 machine: &mut machine,
                 pool: &mut pool,
@@ -799,7 +830,8 @@ mod tests {
         let (f_naive, _) = run(PolicyKind::P4, s, k, 41);
         let mut machine = Machine::paper_node();
         let mut pool = PinnedPool::new(2);
-        let mut front = spd_front(s, k, 41);
+        let mut data = spd_data(s, 41);
+        let mut front = Front { s, k, data: &mut data };
         let mut ctx = FuContext {
             machine: &mut machine,
             pool: &mut pool,
@@ -812,7 +844,7 @@ mod tests {
         for j in 0..s {
             for i in j..s {
                 if j < k || i >= k {
-                    assert!((f_naive.at(i, j) - front.at(i, j)).abs() < 1e-5);
+                    assert!((at(&f_naive, s, i, j) - front.at(i, j)).abs() < 1e-5);
                 }
             }
         }
@@ -829,7 +861,8 @@ mod tests {
         cfg.pcie.pinned_bw /= 1000.0;
         let mut machine = Machine::with_gpu(mf_gpusim::xeon_5160_core(), cfg);
         let mut pool = PinnedPool::new(2);
-        let mut front = spd_front(s, k, 17);
+        let mut data = spd_data(s, 17);
+        let mut front = Front { s, k, data: &mut data };
         let mut ctx = FuContext {
             machine: &mut machine,
             pool: &mut pool,
@@ -855,7 +888,8 @@ mod tests {
             let mut t_real = 0.0;
             for pass in 0..2 {
                 machine.reset();
-                let mut front = Front { s: 150, k: 60, data: a.as_slice().to_vec() };
+                let mut data = a.as_slice().to_vec();
+                let mut front = Front { s: 150, k: 60, data: &mut data };
                 let mut ctx = FuContext {
                     machine: &mut machine,
                     pool: &mut pool,
@@ -896,7 +930,8 @@ mod tests {
         for p in [PolicyKind::P2, PolicyKind::P3, PolicyKind::P4] {
             let mut machine = Machine::paper_node();
             let mut pool = PinnedPool::new(2);
-            let mut front = spd_front(100, 40, 51);
+            let mut data = spd_data(100, 51);
+            let mut front = Front { s: 100, k: 40, data: &mut data };
             let mut ctx = FuContext {
                 machine: &mut machine,
                 pool: &mut pool,

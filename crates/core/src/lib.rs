@@ -28,6 +28,7 @@
 //! assert!(sol.residual_history.last().unwrap() < &1e-11);
 //! ```
 
+pub mod arena;
 pub mod factor;
 pub mod features;
 pub mod frontal;
@@ -39,9 +40,12 @@ pub mod solve;
 pub mod solver;
 pub mod stats;
 
-pub use factor::{factor_permuted, CholeskyFactor, FactorError, FactorOptions, PolicySelector};
+pub use arena::FrontArena;
+pub use factor::{
+    factor_permuted, CholeskyFactor, FactorError, FactorOptions, FrontStorage, PolicySelector,
+};
 pub use features::{raw_features, LinearPolicyModel, NUM_FEATURES};
-pub use frontal::{Front, UpdateMatrix};
+pub use frontal::{ChildUpdate, Front};
 pub use fu::{estimate_fu_time, execute_fu, FuContext, FuError, FuOutcome, DEFAULT_PANEL_WIDTH};
 pub use parallel::{
     durations_by_supernode, factor_permuted_parallel, simulate_tree_schedule, MoldableModel,

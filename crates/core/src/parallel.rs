@@ -21,8 +21,8 @@
 //! `factor_parallel` bench writes both curves side by side
 //! (`BENCH_factor.json`) so the simulated speedups stay honest.
 
-use crate::factor::{process_supernode, CholeskyFactor, FactorError, FactorOptions};
-use crate::frontal::UpdateMatrix;
+use crate::factor::{process_supernode, CholeskyFactor, FactorError, FactorOptions, FrontStorage};
+use crate::frontal::{copy_update_packed, ChildUpdate};
 use crate::pinned_pool::PinnedPool;
 use crate::stats::{FactorStats, FuRecord};
 use mf_dense::{FuFlops, Scalar};
@@ -202,12 +202,52 @@ impl Default for ParallelOptions {
 /// Per-worker mutable state for the parallel driver. Workers never share any
 /// of this; the only cross-worker traffic is the buffered update-matrix
 /// hand-off guarded by per-supernode mutexes.
-struct WorkerCtx<'m> {
+struct WorkerCtx<'m, T> {
     machine: &'m mut Machine,
     pool: PinnedPool,
     /// `(postorder_rank, record)` pairs, merged into postorder at the end.
     records: Vec<(usize, FuRecord)>,
     oom: usize,
+    /// Reusable front storage sized to the largest front in the tree
+    /// (arena mode; empty in the per-front heap reference mode).
+    front_buf: Vec<T>,
+    /// Reusable extend-add row-relocation scratch.
+    rel: Vec<usize>,
+    /// Largest front (scalars) this worker assembled.
+    peak_front: usize,
+    /// Front-storage heap allocations this worker performed.
+    allocs: u64,
+}
+
+/// Raw-pointer view of the factor slab letting workers write their
+/// supernode's panel region directly. Sound because panel regions are
+/// pairwise disjoint (`panel_ptr` is a prefix sum), each region is written
+/// by exactly the worker running that supernode, and nothing reads the slab
+/// until the runtime joins its workers.
+struct SharedSlab<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Send for SharedSlab<T> {}
+unsafe impl<T: Send> Sync for SharedSlab<T> {}
+
+impl<T> SharedSlab<T> {
+    fn new(slab: &mut [T]) -> Self {
+        SharedSlab { ptr: slab.as_mut_ptr(), len: slab.len() }
+    }
+
+    /// Mutable view of `off..off + len`.
+    ///
+    /// # Safety
+    /// The caller must guarantee no other live reference overlaps the
+    /// range — here, the task graph runs each supernode exactly once and
+    /// panel ranges never overlap.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, off: usize, len: usize) -> &mut [T] {
+        debug_assert!(off + len <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(off), len) }
+    }
 }
 
 /// Factor an already-permuted matrix in parallel across the elimination
@@ -249,28 +289,50 @@ pub fn factor_permuted_parallel<T: Scalar>(
     let parents: Vec<usize> = symbolic.supernodes.iter().map(|s| s.parent).collect();
     let graph = TaskGraph::from_parents(&parents);
 
+    // Factor storage: one contiguous slab; workers write their supernode's
+    // panel region in place (regions are disjoint by construction).
+    let panel_ptr = symbolic.panel_ptr();
+    let mut slab = vec![T::ZERO; symbolic.factor_slab_len()];
+    let slab_view = SharedSlab::new(&mut slab);
+
+    let arena_mode = opts.front_storage == FrontStorage::Arena;
+
     // Hand-off buffers. A child's slot is written exactly once (by the
     // worker that ran the child) and taken exactly once (by the worker that
     // runs the parent, after the dependency counter ordered the two), so
-    // the mutexes are uncontended in practice.
-    let updates: Vec<Mutex<Option<UpdateMatrix<T>>>> = (0..nsn).map(|_| Mutex::new(None)).collect();
-    let panels: Vec<Mutex<Vec<T>>> = (0..nsn).map(|_| Mutex::new(Vec::new())).collect();
+    // the mutexes are uncontended in practice. Cross-worker updates cannot
+    // obey one worker's stack discipline, so they travel in transient
+    // per-edge buffers dropped after the parent's extend-add (the system
+    // allocator's thread cache recycles them more cheaply than an explicit
+    // free list here); update rows come from the shared symbolic structure.
+    let updates: Vec<Mutex<Option<Vec<T>>>> = (0..nsn).map(|_| Mutex::new(None)).collect();
 
     let budget = ThreadBudget::new(par.thread_budget);
     let saved_cap = mf_dense::thread_cap();
 
-    let states: Vec<WorkerCtx<'_>> = machines
+    let states: Vec<WorkerCtx<'_, T>> = machines
         .iter_mut()
         .map(|machine| {
             machine.set_recording(opts.record_stats);
             let pool =
                 if opts.pinned_reuse { PinnedPool::new(2) } else { PinnedPool::without_reuse(2) };
-            WorkerCtx { machine, pool, records: Vec::new(), oom: 0 }
+            WorkerCtx {
+                machine,
+                pool,
+                records: Vec::new(),
+                oom: 0,
+                front_buf: Vec::new(),
+                rel: Vec::new(),
+                peak_front: 0,
+                allocs: 0,
+            }
         })
         .collect();
 
     let runtime = Runtime::new(workers);
-    let (mut states, errors) = runtime.run(&graph, states, |st: &mut WorkerCtx<'_>, sn| {
+    let (mut states, errors) = runtime.run(&graph, states, |st: &mut WorkerCtx<'_, T>, sn| {
+        let info = &symbolic.supernodes[sn];
+        let (s, k, m) = (info.front_size(), info.k(), info.m());
         // Gather buffered child updates in postorder child rank — the order
         // the serial driver consumes them, which keeps the extend-add
         // reduction (and hence the factor bits) identical. The dependency
@@ -278,20 +340,53 @@ pub fn factor_permuted_parallel<T: Scalar>(
         // missing or poisoned slot means a worker died mid-task, which is
         // surfaced as a structured error (still selected by minimal
         // postorder rank below) rather than a cascading panic.
-        let mut children: Vec<UpdateMatrix<T>> = Vec::with_capacity(symbolic.children[sn].len());
-        for &c in &symbolic.children[sn] {
+        let kids = &symbolic.children[sn];
+        let mut child_bufs: Vec<(usize, Vec<T>)> = Vec::with_capacity(kids.len());
+        for &c in kids {
             let taken = updates[c].lock().unwrap_or_else(|poison| poison.into_inner()).take();
             match taken {
-                Some(u) => children.push(u),
+                Some(u) => child_bufs.push((c, u)),
                 None => return Err(FactorError::WorkerLost { supernode: sn }),
             }
         }
+        let mut heap_front = if arena_mode {
+            Vec::new()
+        } else {
+            st.allocs += 1;
+            vec![T::ZERO; s * s]
+        };
+        let front_data: &mut [T] = if arena_mode {
+            // Grow this worker's reusable buffer to the largest front it has
+            // seen — most workers never run the root, so lazy growth keeps
+            // each buffer at its own subtree's maximum. Reuse without
+            // re-zeroing is safe: assembly re-zeroes the lower trapezoid it
+            // references and nothing reads the rest.
+            if st.front_buf.len() < s * s {
+                st.allocs += 1;
+                st.front_buf = vec![T::ZERO; s * s];
+            }
+            &mut st.front_buf[..s * s]
+        } else {
+            &mut heap_front
+        };
+        st.peak_front = st.peak_front.max(s * s);
+        // SAFETY: this supernode's panel region belongs to this task alone.
+        let panel_out =
+            unsafe { slab_view.slice_mut(panel_ptr[sn], panel_ptr[sn + 1] - panel_ptr[sn]) };
+        let children = child_bufs.iter().map(|(c, d)| {
+            let ci = &symbolic.supernodes[*c];
+            let cm = ci.m();
+            ChildUpdate { rows: ci.update_rows(), data: &d[..cm * cm] }
+        });
         let width = budget.begin();
         let out = process_supernode(
             a,
             symbolic,
             sn,
-            &children,
+            children,
+            front_data,
+            panel_out,
+            &mut st.rel,
             st.machine,
             &mut st.pool,
             opts,
@@ -299,15 +394,18 @@ pub fn factor_permuted_parallel<T: Scalar>(
         );
         budget.end();
         let out = out?;
-        drop(children);
         if out.oom_fallback {
             st.oom += 1;
         }
         if let Some(rec) = out.record {
             st.records.push((rank[sn], rec));
         }
-        *panels[sn].lock().unwrap_or_else(|poison| poison.into_inner()) = out.panel;
-        *updates[sn].lock().unwrap_or_else(|poison| poison.into_inner()) = out.update;
+        if m > 0 {
+            st.allocs += 1;
+            let mut u = vec![T::ZERO; m * m];
+            copy_update_packed(front_data, s, k, &mut u);
+            *updates[sn].lock().unwrap_or_else(|poison| poison.into_inner()) = Some(u);
+        }
         Ok(())
     });
 
@@ -315,10 +413,13 @@ pub fn factor_permuted_parallel<T: Scalar>(
     // restore whatever the caller had configured.
     mf_dense::set_num_threads(saved_cap);
 
-    let mut stats = FactorStats::default();
+    // front_alloc_events starts at 1 for the factor slab.
+    let mut stats = FactorStats { front_alloc_events: 1, ..Default::default() };
     for st in states.iter_mut() {
         stats.total_time = stats.total_time.max(st.machine.elapsed());
         stats.oom_fallbacks += st.oom;
+        stats.peak_front_bytes = stats.peak_front_bytes.max(st.peak_front * T::BYTES);
+        stats.front_alloc_events += st.allocs;
         st.machine.set_recording(false);
     }
     // On failure report the error the serial driver would have hit first
@@ -332,11 +433,7 @@ pub fn factor_permuted_parallel<T: Scalar>(
     stats.wall_time = wall0.elapsed().as_secs_f64();
     drop(states);
 
-    let panels: Vec<Vec<T>> = panels
-        .into_iter()
-        .map(|m| m.into_inner().unwrap_or_else(|poison| poison.into_inner()))
-        .collect();
-    Ok((CholeskyFactor { symbolic: symbolic.clone(), perm: perm.clone(), panels }, stats))
+    Ok((CholeskyFactor { symbolic: symbolic.clone(), perm: perm.clone(), slab, panel_ptr }, stats))
 }
 
 #[cfg(test)]
@@ -484,10 +581,8 @@ mod tests {
                 &ParallelOptions { thread_budget: 2 },
             )
             .unwrap();
-            for (p, q) in fs.panels.iter().zip(&fp.panels) {
-                assert_eq!(p.len(), q.len());
-                assert!(p.iter().zip(q).all(|(x, y)| x.to_bits() == y.to_bits()));
-            }
+            assert_eq!(fs.slab.len(), fp.slab.len());
+            assert!(fs.slab.iter().zip(&fp.slab).all(|(x, y)| x.to_bits() == y.to_bits()));
             // Stats merge back into postorder, covering every supernode.
             assert_eq!(sp.records.len(), ss.records.len());
             assert!(sp.records.iter().zip(&ss.records).all(|(x, y)| x.sn == y.sn));

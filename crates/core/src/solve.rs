@@ -100,7 +100,8 @@ fn take_buffer<T>(slot: &Mutex<Option<Vec<T>>>) -> Vec<T> {
 #[allow(clippy::too_many_arguments)]
 fn forward_supernode<T: Scalar>(
     symbolic: &SymbolicFactor,
-    panels: &[Vec<T>],
+    slab: &[T],
+    panel_ptr: &[usize],
     sn: usize,
     nrhs: usize,
     ldx: usize,
@@ -112,7 +113,7 @@ fn forward_supernode<T: Scalar>(
     let (k, m) = (info.k(), info.m());
     let s = info.front_size();
     let (c0, c1) = (info.col_start, info.col_end);
-    let panel = &panels[sn];
+    let panel = &slab[panel_ptr[sn]..panel_ptr[sn + 1]];
 
     // Gather this supernode's rows of the RHS block into contiguous k×nrhs
     // scratch (the global block is ldx-strided).
@@ -179,7 +180,8 @@ fn forward_supernode<T: Scalar>(
 #[allow(clippy::too_many_arguments)]
 fn backward_supernode<T: Scalar>(
     symbolic: &SymbolicFactor,
-    panels: &[Vec<T>],
+    slab: &[T],
+    panel_ptr: &[usize],
     sn: usize,
     nrhs: usize,
     ldx: usize,
@@ -191,7 +193,7 @@ fn backward_supernode<T: Scalar>(
     let (k, m) = (info.k(), info.m());
     let s = info.front_size();
     let (c0, _c1) = (info.col_start, info.col_end);
-    let panel = &panels[sn];
+    let panel = &slab[panel_ptr[sn]..panel_ptr[sn + 1]];
 
     xk.clear();
     xk.resize(k * nrhs, T::ZERO);
@@ -287,7 +289,8 @@ impl<T: Scalar> CholeskyFactor<T> {
                 .collect();
             bufs[sn] = forward_supernode(
                 &self.symbolic,
-                &self.panels,
+                &self.slab,
+                &self.panel_ptr,
                 sn,
                 nrhs,
                 n,
@@ -311,7 +314,8 @@ impl<T: Scalar> CholeskyFactor<T> {
         for &sn in self.symbolic.postorder.iter().rev() {
             backward_supernode(
                 &self.symbolic,
-                &self.panels,
+                &self.slab,
+                &self.panel_ptr,
                 sn,
                 nrhs,
                 n,
@@ -342,7 +346,8 @@ impl<T: Scalar> CholeskyFactor<T> {
                 self.symbolic.children[sn].iter().map(|&c| (c, take_buffer(&bufs[c]))).collect();
             let out = forward_supernode(
                 &self.symbolic,
-                &self.panels,
+                &self.slab,
+                &self.panel_ptr,
                 sn,
                 nrhs,
                 n,
@@ -375,7 +380,17 @@ impl<T: Scalar> CholeskyFactor<T> {
             (0..runtime.workers()).map(|_| (Vec::new(), Vec::new())).collect();
         let (_, errors) = runtime.run(&graph, states, |st, sn| -> Result<(), ()> {
             let (xk, xu) = st;
-            backward_supernode(&self.symbolic, &self.panels, sn, nrhs, n, &shared, xk, xu);
+            backward_supernode(
+                &self.symbolic,
+                &self.slab,
+                &self.panel_ptr,
+                sn,
+                nrhs,
+                n,
+                &shared,
+                xk,
+                xu,
+            );
             Ok(())
         });
         debug_assert!(errors.is_empty(), "solve tasks are infallible");

@@ -81,6 +81,16 @@ pub struct FactorStats {
     pub wall_time: f64,
     /// Supernodes that fell back to P1 because the device was out of memory.
     pub oom_fallbacks: usize,
+    /// Peak bytes of front working storage in live use at any point: the
+    /// arena high-water mark (serial) or the largest per-worker front
+    /// buffer actually touched (parallel). Heap storage reports the sum of
+    /// simultaneously-live front/update buffers instead.
+    pub peak_front_bytes: usize,
+    /// Heap allocation (or growth) events the numeric phase performed for
+    /// front/update storage. Serial arena storage is O(1) — exactly the
+    /// slab plus the arena; the parallel driver adds per-worker front
+    /// buffer growths and one transient buffer per cross-worker update.
+    pub front_alloc_events: u64,
 }
 
 impl FactorStats {
@@ -197,8 +207,7 @@ mod tests {
         let stats = FactorStats {
             records: vec![rec(100, 100, 1.0), rec(900, 100, 3.0), rec(2000, 2000, 6.0)],
             total_time: 10.0,
-            wall_time: 0.0,
-            oom_fallbacks: 0,
+            ..Default::default()
         };
         let g = stats.time_fraction_grid(500, 2500);
         let sum: f64 = g.iter().flatten().sum();

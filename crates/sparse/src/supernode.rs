@@ -132,12 +132,18 @@ pub fn amalgamate(
     // requires the columns be consecutive, i.e. p starts where s ends after
     // previous merges along that chain.
     let mut merged_into: Vec<usize> = (0..nsn).collect();
-    let find = |mi: &Vec<usize>, mut s: usize| {
+    // Path-halving find: every link on the walk is re-pointed at its
+    // grandparent, keeping chains logarithmic even on the deep elimination
+    // chains where amalgamation fires most (a plain chain-walk is worst-case
+    // quadratic there). Halving only shortcuts within a group, so group
+    // roots — and therefore the resulting partition — are unchanged.
+    fn find(mi: &mut [usize], mut s: usize) -> usize {
         while mi[s] != s {
+            mi[s] = mi[mi[s]];
             s = mi[s];
         }
         s
-    };
+    }
     // Track, for each live group, its column span and an estimate of its
     // structural row count (rows of the front = colcount of its first col).
     let mut span: Vec<(usize, usize)> =
@@ -147,8 +153,8 @@ pub fn amalgamate(
         if p == NONE {
             continue;
         }
-        let sroot = find(&merged_into, s);
-        let proot = find(&merged_into, p);
+        let sroot = find(&mut merged_into, s);
+        let proot = find(&mut merged_into, p);
         if sroot == proot {
             continue;
         }
@@ -186,7 +192,7 @@ pub fn amalgamate(
 
     // Collect surviving group spans in column order.
     let mut starts: Vec<usize> =
-        (0..nsn).filter(|&s| find(&merged_into, s) == s).map(|s| span[s].0).collect();
+        (0..nsn).filter(|&s| find(&mut merged_into, s) == s).map(|s| span[s].0).collect();
     starts.sort_unstable();
     starts.push(*part.starts.last().unwrap());
     let out = SupernodePartition { starts };
@@ -299,6 +305,30 @@ mod tests {
         for s in 0..am.len() {
             assert!(am.width(s) <= 4, "supernode {s} too wide: {}", am.width(s));
         }
+    }
+
+    #[test]
+    fn deep_chain_amalgamation_is_fast_and_valid() {
+        // A long elimination chain of singleton supernodes exercises the
+        // union-find chains that path halving keeps short: every merge
+        // extends one group, so without halving `find` walks O(n) links.
+        let n = 4096;
+        let parent: Vec<usize> = (0..n).map(|j| if j + 1 < n { j + 1 } else { NONE }).collect();
+        let et = EliminationTree { parent };
+        let cc: Vec<usize> = (0..n).map(|j| n - j).collect();
+        let singletons = SupernodePartition { starts: (0..=n).collect() };
+        let am = amalgamate(
+            &singletons,
+            &et,
+            &cc,
+            &AmalgamationOptions { small: n, zero_fraction: 1.0, max_width: 64 },
+        );
+        assert_eq!(*am.starts.last().unwrap(), n);
+        for s in 0..am.len() {
+            assert!(am.width(s) <= 64);
+        }
+        // The dense chain amalgamates into exactly ⌈n/64⌉ max-width groups.
+        assert_eq!(am.len(), n.div_ceil(64));
     }
 
     #[test]

@@ -101,6 +101,60 @@ impl SymbolicFactor {
         self.supernodes.iter().map(|s| s.front_size()).max().unwrap_or(0)
     }
 
+    /// Factor storage map: offsets of each supernode's panel into one
+    /// contiguous factor slab. Panel `s` occupies
+    /// `panel_ptr[s]..panel_ptr[s + 1]`, an `s × k` column-major block
+    /// (leading dimension `s = front_size`), in ascending supernode order.
+    /// `panel_ptr.len() == num_supernodes + 1`; the last entry is the slab
+    /// length in scalars.
+    pub fn panel_ptr(&self) -> Vec<usize> {
+        let mut ptr = Vec::with_capacity(self.num_supernodes() + 1);
+        let mut off = 0usize;
+        ptr.push(0);
+        for info in &self.supernodes {
+            off += info.front_size() * info.k();
+            ptr.push(off);
+        }
+        ptr
+    }
+
+    /// Length in scalars of the contiguous factor slab (`panel_ptr` last
+    /// entry): Σ over supernodes of the full `s × k` panel rectangle.
+    pub fn factor_slab_len(&self) -> usize {
+        self.supernodes.iter().map(|s| s.front_size() * s.k()).sum()
+    }
+
+    /// Per-subtree working-storage bounds, in scalars: `peaks[s]` is the
+    /// peak LIFO-stack size needed to factor the subtree rooted at `s`
+    /// (fronts plus live child updates) starting from an empty stack —
+    /// exactly the quantity a worker that owns the whole subtree needs to
+    /// size its arena. Generalizes [`Self::update_stack_peak`], which equals
+    /// the maximum of `peaks` over the forest roots.
+    pub fn subtree_update_peaks(&self) -> Vec<usize> {
+        let nsn = self.num_supernodes();
+        let mut peaks = vec![0usize; nsn];
+        for &s in &self.postorder {
+            let info = &self.supernodes[s];
+            let front = info.front_size() * info.front_size();
+            let upd = info.m() * info.m();
+            // Children run sequentially: child i starts with the finished
+            // updates of children 0..i already on the stack.
+            let mut prefix = 0usize;
+            let mut peak = 0usize;
+            for &c in &self.children[s] {
+                peak = peak.max(prefix + peaks[c]);
+                let cm = self.supernodes[c].m();
+                prefix += cm * cm;
+            }
+            // All child updates live while the front is assembled, then the
+            // front coexists with the supernode's own update.
+            peak = peak.max(prefix + front);
+            peak = peak.max(upd + front);
+            peaks[s] = peak;
+        }
+        peaks
+    }
+
     /// Peak size (in scalars) of the update-matrix stack under the postorder
     /// traversal — useful to pre-size arenas and check device memory fits.
     pub fn update_stack_peak(&self) -> usize {
@@ -396,6 +450,51 @@ mod tests {
         // Crude upper bound: sum of all update sizes + biggest front.
         let total: usize = sym.supernodes.iter().map(|s| s.m() * s.m()).sum();
         assert!(peak <= total + max_front * max_front);
+    }
+
+    #[test]
+    fn panel_ptr_is_the_prefix_sum_of_panel_rectangles() {
+        let a = grid2d(9, 8);
+        let analysis = analyze(&a, OrderingKind::NestedDissection, None);
+        let sym = &analysis.symbolic;
+        let ptr = sym.panel_ptr();
+        assert_eq!(ptr.len(), sym.num_supernodes() + 1);
+        assert_eq!(ptr[0], 0);
+        for (s, info) in sym.supernodes.iter().enumerate() {
+            assert_eq!(ptr[s + 1] - ptr[s], info.front_size() * info.k());
+        }
+        assert_eq!(*ptr.last().unwrap(), sym.factor_slab_len());
+        // The slab stores full s×k rectangles, so it is at least as large
+        // as the trapezoidal nnz count and contains every panel.
+        assert!(sym.factor_slab_len() >= sym.factor_nnz());
+    }
+
+    #[test]
+    fn subtree_peaks_match_the_global_stack_simulation() {
+        for a in [grid2d(10, 10), grid2d(13, 4), tridiag(40)] {
+            let sym = symbolic_of(&a);
+            let peaks = sym.subtree_update_peaks();
+            // Roots: parent == NONE. The global postorder simulation runs
+            // the root subtrees back to back on an empty stack (roots leave
+            // no update behind), so the forest peak is the max root peak.
+            let root_max = sym
+                .supernodes
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.parent == NONE)
+                .map(|(i, _)| peaks[i])
+                .max()
+                .unwrap_or(0);
+            assert_eq!(root_max, sym.update_stack_peak());
+            // Every subtree bound covers at least its own front, and a
+            // child's subtree never needs more than its parent's.
+            for (s, info) in sym.supernodes.iter().enumerate() {
+                assert!(peaks[s] >= info.front_size() * info.front_size());
+                if info.parent != NONE {
+                    assert!(peaks[s] <= peaks[info.parent]);
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! concurrently to shake out any hidden shared state.
 
 use gpu_multifrontal::core::{
-    factor_permuted, factor_permuted_parallel, FactorError, ParallelOptions,
+    factor_permuted, factor_permuted_parallel, CholeskyFactor, FactorError, FrontStorage,
+    ParallelOptions,
 };
 use gpu_multifrontal::dense::Scalar;
 use gpu_multifrontal::matgen::{elasticity_3d, laplacian_2d, laplacian_3d, Stencil};
@@ -29,9 +30,10 @@ fn baseline_opts() -> FactorOptions {
     }
 }
 
-/// Every factor entry as `f64` bits (exact for both `f32` and `f64`).
-fn panel_bits<T: Scalar>(panels: &[Vec<T>]) -> Vec<u64> {
-    panels.iter().flatten().map(|&x| x.to_f64().to_bits()).collect()
+/// Every factor entry as `f64` bits (exact for both `f32` and `f64`). The
+/// factor is one contiguous slab, so the whole comparison is a single pass.
+fn panel_bits<T: Scalar>(f: &CholeskyFactor<T>) -> Vec<u64> {
+    f.slab.iter().map(|&x| x.to_f64().to_bits()).collect()
 }
 
 /// Factor serially, then at each worker count, and require bit equality.
@@ -43,7 +45,7 @@ fn assert_bitwise_deterministic<T: Scalar>(
 ) {
     let mut serial_machine = Machine::paper_node();
     let (fs, ss) = factor_permuted(a, symbolic, perm, &mut serial_machine, opts).unwrap();
-    let reference = panel_bits(&fs.panels);
+    let reference = panel_bits(&fs);
     for workers in [1usize, 2, 4, 8] {
         let mut machines: Vec<Machine> = (0..workers).map(|_| Machine::paper_node()).collect();
         let par = ParallelOptions { thread_budget: 4 };
@@ -51,7 +53,7 @@ fn assert_bitwise_deterministic<T: Scalar>(
             factor_permuted_parallel(a, symbolic, perm, &mut machines, opts, &par).unwrap();
         assert_eq!(
             reference,
-            panel_bits(&fp.panels),
+            panel_bits(&fp),
             "{workers}-worker factor must be bitwise identical to serial"
         );
         // Stats come back in postorder, one record per supernode, and count
@@ -93,6 +95,71 @@ fn bitwise_identical_f32_gpu_policies() {
     }
 }
 
+/// The arena storage backend (LIFO stack serially, pooled hand-off buffers
+/// in parallel) and the per-front heap reference backend must agree bit for
+/// bit at every worker count — the backend changes where the numbers live,
+/// never the numbers. Also pins the arena's memory contract: peak working
+/// storage within the symbolic bound and an O(1) allocation count.
+fn assert_storage_backends_agree<T: Scalar>(
+    a: &SymCsc<T>,
+    symbolic: &SymbolicFactor,
+    perm: &Permutation,
+) {
+    let arena_opts = baseline_opts();
+    let heap_opts = FactorOptions { front_storage: FrontStorage::Heap, ..baseline_opts() };
+    let mut m0 = Machine::paper_node();
+    let (fa, sa) = factor_permuted(a, symbolic, perm, &mut m0, &arena_opts).unwrap();
+    let reference = panel_bits(&fa);
+    assert!(
+        sa.peak_front_bytes <= symbolic.update_stack_peak() * T::BYTES,
+        "arena high-water {} exceeds symbolic bound {}",
+        sa.peak_front_bytes,
+        symbolic.update_stack_peak() * T::BYTES
+    );
+    assert_eq!(sa.front_alloc_events, 2, "serial arena must allocate only slab + arena");
+    let mut m1 = Machine::paper_node();
+    let (fh, sh) = factor_permuted(a, symbolic, perm, &mut m1, &heap_opts).unwrap();
+    assert_eq!(reference, panel_bits(&fh), "serial heap storage diverged from arena");
+    assert!(sh.front_alloc_events > sa.front_alloc_events);
+    for workers in [1usize, 2, 4, 8] {
+        for (name, opts) in [("arena", &arena_opts), ("heap", &heap_opts)] {
+            let mut machines: Vec<Machine> = (0..workers).map(|_| Machine::paper_node()).collect();
+            let (fp, sp) = factor_permuted_parallel(
+                a,
+                symbolic,
+                perm,
+                &mut machines,
+                opts,
+                &ParallelOptions { thread_budget: 2 },
+            )
+            .unwrap();
+            assert_eq!(
+                reference,
+                panel_bits(&fp),
+                "{workers}-worker {name} storage diverged from serial arena factor"
+            );
+            assert!(sp.front_alloc_events > 0);
+        }
+    }
+}
+
+#[test]
+fn storage_backends_bitwise_agree_f64() {
+    for a in [laplacian_2d(16, 13, Stencil::Faces), laplacian_3d(6, 6, 5, Stencil::Faces)] {
+        let an = analysis_of(&a);
+        assert_storage_backends_agree(&an.permuted.0, &an.symbolic, &an.perm);
+    }
+}
+
+#[test]
+fn storage_backends_bitwise_agree_f32() {
+    for a in [laplacian_2d(16, 13, Stencil::Faces), elasticity_3d(4, 3, 3)] {
+        let an = analysis_of(&a);
+        let a32: SymCsc<f32> = an.permuted.0.cast();
+        assert_storage_backends_agree(&a32, &an.symbolic, &an.perm);
+    }
+}
+
 #[test]
 fn thread_budget_never_changes_bits() {
     // The nested-parallelism arbitration only picks kernel widths; the
@@ -113,7 +180,7 @@ fn thread_budget_never_changes_bits() {
             &ParallelOptions { thread_budget: budget },
         )
         .unwrap();
-        let bits = panel_bits(&f.panels);
+        let bits = panel_bits(&f);
         match &reference {
             None => reference = Some(bits),
             Some(r) => assert_eq!(r, &bits, "thread_budget={budget} changed the factor"),
@@ -305,8 +372,8 @@ fn sixty_four_concurrent_factorizations() {
                     )
                     .unwrap();
                     assert_eq!(
-                        panel_bits(&fs.panels),
-                        panel_bits(&fp.panels),
+                        panel_bits(&fs),
+                        panel_bits(&fp),
                         "thread {tid} matrix {j} diverged under concurrency"
                     );
                 }

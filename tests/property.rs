@@ -157,6 +157,43 @@ proptest! {
         prop_assert!(x.matmul(&l.transpose()).max_abs_diff(&b0) < 1e-7 * (n as f64));
     }
 
+    /// The front arena's measured high-water mark never exceeds the symbolic
+    /// working-storage bound, for any ordering × amalgamation combination —
+    /// the guarantee that lets the numeric phase pre-allocate all front
+    /// storage up front.
+    #[test]
+    fn arena_high_water_within_symbolic_bound(
+        n in 10usize..150,
+        density in 2usize..8,
+        seed in 0u64..500,
+        ordering in ordering_strategy(),
+        amalgamate in any::<bool>(),
+    ) {
+        use gpu_multifrontal::core::factor_permuted;
+        use gpu_multifrontal::sparse::symbolic::analyze;
+        let a = random_spd_sparse(n, density, seed);
+        let amal = if amalgamate { Some(AmalgamationOptions::default()) } else { None };
+        let an = analyze(&a, ordering, amal.as_ref());
+        let mut machine = Machine::paper_node();
+        let (_, stats) = factor_permuted(
+            &an.permuted.0,
+            &an.symbolic,
+            &an.perm,
+            &mut machine,
+            &FactorOptions::default(),
+        )
+        .expect("diag-dominant ⇒ SPD");
+        let bound = an.symbolic.update_stack_peak() * 8;
+        prop_assert!(
+            stats.peak_front_bytes <= bound,
+            "arena high-water {} exceeds symbolic bound {}",
+            stats.peak_front_bytes,
+            bound
+        );
+        prop_assert!(stats.peak_front_bytes > 0);
+        prop_assert_eq!(stats.front_alloc_events, 2);
+    }
+
     /// Permutation composition and inversion laws.
     #[test]
     fn permutation_laws(n in 1usize..64, seed in 0u64..100) {
