@@ -33,4 +33,7 @@ cargo bench -p mf-bench --bench factor_parallel
 echo "==> solve bench (writes BENCH_solve.json)"
 cargo bench -p mf-bench --bench solve
 
+echo "==> gpu_pipeline bench (writes BENCH_gpu.json)"
+cargo bench -p mf-bench --bench gpu_pipeline
+
 echo "CI OK"

@@ -61,6 +61,29 @@ impl MatrixRuns {
         self.run_with(PolicySelector::Oracle(self.dataset.oracle_table()), false)
     }
 
+    /// Like [`Self::run_with`], but through the pipelined GPU dispatch
+    /// driver (event-chained downloads, look-ahead uploads, batched small
+    /// fronts) instead of the drain-per-front driver.
+    pub fn run_pipelined(&self, selector: PolicySelector, copy_optimized: bool) -> FactorStats {
+        let mut machine = Machine::paper_node();
+        let a32: SymCsc<f32> = self.analysis.permuted.0.cast();
+        let opts = FactorOptions {
+            selector,
+            copy_optimized,
+            pipeline: mf_core::PipelineOptions::pipelined(),
+            ..Default::default()
+        };
+        let (_, stats) = factor_permuted(
+            &a32,
+            &self.analysis.symbolic,
+            &self.analysis.perm,
+            &mut machine,
+            &opts,
+        )
+        .expect("suite matrices are SPD");
+        stats
+    }
+
     /// *Measured* wall-clock seconds of one serial baseline-hybrid
     /// factorization on this host — real elapsed time, not the simulated
     /// `total_time` the other columns report.

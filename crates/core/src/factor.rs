@@ -14,9 +14,14 @@
 use crate::arena::FrontArena;
 use crate::features::LinearPolicyModel;
 use crate::frontal::{
-    assemble_front_into, charge_update_extract, copy_update_packed, extract_panel_into, ChildUpdate,
+    assemble_front_into, charge_panel_extract, charge_update_extract, copy_update_packed,
+    extract_panel_copy, extract_panel_into, ChildUpdate, Front,
 };
-use crate::fu::{execute_fu, FuContext, FuError, DEFAULT_PANEL_WIDTH};
+use crate::fu::{
+    dispatch_fu, enqueue_batch_downloads, enqueue_downloads, execute_fu, finish_fu,
+    try_dispatch_gpu, try_dispatch_gpu_batch, BatchError, FuBatchPending, FuContext, FuError,
+    FuPending, DEFAULT_PANEL_WIDTH,
+};
 use crate::pinned_pool::PinnedPool;
 use crate::policy::{BaselineThresholds, PolicyKind};
 use crate::stats::{FactorStats, FuRecord};
@@ -71,6 +76,47 @@ pub enum FrontStorage {
     Heap,
 }
 
+/// Pipelined GPU dispatch (DESIGN.md §4.9): look-ahead staging of the next
+/// GPU-bound front while the current one computes, event-gated consumption
+/// of child updates, and batched dispatch of runs of small fronts.
+///
+/// The pipelined driver produces factor slabs **bitwise identical** to the
+/// drain-per-front driver at every setting here — only the simulated
+/// timeline (and therefore makespan and GPU utilization) changes. It does
+/// not collect per-call [`FuRecord`]s: with fronts overlapping on the
+/// device, per-front time attribution is ill-defined, so `record_stats`
+/// is ignored while `enabled` is set. Front storage is per-front heap
+/// buffers (front lifetimes overlap, which the postorder LIFO arena cannot
+/// express), so `front_storage` is ignored too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// Run the pipelined driver. CPU-only machines always use the
+    /// drain-per-front driver regardless.
+    pub enabled: bool,
+    /// Maximum fronts with downloads still outstanding before the oldest is
+    /// finished (double/triple buffering of the staging pool falls out of
+    /// this — each outstanding front holds its pinned generations leased).
+    pub depth: usize,
+    /// Largest front size `s` eligible for batched dispatch.
+    pub batch_max_front: usize,
+    /// Maximum members of one batched dispatch (a run of consecutive
+    /// postorder P4-selected fronts with no producer/consumer pair inside).
+    pub batch_max_fronts: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions { enabled: false, depth: 3, batch_max_front: 128, batch_max_fronts: 8 }
+    }
+}
+
+impl PipelineOptions {
+    /// Pipelining on, with the default look-ahead depth and batching.
+    pub fn pipelined() -> Self {
+        PipelineOptions { enabled: true, ..Default::default() }
+    }
+}
+
 /// Options controlling a numeric factorization run.
 #[derive(Debug, Clone)]
 pub struct FactorOptions {
@@ -87,6 +133,8 @@ pub struct FactorOptions {
     pub pinned_reuse: bool,
     /// Front working-storage backend (see [`FrontStorage`]).
     pub front_storage: FrontStorage,
+    /// Pipelined GPU dispatch (see [`PipelineOptions`]).
+    pub pipeline: PipelineOptions,
 }
 
 impl Default for FactorOptions {
@@ -98,6 +146,7 @@ impl Default for FactorOptions {
             record_stats: false,
             pinned_reuse: true,
             front_storage: FrontStorage::default(),
+            pipeline: PipelineOptions::default(),
         }
     }
 }
@@ -295,6 +344,9 @@ pub fn factor_permuted<T: Scalar>(
     machine: &mut Machine,
     opts: &FactorOptions,
 ) -> Result<(CholeskyFactor<T>, FactorStats), FactorError> {
+    if opts.pipeline.enabled && machine.gpu.is_some() {
+        return factor_permuted_pipelined(a, symbolic, perm, machine, opts);
+    }
     let nsn = symbolic.num_supernodes();
     let mut pool =
         if opts.pinned_reuse { PinnedPool::new(2) } else { PinnedPool::without_reuse(2) };
@@ -414,8 +466,447 @@ pub fn factor_permuted<T: Scalar>(
     }
 
     stats.total_time = machine.elapsed();
+    stats.gpu = machine.gpu.as_ref().map(|g| g.utilization(stats.total_time));
     stats.wall_time = wall0.elapsed().as_secs_f64();
     machine.set_recording(false);
+    Ok((CholeskyFactor { symbolic: symbolic.clone(), perm: perm.clone(), slab, panel_ptr }, stats))
+}
+
+// ----- pipelined driver ------------------------------------------------------
+
+/// Build the standard (non-timing-only, serial) F-U context.
+fn fu_ctx<'a>(
+    machine: &'a mut Machine,
+    pool: &'a mut PinnedPool,
+    opts: &FactorOptions,
+) -> FuContext<'a> {
+    FuContext {
+        machine,
+        pool,
+        panel_width: opts.panel_width,
+        copy_optimized: opts.copy_optimized,
+        timing_only: false,
+        kernel_threads: None,
+    }
+}
+
+/// Lift a front-local pivot failure to the permuted global column.
+pub(crate) fn fu_err_to_factor(col_start: usize, e: FuError) -> FactorError {
+    match e {
+        FuError::NotPositiveDefinite { local_column } => {
+            FactorError::NotPositiveDefinite { column: col_start + local_column }
+        }
+    }
+}
+
+fn batch_err_to_factor(symbolic: &SymbolicFactor, sns: &[usize], e: BatchError) -> FactorError {
+    fu_err_to_factor(symbolic.supernodes[sns[e.member]].col_start, e.error)
+}
+
+/// A dispatched front (phase 1 done) whose downloads have not been enqueued
+/// yet. Holding the flush back until the *next* front dispatches is what
+/// lets that front's upload overtake this one's downloads on the copy
+/// engine while the compute engine is still busy here.
+struct StagedFront<T> {
+    sns: Vec<usize>,
+    bufs: Vec<Vec<T>>,
+    kind: StagedKind,
+}
+
+enum StagedKind {
+    Single(FuPending),
+    Batch(FuBatchPending),
+}
+
+/// A flushed front: downloads enqueued (event-gated), panel and update
+/// already extracted (the simulator computes data eagerly — only *time* is
+/// outstanding), host charges for the extraction deferred to finish.
+struct InflightFront {
+    sns: Vec<usize>,
+    /// `(s, k, m)` per member — the deferred extract-charge dimensions.
+    extracts: Vec<(usize, usize, usize)>,
+    pending: FuPending,
+}
+
+/// State of the pipelined postorder driver (see [`PipelineOptions`]).
+struct PipeDriver<'a, T> {
+    symbolic: &'a SymbolicFactor,
+    opts: &'a FactorOptions,
+    panel_ptr: Vec<usize>,
+    slab: Vec<T>,
+    /// Packed `m × m` updates awaiting their parent's extend-add.
+    updates: Vec<Option<Vec<T>>>,
+    staged: Option<StagedFront<T>>,
+    inflight: Vec<InflightFront>,
+    stats: FactorStats,
+    rel: Vec<usize>,
+    live: usize,
+    peak: usize,
+}
+
+impl<T: Scalar> PipeDriver<'_, T> {
+    fn run(
+        &mut self,
+        a: &SymCsc<T>,
+        machine: &mut Machine,
+        pool: &mut PinnedPool,
+    ) -> Result<(), FactorError> {
+        let post = &self.symbolic.postorder;
+        let mut i = 0;
+        while i < post.len() {
+            let run = self.batch_run_len(i);
+            if run >= 2 {
+                let sns = post[i..i + run].to_vec();
+                self.step_batch(a, &sns, machine, pool)?;
+                i += run;
+            } else {
+                self.step_single(a, post[i], machine, pool)?;
+                i += 1;
+            }
+        }
+        self.flush_staged(machine, pool);
+        self.drain_inflight(machine, pool);
+        Ok(())
+    }
+
+    /// Length of the batchable run starting at postorder position `start`:
+    /// consecutive P4-selected fronts no larger than `batch_max_front`,
+    /// with no producer/consumer pair inside the run (a member's children
+    /// must have flushed before it assembles). Returns 1 when the front at
+    /// `start` dispatches alone.
+    fn batch_run_len(&self, start: usize) -> usize {
+        let pl = &self.opts.pipeline;
+        // Batches run the naive whole-front P4 plan; under the
+        // copy-optimized plan members dispatch singly so the transfer byte
+        // counts (and the bits) match the drain driver.
+        if self.opts.copy_optimized || pl.batch_max_fronts < 2 {
+            return 1;
+        }
+        let symbolic = self.symbolic;
+        let post = &symbolic.postorder;
+        let mut len = 0;
+        while len < pl.batch_max_fronts && start + len < post.len() {
+            let sn = post[start + len];
+            let info = &symbolic.supernodes[sn];
+            let (s, k, m) = (info.front_size(), info.k(), info.m());
+            if s > pl.batch_max_front || self.opts.selector.choose(sn, m, k) != PolicyKind::P4 {
+                break;
+            }
+            if symbolic.children[sn].iter().any(|c| post[start..start + len].contains(c)) {
+                break;
+            }
+            len += 1;
+        }
+        len.max(1)
+    }
+
+    /// Make `sn`'s child updates consumable: flush the staged front if it
+    /// holds a child (producing the update data), then block the host on
+    /// the d2h completion *event* of any in-flight entry holding a child —
+    /// an event wait, not a device drain.
+    fn ready_children(&mut self, sn: usize, machine: &mut Machine, pool: &mut PinnedPool) {
+        let symbolic = self.symbolic;
+        let kids = &symbolic.children[sn];
+        if self.staged.as_ref().is_some_and(|st| st.sns.iter().any(|x| kids.contains(x))) {
+            self.flush_staged(machine, pool);
+        }
+        let mut j = 0;
+        while j < self.inflight.len() {
+            if self.inflight[j].sns.iter().any(|x| kids.contains(x)) {
+                let e = self.inflight.remove(j);
+                self.finish_entry(e, machine, pool);
+            } else {
+                j += 1;
+            }
+        }
+    }
+
+    /// Assemble `sn`'s front into a fresh buffer, consuming its children's
+    /// packed updates.
+    fn assemble(&mut self, a: &SymCsc<T>, sn: usize, machine: &mut Machine) -> Vec<T> {
+        let symbolic = self.symbolic;
+        let info = &symbolic.supernodes[sn];
+        let s = info.front_size();
+        let child_bufs: Vec<(usize, Vec<T>)> = symbolic.children[sn]
+            .iter()
+            .map(|&c| (c, self.updates[c].take().expect("child update must exist in postorder")))
+            .collect();
+        self.stats.front_alloc_events += 1;
+        let mut front_data = vec![T::ZERO; s * s];
+        self.live += s * s;
+        self.peak = self.peak.max(self.live);
+        let children = child_bufs.iter().map(|(c, d)| ChildUpdate {
+            rows: symbolic.supernodes[*c].update_rows(),
+            data: &d[..],
+        });
+        assemble_front_into(a, info, children, &mut front_data, &mut self.rel, &mut machine.host);
+        for (_, d) in child_bufs {
+            self.live -= d.len();
+        }
+        front_data
+    }
+
+    /// Drain-path extraction for fronts with no GPU work outstanding:
+    /// numerics and charges together, as the drain driver orders them.
+    fn extract_inline(&mut self, sn: usize, front: &Front<'_, T>, machine: &mut Machine) {
+        let info = &self.symbolic.supernodes[sn];
+        let (s, k, m) = (info.front_size(), info.k(), info.m());
+        let (p0, p1) = (self.panel_ptr[sn], self.panel_ptr[sn + 1]);
+        extract_panel_into(front, &mut self.slab[p0..p1], &mut machine.host);
+        charge_update_extract::<T>(m, &mut machine.host);
+        if m > 0 {
+            self.stats.front_alloc_events += 1;
+            let mut u = vec![T::ZERO; m * m];
+            copy_update_packed(front.data, s, k, &mut u);
+            self.live += m * m;
+            self.updates[sn] = Some(u);
+        }
+    }
+
+    /// Phase 2 for the staged front: enqueue its event-gated downloads,
+    /// extract the panel and update eagerly (data exists; time is still
+    /// outstanding) so the front buffer can drop, and move it in flight
+    /// with the extraction charges deferred to finish.
+    fn flush_staged(&mut self, machine: &mut Machine, pool: &mut PinnedPool) {
+        let Some(StagedFront { sns, mut bufs, kind }) = self.staged.take() else { return };
+        let symbolic = self.symbolic;
+        let mut ctx = fu_ctx(machine, pool, self.opts);
+        let pending = match kind {
+            StagedKind::Single(mut pending) => {
+                let info = &symbolic.supernodes[sns[0]];
+                let mut front = Front { s: info.front_size(), k: info.k(), data: &mut bufs[0] };
+                enqueue_downloads(&mut front, &mut pending, &mut ctx);
+                pending
+            }
+            StagedKind::Batch(batch) => {
+                let mut fronts: Vec<Front<'_, T>> = sns
+                    .iter()
+                    .zip(bufs.iter_mut())
+                    .map(|(&sn, buf)| {
+                        let info = &symbolic.supernodes[sn];
+                        Front { s: info.front_size(), k: info.k(), data: &mut buf[..] }
+                    })
+                    .collect();
+                enqueue_batch_downloads(&mut fronts, batch, &mut ctx)
+            }
+        };
+        let mut extracts = Vec::with_capacity(sns.len());
+        for (&sn, buf) in sns.iter().zip(bufs.iter_mut()) {
+            let info = &symbolic.supernodes[sn];
+            let (s, k, m) = (info.front_size(), info.k(), info.m());
+            let front = Front { s, k, data: &mut buf[..] };
+            let (p0, p1) = (self.panel_ptr[sn], self.panel_ptr[sn + 1]);
+            extract_panel_copy(&front, &mut self.slab[p0..p1]);
+            if m > 0 {
+                self.stats.front_alloc_events += 1;
+                let mut u = vec![T::ZERO; m * m];
+                copy_update_packed(front.data, s, k, &mut u);
+                self.live += m * m;
+                self.updates[sn] = Some(u);
+            }
+            self.live -= s * s;
+            extracts.push((s, k, m));
+        }
+        self.inflight.push(InflightFront { sns, extracts, pending });
+    }
+
+    /// Phase 3 for one in-flight entry: host waits on its `done` event,
+    /// device buffers free, and the deferred extraction charges land in the
+    /// drain driver's per-front order.
+    fn finish_entry(&mut self, entry: InflightFront, machine: &mut Machine, pool: &mut PinnedPool) {
+        let InflightFront { extracts, mut pending, .. } = entry;
+        let mut ctx = fu_ctx(machine, pool, self.opts);
+        finish_fu(&mut pending, &mut ctx);
+        for (s, k, m) in extracts {
+            charge_panel_extract::<T>(s, k, &mut machine.host);
+            charge_update_extract::<T>(m, &mut machine.host);
+        }
+    }
+
+    fn drain_inflight(&mut self, machine: &mut Machine, pool: &mut PinnedPool) {
+        while !self.inflight.is_empty() {
+            let e = self.inflight.remove(0);
+            self.finish_entry(e, machine, pool);
+        }
+    }
+
+    /// Finish the oldest in-flight entries until at most `depth` remain.
+    fn enforce_depth(&mut self, machine: &mut Machine, pool: &mut PinnedPool) {
+        while self.inflight.len() > self.opts.pipeline.depth {
+            let e = self.inflight.remove(0);
+            self.finish_entry(e, machine, pool);
+        }
+    }
+
+    fn step_single(
+        &mut self,
+        a: &SymCsc<T>,
+        sn: usize,
+        machine: &mut Machine,
+        pool: &mut PinnedPool,
+    ) -> Result<(), FactorError> {
+        let symbolic = self.symbolic;
+        let info = &symbolic.supernodes[sn];
+        let (s, k, m) = (info.front_size(), info.k(), info.m());
+        self.ready_children(sn, machine, pool);
+        let mut front_data = self.assemble(a, sn, machine);
+        let mut front = Front { s, k, data: &mut front_data };
+        let policy = self.opts.selector.choose(sn, m, k);
+        let mut ctx = fu_ctx(machine, pool, self.opts);
+        let dispatched = try_dispatch_gpu(&mut front, policy, &mut ctx)
+            .map_err(|e| fu_err_to_factor(info.col_start, e))?;
+        let pending = match dispatched {
+            Some(p) => p,
+            None => {
+                // Device OOM: reach the drain driver's empty-device state
+                // before retrying, so P1-fallback decisions match it.
+                self.flush_staged(machine, pool);
+                self.drain_inflight(machine, pool);
+                let mut ctx = fu_ctx(machine, pool, self.opts);
+                dispatch_fu(&mut front, policy, &mut ctx)
+                    .map_err(|e| fu_err_to_factor(info.col_start, e))?
+            }
+        };
+        if pending.oom_fallback() {
+            self.stats.oom_fallbacks += 1;
+        }
+        if pending.is_done() {
+            // CPU-resident result (P1, or an m = 0 P2/P3 pivot): nothing to
+            // pipeline.
+            self.extract_inline(sn, &front, machine);
+            self.live -= s * s;
+            return Ok(());
+        }
+        // Dispatch-before-flush: this front's upload is already queued, so
+        // flushing the previous front's downloads now cannot delay it.
+        self.flush_staged(machine, pool);
+        self.staged = Some(StagedFront {
+            sns: vec![sn],
+            bufs: vec![front_data],
+            kind: StagedKind::Single(pending),
+        });
+        self.enforce_depth(machine, pool);
+        Ok(())
+    }
+
+    fn step_batch(
+        &mut self,
+        a: &SymCsc<T>,
+        sns: &[usize],
+        machine: &mut Machine,
+        pool: &mut PinnedPool,
+    ) -> Result<(), FactorError> {
+        let symbolic = self.symbolic;
+        let mut bufs: Vec<Vec<T>> = Vec::with_capacity(sns.len());
+        for &sn in sns {
+            self.ready_children(sn, machine, pool);
+            bufs.push(self.assemble(a, sn, machine));
+        }
+        let mut ctx = fu_ctx(machine, pool, self.opts);
+        let mut fronts: Vec<Front<'_, T>> = sns
+            .iter()
+            .zip(bufs.iter_mut())
+            .map(|(&sn, buf)| {
+                let info = &symbolic.supernodes[sn];
+                Front { s: info.front_size(), k: info.k(), data: &mut buf[..] }
+            })
+            .collect();
+        let first = try_dispatch_gpu_batch(&mut fronts, &mut ctx)
+            .map_err(|e| batch_err_to_factor(symbolic, sns, e))?;
+        drop(fronts);
+        let batch = match first {
+            Some(b) => Some(b),
+            None => {
+                // Combined allocation OOM: drain to the empty-device state
+                // and retry once before degrading to per-member dispatch.
+                self.flush_staged(machine, pool);
+                self.drain_inflight(machine, pool);
+                let mut ctx = fu_ctx(machine, pool, self.opts);
+                let mut fronts: Vec<Front<'_, T>> = sns
+                    .iter()
+                    .zip(bufs.iter_mut())
+                    .map(|(&sn, buf)| {
+                        let info = &symbolic.supernodes[sn];
+                        Front { s: info.front_size(), k: info.k(), data: &mut buf[..] }
+                    })
+                    .collect();
+                try_dispatch_gpu_batch(&mut fronts, &mut ctx)
+                    .map_err(|e| batch_err_to_factor(symbolic, sns, e))?
+            }
+        };
+        match batch {
+            Some(b) => {
+                self.flush_staged(machine, pool);
+                self.staged =
+                    Some(StagedFront { sns: sns.to_vec(), bufs, kind: StagedKind::Batch(b) });
+                self.enforce_depth(machine, pool);
+            }
+            None => {
+                // The run does not fit even on an empty device: dispatch
+                // members one by one (drained, so every decision matches
+                // the drain driver's).
+                for (&sn, mut buf) in sns.iter().zip(bufs) {
+                    let info = &symbolic.supernodes[sn];
+                    let (s, k) = (info.front_size(), info.k());
+                    let mut front = Front { s, k, data: &mut buf[..] };
+                    let mut ctx = fu_ctx(machine, pool, self.opts);
+                    let mut pending = dispatch_fu(&mut front, PolicyKind::P4, &mut ctx)
+                        .map_err(|e| fu_err_to_factor(info.col_start, e))?;
+                    enqueue_downloads(&mut front, &mut pending, &mut ctx);
+                    finish_fu(&mut pending, &mut ctx);
+                    if pending.oom_fallback() {
+                        self.stats.oom_fallbacks += 1;
+                    }
+                    self.extract_inline(sn, &front, machine);
+                    self.live -= s * s;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The pipelined counterpart of [`factor_permuted`] (selected via
+/// [`PipelineOptions::enabled`] on a GPU machine).
+///
+/// Per-front numeric work is byte-for-byte the drain driver's — assembly in
+/// postorder, the same staged f32 kernels in the same order, extend-add of
+/// child updates in postorder child rank — so factor slabs are **bitwise
+/// identical** to the drain driver's. What changes is when the host blocks:
+/// instead of a full device drain after every front, each front's downloads
+/// gate on completion events, the next front's upload is dispatched before
+/// the previous front's downloads flush, and runs of small P4 fronts share
+/// one dispatch.
+fn factor_permuted_pipelined<T: Scalar>(
+    a: &SymCsc<T>,
+    symbolic: &SymbolicFactor,
+    perm: &Permutation,
+    machine: &mut Machine,
+    opts: &FactorOptions,
+) -> Result<(CholeskyFactor<T>, FactorStats), FactorError> {
+    let nsn = symbolic.num_supernodes();
+    let mut pool =
+        if opts.pinned_reuse { PinnedPool::new(2) } else { PinnedPool::without_reuse(2) };
+    let wall0 = std::time::Instant::now();
+    let mut drv = PipeDriver {
+        symbolic,
+        opts,
+        panel_ptr: symbolic.panel_ptr(),
+        slab: vec![T::ZERO; symbolic.factor_slab_len()],
+        updates: (0..nsn).map(|_| None).collect(),
+        staged: None,
+        inflight: Vec::new(),
+        stats: FactorStats { front_alloc_events: 1, ..Default::default() },
+        rel: Vec::new(),
+        live: 0,
+        peak: 0,
+    };
+    drv.run(a, machine, &mut pool)?;
+    let PipeDriver { panel_ptr, slab, mut stats, peak, .. } = drv;
+    stats.peak_front_bytes = peak * T::BYTES;
+    stats.total_time = machine.elapsed();
+    stats.gpu = machine.gpu.as_ref().map(|g| g.utilization(stats.total_time));
+    stats.wall_time = wall0.elapsed().as_secs_f64();
     Ok((CholeskyFactor { symbolic: symbolic.clone(), perm: perm.clone(), slab, panel_ptr }, stats))
 }
 
@@ -581,6 +1072,117 @@ mod tests {
         for j in 0..f.order() {
             assert!(f.l_entry(j, j) > 0.0);
         }
+    }
+
+    #[test]
+    fn pipelined_driver_matches_drain_bitwise_and_runs_faster() {
+        let a = laplacian_3d(7, 6, 6, Stencil::Faces);
+        let analysis =
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        let run = |pipeline: PipelineOptions, selector: PolicySelector| {
+            let mut machine = Machine::paper_node();
+            let opts = FactorOptions { selector, pipeline, ..Default::default() };
+            factor_permuted(
+                &analysis.permuted.0,
+                &analysis.symbolic,
+                &analysis.perm,
+                &mut machine,
+                &opts,
+            )
+            .unwrap()
+        };
+        // `strict`: whether the selector sends enough fronts to the GPU on
+        // this grid for overlap to show (Baseline picks P1 for every front
+        // here, so both drivers run the same inline path).
+        for (selector, strict) in [
+            (PolicySelector::Fixed(PolicyKind::P4), true),
+            (PolicySelector::Baseline(BaselineThresholds::default()), false),
+        ] {
+            let (fd, sd) = run(PipelineOptions::default(), selector.clone());
+            let (fp, sp) = run(PipelineOptions::pipelined(), selector);
+            let bd: Vec<u64> = fd.slab.iter().map(|x| x.to_bits()).collect();
+            let bp: Vec<u64> = fp.slab.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bd, bp, "pipelined factor must match the drain driver bitwise");
+            assert!(
+                sp.total_time <= sd.total_time,
+                "pipelined {:.6e} must not lose to drain {:.6e}",
+                sp.total_time,
+                sd.total_time
+            );
+            if strict {
+                assert!(
+                    sp.total_time < sd.total_time,
+                    "pipelined {:.6e} must beat drain {:.6e}",
+                    sp.total_time,
+                    sd.total_time
+                );
+                let util = sp.gpu.expect("GPU machine must report utilization");
+                assert!(util.busy_fraction() > 0.0 && util.busy_fraction() <= 1.0);
+            }
+            assert!(sd.gpu.is_some(), "drain driver reports utilization too");
+        }
+    }
+
+    #[test]
+    fn pipelined_oom_fallbacks_match_drain_driver() {
+        // A device too small for the big fronts: the pipelined driver must
+        // make the same P1-fallback decisions (after draining) and still
+        // produce identical bits.
+        let a = laplacian_3d(6, 6, 5, Stencil::Faces);
+        let analysis =
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        let run = |pipeline: PipelineOptions| {
+            let mut cfg = mf_gpusim::tesla_t10();
+            cfg.mem_bytes = 2_000; // 500 f32 elements — only small fronts fit
+            let mut machine = Machine::with_gpu(mf_gpusim::xeon_5160_core(), cfg);
+            let opts = FactorOptions {
+                selector: PolicySelector::Fixed(PolicyKind::P4),
+                pipeline,
+                ..Default::default()
+            };
+            factor_permuted(
+                &analysis.permuted.0,
+                &analysis.symbolic,
+                &analysis.perm,
+                &mut machine,
+                &opts,
+            )
+            .unwrap()
+        };
+        let (fd, sd) = run(PipelineOptions::default());
+        let (fp, sp) = run(PipelineOptions::pipelined());
+        assert!(sd.oom_fallbacks > 0, "test needs OOM pressure to be meaningful");
+        assert_eq!(sp.oom_fallbacks, sd.oom_fallbacks);
+        assert!(fd.slab.iter().zip(&fp.slab).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn pipelined_indefinite_matrix_reports_same_column() {
+        use mf_sparse::Triplet;
+        let mut t = Triplet::new(8);
+        for i in 0..8 {
+            t.push(i, i, if i == 5 { -3.0 } else { 4.0 });
+            if i + 1 < 8 {
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        let a = t.assemble();
+        let analysis = analyze(&a, OrderingKind::Natural, None);
+        let mut machine = Machine::paper_node();
+        let opts = FactorOptions {
+            selector: PolicySelector::Fixed(PolicyKind::P4),
+            pipeline: PipelineOptions::pipelined(),
+            ..Default::default()
+        };
+        let err = factor_permuted(
+            &analysis.permuted.0,
+            &analysis.symbolic,
+            &analysis.perm,
+            &mut machine,
+            &opts,
+        )
+        .unwrap_err();
+        assert_eq!(err, FactorError::NotPositiveDefinite { column: 5 });
     }
 
     #[test]

@@ -171,12 +171,25 @@ pub fn assemble_front_into<'a, 'c, T: Scalar + 'c>(
 /// strictly-upper entries leaves them exactly zero. Charges copy-out time
 /// for the trapezoid actually moved.
 pub fn extract_panel_into<T: Scalar>(front: &Front<'_, T>, dst: &mut [T], host: &mut HostClock) {
+    extract_panel_copy(front, dst);
+    charge_panel_extract::<T>(front.s, front.k, host);
+}
+
+/// The data movement of [`extract_panel_into`] alone. The pipelined driver
+/// extracts eagerly once a front's downloads are enqueued (data exists the
+/// moment the simulator queues the transfer) but defers the clock charge to
+/// the front's finish.
+pub(crate) fn extract_panel_copy<T: Scalar>(front: &Front<'_, T>, dst: &mut [T]) {
     let s = front.s;
     let k = front.k;
     debug_assert_eq!(dst.len(), s * k);
     for j in 0..k {
         dst[j * s + j..(j + 1) * s].copy_from_slice(&front.data[j * s + j..(j + 1) * s]);
     }
+}
+
+/// The simulated cost of [`extract_panel_into`]'s trapezoid copy alone.
+pub(crate) fn charge_panel_extract<T: Scalar>(s: usize, k: usize, host: &mut HostClock) {
     host.charge_memop(lower_trapezoid_len(s, k) * T::BYTES, ASSEMBLY_BW);
 }
 

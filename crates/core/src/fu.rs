@@ -25,17 +25,13 @@ use crate::frontal::Front;
 use crate::pinned_pool::PinnedPool;
 use crate::policy::PolicyKind;
 use mf_dense::{potrf, syrk_lower, trsm_right_lower_trans, Scalar};
-use mf_gpusim::{CopyMode, DevMat, Gpu, HostClock, KernelKind, Machine};
+use mf_gpusim::{CopyMode, DevBuf, DevMat, Event, Gpu, HostClock, KernelKind, Machine};
 
 /// Width of the device panels in the P4 algorithm (Figure 9's `w`).
 pub const DEFAULT_PANEL_WIDTH: usize = 64;
 
 /// Block-column width for P2's overlapped `syrk` downloads.
 const P2_DOWNLOAD_BLOCK: usize = 512;
-
-/// Pinned staging slot ids.
-const SLOT_PANEL: usize = 0;
-const SLOT_UPDATE: usize = 1;
 
 /// Stream ids on the device.
 const S_COMPUTE: usize = 0;
@@ -88,11 +84,156 @@ pub struct FuOutcome {
 
 /// Run one factor-update on `front` under `policy`. On device OOM the call
 /// transparently falls back to P1 and reports it in the outcome.
+///
+/// This is the drain-per-front path: the three pipeline phases run
+/// back-to-back, so the host blocks until this front's downloads complete
+/// before returning. The pipelined driver in `factor.rs` calls
+/// [`dispatch_fu`], [`enqueue_downloads`] and [`finish_fu`] separately to
+/// overlap fronts across the PCIe bus and the compute engine.
 pub fn execute_fu<T: Scalar>(
     front: &mut Front<'_, T>,
     policy: PolicyKind,
     ctx: &mut FuContext<'_>,
 ) -> Result<FuOutcome, FuError> {
+    let mut pending = dispatch_fu(front, policy, ctx)?;
+    enqueue_downloads(front, &mut pending, ctx);
+    finish_fu(&mut pending, ctx);
+    Ok(FuOutcome { executed: pending.executed, oom_fallback: pending.oom_fallback })
+}
+
+/// An F-U operation whose GPU work has been enqueued but not yet drained.
+///
+/// The three-phase lifecycle replaces the seed's per-front `sync_all`:
+///
+/// 1. [`dispatch_fu`] / [`try_dispatch_gpu`] — host prework (CPU
+///    potrf/trsm where the policy wants them), pinned staging, h2d uploads
+///    and every compute kernel, with a completion event recorded per
+///    download dependency;
+/// 2. [`enqueue_downloads`] — d2h transfers, each gated on its producer's
+///    *event* rather than a device drain, the front's `done` event, and
+///    the host-side numerics consuming the staged data (the simulator
+///    computes data eagerly at enqueue time, so results can be unstaged as
+///    soon as the transfer is queued — only *time* remains outstanding);
+/// 3. [`finish_fu`] — the only host block: wait on `done`, free device
+///    buffers, land deferred host charges.
+///
+/// Look-ahead falls out of call order: a driver that runs phase 1 of front
+/// *j+1* before phase 3 of front *j* has the next front uploading while
+/// the current one computes.
+#[derive(Debug)]
+pub struct FuPending {
+    executed: PolicyKind,
+    oom_fallback: bool,
+    state: PendingState,
+}
+
+#[derive(Debug)]
+enum PendingState {
+    /// No GPU work outstanding (P1, an m = 0 front, or already finished).
+    Done,
+    Computed(DownloadPlan),
+    Downloaded(FinishPlan),
+}
+
+/// Phase-1 output: which downloads remain and the events they wait on.
+#[derive(Debug)]
+enum DownloadPlan {
+    P2 {
+        d_l2: DevBuf,
+        d_w: DevBuf,
+        m: usize,
+        sp: usize,
+        su: usize,
+        /// `(j0, jb, event)` per block column of W.
+        chunks: Vec<(usize, usize, Event)>,
+    },
+    P3 {
+        d_panel: DevBuf,
+        d_l1: DevBuf,
+        d_w: DevBuf,
+        m: usize,
+        k: usize,
+        sp: usize,
+        su: usize,
+        ev_trsm: Event,
+        ev_syrk: Event,
+    },
+    P4 {
+        d_front: DevBuf,
+        s: usize,
+        k: usize,
+        sp: usize,
+        stage_len: usize,
+        copy_optimized: bool,
+    },
+}
+
+/// Phase-2 output: what the final host block must clean up.
+#[derive(Debug)]
+struct FinishPlan {
+    done: Event,
+    bufs: Vec<DevBuf>,
+    /// Deferred host charge for applying the downloaded update block.
+    apply_bytes: usize,
+}
+
+impl FuPending {
+    fn finished(executed: PolicyKind, oom_fallback: bool) -> Self {
+        FuPending { executed, oom_fallback, state: PendingState::Done }
+    }
+
+    /// Policy that actually ran.
+    pub fn executed(&self) -> PolicyKind {
+        self.executed
+    }
+
+    /// Whether a device OOM forced a P1 fallback.
+    pub fn oom_fallback(&self) -> bool {
+        self.oom_fallback
+    }
+
+    /// Whether every phase has run (nothing outstanding on the device).
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, PendingState::Done)
+    }
+
+    /// The completion event of the front's last download, once phase 2 has
+    /// run and GPU work is still outstanding.
+    pub fn done_event(&self) -> Option<Event> {
+        match &self.state {
+            PendingState::Downloaded(f) => Some(f.done),
+            _ => None,
+        }
+    }
+}
+
+/// Phase 1 with transparent fallback: on a CPU-only machine the F-U runs
+/// as P1; on device OOM it falls back to P1 and flags the outcome. Either
+/// way the returned pending may already be done.
+pub fn dispatch_fu<T: Scalar>(
+    front: &mut Front<'_, T>,
+    policy: PolicyKind,
+    ctx: &mut FuContext<'_>,
+) -> Result<FuPending, FuError> {
+    match try_dispatch_gpu(front, policy, ctx)? {
+        Some(p) => Ok(p),
+        None => {
+            fu_p1(front, ctx)?;
+            Ok(FuPending::finished(PolicyKind::P1, true))
+        }
+    }
+}
+
+/// Phase 1: enqueue all uploads and compute kernels for `front` under
+/// `policy`. Returns `Ok(None)` on device OOM *without* falling back — the
+/// pipelined driver drains its in-flight fronts (releasing device memory)
+/// and retries before accepting a P1 fallback, so its fallback decisions
+/// match the drain-per-front driver's.
+pub fn try_dispatch_gpu<T: Scalar>(
+    front: &mut Front<'_, T>,
+    policy: PolicyKind,
+    ctx: &mut FuContext<'_>,
+) -> Result<Option<FuPending>, FuError> {
     if let Some(w) = ctx.kernel_threads {
         // Process-global cap: concurrent tasks each set their own width and
         // the last store wins for kernels launched after it — a benign race
@@ -104,19 +245,129 @@ pub fn execute_fu<T: Scalar>(
     let attempt = match requested {
         PolicyKind::P1 => {
             fu_p1(front, ctx)?;
-            return Ok(FuOutcome { executed: PolicyKind::P1, oom_fallback: false });
+            return Ok(Some(FuPending::finished(PolicyKind::P1, false)));
         }
-        PolicyKind::P2 => fu_p2(front, ctx),
-        PolicyKind::P3 => fu_p3(front, ctx),
-        PolicyKind::P4 => fu_p4(front, ctx),
+        PolicyKind::P2 => dispatch_p2(front, ctx),
+        PolicyKind::P3 => dispatch_p3(front, ctx),
+        PolicyKind::P4 => dispatch_p4(front, ctx),
     };
     match attempt {
-        Ok(()) => Ok(FuOutcome { executed: requested, oom_fallback: false }),
+        Ok(state) => Ok(Some(FuPending { executed: requested, oom_fallback: false, state })),
         Err(GpuFuError::NotPd(c)) => Err(FuError::NotPositiveDefinite { local_column: c }),
-        Err(GpuFuError::Oom) => {
-            fu_p1(front, ctx)?;
-            Ok(FuOutcome { executed: PolicyKind::P1, oom_fallback: true })
+        Err(GpuFuError::Oom) => Ok(None),
+    }
+}
+
+/// Phase 2: enqueue the device→host downloads (each gated on its
+/// producer's completion event), record the front's `done` event, retire
+/// staging slots guarded by it, and run the host-side numerics that
+/// consume the staged data. No host blocking happens here.
+pub fn enqueue_downloads<T: Scalar>(
+    front: &mut Front<'_, T>,
+    pending: &mut FuPending,
+    ctx: &mut FuContext<'_>,
+) {
+    let plan = match std::mem::replace(&mut pending.state, PendingState::Done) {
+        PendingState::Computed(p) => p,
+        other => {
+            pending.state = other;
+            return;
         }
+    };
+    let timing = ctx.timing_only;
+    let (host, gpu, pool) = split_ctx(ctx);
+    let finish = match plan {
+        DownloadPlan::P2 { d_l2, d_w, m, sp, su, chunks } => {
+            let copy = gpu.stream(S_COPY);
+            let wv = DevMat::whole(d_w, m);
+            for (j0, jb, ev) in chunks {
+                gpu.wait_event(copy, ev);
+                let stage = pool.slot_mut(su);
+                let dst = if timing { &mut [][..] } else { &mut stage[j0 + j0 * m..] };
+                gpu.d2h(copy, wv.offset(j0, j0), m - j0, jb, dst, m, true, CopyMode::Async, host);
+            }
+            let done = gpu.record_event(copy);
+            if !timing {
+                apply_update_numerics(front, &pool.slot(su)[..m * m]);
+            }
+            pool.retire(su, done.0, host);
+            pool.retire(sp, done.0, host);
+            FinishPlan { done, bufs: vec![d_l2, d_w], apply_bytes: update_apply_bytes::<T>(m) }
+        }
+        DownloadPlan::P3 { d_panel, d_l1, d_w, m, k, sp, su, ev_trsm, ev_syrk } => {
+            let copy = gpu.stream(S_COPY);
+            let pv = DevMat::whole(d_panel, m);
+            let wv = DevMat::whole(d_w, m);
+            // Download L₂ — overlaps the syrk still running on the device.
+            gpu.wait_event(copy, ev_trsm);
+            gpu.d2h(copy, pv, m, k, pool.slot_mut(sp), m, true, CopyMode::Async, host);
+            gpu.wait_event(copy, ev_syrk);
+            gpu.d2h(copy, wv, m, m, pool.slot_mut(su), m, true, CopyMode::Async, host);
+            let done = gpu.record_event(copy);
+            if !timing {
+                unstage_block(front, k, 0, m, k, &pool.slot(sp)[..m * k]);
+                apply_update_numerics(front, &pool.slot(su)[..m * m]);
+            }
+            pool.retire(su, done.0, host);
+            pool.retire(sp, done.0, host);
+            FinishPlan {
+                done,
+                bufs: vec![d_panel, d_l1, d_w],
+                apply_bytes: update_apply_bytes::<T>(m),
+            }
+        }
+        DownloadPlan::P4 { d_front, s, k, sp, stage_len, copy_optimized } => {
+            let m = s - k;
+            let compute = gpu.stream(S_COMPUTE);
+            let fv = DevMat::whole(d_front, s);
+            if copy_optimized {
+                let dst = if timing { &mut [][..] } else { &mut pool.slot_mut(sp)[..s * k] };
+                gpu.d2h(compute, fv, s, k, dst, s, true, CopyMode::Async, host);
+                if m > 0 {
+                    let dst =
+                        if timing { &mut [][..] } else { &mut pool.slot_mut(sp)[s * k..stage_len] };
+                    gpu.d2h(compute, fv.offset(k, k), m, m, dst, m, true, CopyMode::Async, host);
+                }
+            } else {
+                let dst = if timing { &mut [][..] } else { pool.slot_mut(sp) };
+                gpu.d2h(compute, fv, s, s, dst, s, true, CopyMode::Async, host);
+            }
+            let done = gpu.record_event(compute);
+            if !timing {
+                let stage = &pool.slot(sp)[..stage_len];
+                if copy_optimized {
+                    unstage_block(front, 0, 0, s, k, &stage[..s * k]);
+                    if m > 0 {
+                        unstage_block(front, k, k, m, m, &stage[s * k..]);
+                    }
+                } else {
+                    unstage_block(front, 0, 0, s, s, stage);
+                }
+            }
+            pool.retire(sp, done.0, host);
+            FinishPlan { done, bufs: vec![d_front], apply_bytes: 0 }
+        }
+    };
+    pending.state = PendingState::Downloaded(finish);
+}
+
+/// Phase 3 — the only host block: wait for the front's `done` event, free
+/// its device buffers and land the deferred host charges.
+pub fn finish_fu(pending: &mut FuPending, ctx: &mut FuContext<'_>) {
+    let plan = match std::mem::replace(&mut pending.state, PendingState::Done) {
+        PendingState::Downloaded(p) => p,
+        other => {
+            pending.state = other;
+            return;
+        }
+    };
+    let (host, gpu, _pool) = split_ctx(ctx);
+    gpu.wait_event_host(plan.done, host);
+    for b in plan.bufs {
+        let _ = gpu.free(b);
+    }
+    if plan.apply_bytes > 0 {
+        host.charge_memop(plan.apply_bytes, crate::frontal::ASSEMBLY_BW);
     }
 }
 
@@ -335,25 +586,25 @@ fn unstage_block<T: Scalar>(
 }
 
 /// Apply a device-computed `−L₂·L₂ᵀ` (staged in `w`, `m × m`, lower) to the
-/// front's update block: `U += w`. Charges host time.
-fn apply_update_block<T: Scalar>(
-    front: &mut Front<'_, T>,
-    w: &[f32],
-    host: &mut HostClock,
-    timing_only: bool,
-) {
+/// front's update block: `U += w`. Numerics only — the matching host
+/// charge ([`update_apply_bytes`]) lands in [`finish_fu`], after the host
+/// has actually waited for the download.
+fn apply_update_numerics<T: Scalar>(front: &mut Front<'_, T>, w: &[f32]) {
     let (s, k) = (front.s, front.k);
     let m = s - k;
-    if !timing_only {
-        for j in 0..m {
-            let dst = &mut front.data[(k + j) * s + k + j..(k + j) * s + s];
-            let src = &w[j * m + j..(j + 1) * m];
-            for (d, &v) in dst.iter_mut().zip(src) {
-                *d += T::from_f64(v as f64);
-            }
+    for j in 0..m {
+        let dst = &mut front.data[(k + j) * s + k + j..(k + j) * s + s];
+        let src = &w[j * m + j..(j + 1) * m];
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d += T::from_f64(v as f64);
         }
     }
-    host.charge_memop(m * (m + 1) / 2 * 2 * T::BYTES, crate::frontal::ASSEMBLY_BW);
+}
+
+/// Host bytes touched applying an `m × m` packed lower update (read+write
+/// of the triangle).
+fn update_apply_bytes<T: Scalar>(m: usize) -> usize {
+    m * (m + 1) / 2 * 2 * T::BYTES
 }
 
 /// Destructure the context into independently borrowable pieces. Panics if
@@ -361,24 +612,29 @@ fn apply_update_block<T: Scalar>(
 fn split_ctx<'b>(
     ctx: &'b mut FuContext<'_>,
 ) -> (&'b mut HostClock, &'b mut Gpu, &'b mut PinnedPool) {
-    let machine = &mut *ctx.machine;
-    let host = &mut machine.host;
-    let gpu = machine.gpu.as_mut().expect("GPU policy dispatched on a CPU-only machine");
+    let (host, gpu) =
+        ctx.machine.host_and_gpu().expect("GPU policy dispatched on a CPU-only machine");
     (host, gpu, ctx.pool)
 }
 
 // ----- P2 --------------------------------------------------------------------
 
-fn fu_p2<T: Scalar>(front: &mut Front<'_, T>, ctx: &mut FuContext<'_>) -> Result<(), GpuFuError> {
+fn dispatch_p2<T: Scalar>(
+    front: &mut Front<'_, T>,
+    ctx: &mut FuContext<'_>,
+) -> Result<PendingState, GpuFuError> {
     let (s, k) = (front.s, front.k);
     let m = s - k;
     let timing = ctx.timing_only;
-    cpu_potrf(front, &mut ctx.machine.host, timing)?;
-    cpu_trsm(front, &mut ctx.machine.host, timing);
     if m == 0 {
-        return Ok(());
+        cpu_potrf(front, &mut ctx.machine.host, timing)?;
+        return Ok(PendingState::Done);
     }
 
+    // Allocate before any front mutation: an OOM must leave the front
+    // untouched so the caller can drain in-flight work and retry (or fall
+    // back to P1) without double-factoring the pivot block. Device allocs
+    // charge no simulated time, so the reorder is clock-neutral.
     let (host, gpu, pool) = split_ctx(ctx);
     let d_l2 = gpu.alloc(m * k)?;
     let d_w = match gpu.alloc(m * m) {
@@ -388,30 +644,27 @@ fn fu_p2<T: Scalar>(front: &mut Front<'_, T>, ctx: &mut FuContext<'_>) -> Result
             return Err(GpuFuError::Oom);
         }
     };
+    if let Err(e) = cpu_potrf(front, host, timing) {
+        let _ = gpu.free(d_l2);
+        let _ = gpu.free(d_w);
+        return Err(e.into());
+    }
+    cpu_trsm(front, host, timing);
     let compute = gpu.stream(S_COMPUTE);
-    let copy = gpu.stream(S_COPY);
 
     // Upload L₂ via pinned staging.
-    pool.acquire(SLOT_PANEL, m * k, host);
+    let sp = pool.lease(m * k, host);
     if !timing {
-        stage_block(front, k, 0, m, k, pool.slot_mut(SLOT_PANEL));
+        stage_block(front, k, 0, m, k, pool.slot_mut(sp));
     }
-    gpu.h2d(
-        compute,
-        DevMat::whole(d_l2, m),
-        m,
-        k,
-        pool.slot(SLOT_PANEL),
-        m,
-        true,
-        CopyMode::Async,
-        host,
-    );
+    gpu.h2d(compute, DevMat::whole(d_l2, m), m, k, pool.slot(sp), m, true, CopyMode::Async, host);
 
-    // W = −L₂·L₂ᵀ in block columns, each downloaded while the next computes.
-    pool.acquire(SLOT_UPDATE, m * m, host);
+    // W = −L₂·L₂ᵀ in block columns; each records the event its download
+    // waits on in phase 2.
+    let su = pool.lease(m * m, host);
     let lv = DevMat::whole(d_l2, m);
     let wv = DevMat::whole(d_w, m);
+    let mut chunks = Vec::new();
     let mut j0 = 0;
     while j0 < m {
         let jb = P2_DOWNLOAD_BLOCK.min(m - j0);
@@ -429,32 +682,24 @@ fn fu_p2<T: Scalar>(front: &mut Front<'_, T>, ctx: &mut FuContext<'_>) -> Result
                 host,
             );
         }
-        let ev = gpu.record_event(compute);
-        gpu.wait_event(copy, ev);
-        let stage = pool.slot_mut(SLOT_UPDATE);
-        let dst = if timing { &mut [][..] } else { &mut stage[j0 + j0 * m..] };
-        gpu.d2h(copy, wv.offset(j0, j0), m - j0, jb, dst, m, true, CopyMode::Async, host);
+        chunks.push((j0, jb, gpu.record_event(compute)));
         j0 += jb;
     }
-    gpu.sync_all(host);
-    let _ = gpu.free(d_l2);
-    let _ = gpu.free(d_w);
-
-    let w: &[f32] = if timing { &[] } else { &pool.slot(SLOT_UPDATE)[..m * m] };
-    apply_update_block(front, w, host, timing);
-    pool.release(SLOT_UPDATE, host);
-    pool.release(SLOT_PANEL, host);
-    Ok(())
+    Ok(PendingState::Computed(DownloadPlan::P2 { d_l2, d_w, m, sp, su, chunks }))
 }
 
 // ----- P3 --------------------------------------------------------------------
 
-fn fu_p3<T: Scalar>(front: &mut Front<'_, T>, ctx: &mut FuContext<'_>) -> Result<(), GpuFuError> {
+fn dispatch_p3<T: Scalar>(
+    front: &mut Front<'_, T>,
+    ctx: &mut FuContext<'_>,
+) -> Result<PendingState, GpuFuError> {
     let (s, k) = (front.s, front.k);
     let m = s - k;
     let timing = ctx.timing_only;
     if m == 0 {
-        return Ok(cpu_potrf(front, &mut ctx.machine.host, timing)?);
+        cpu_potrf(front, &mut ctx.machine.host, timing)?;
+        return Ok(PendingState::Done);
     }
     let (host, gpu, pool) = split_ctx(ctx);
     let d_panel = gpu.alloc(m * k)?;
@@ -480,26 +725,27 @@ fn fu_p3<T: Scalar>(front: &mut Front<'_, T>, ctx: &mut FuContext<'_>) -> Result
     let wv = DevMat::whole(d_w, m);
 
     // Upload the unfactored sub-panel A₂ — overlaps the CPU potrf below.
-    pool.acquire(SLOT_PANEL, m * k, host);
+    let sp = pool.lease(m * k, host);
     if !timing {
-        stage_block(front, k, 0, m, k, pool.slot_mut(SLOT_PANEL));
+        stage_block(front, k, 0, m, k, pool.slot_mut(sp));
     }
-    gpu.h2d(copy, pv, m, k, pool.slot(SLOT_PANEL), m, true, CopyMode::Async, host);
+    gpu.h2d(copy, pv, m, k, pool.slot(sp), m, true, CopyMode::Async, host);
 
     // CPU potrf of the pivot block (overlapping the A₂ upload).
     if let Err(e) = cpu_potrf(front, host, timing) {
         let _ = gpu.free(d_panel);
         let _ = gpu.free(d_l1);
         let _ = gpu.free(d_w);
+        pool.retire_now(sp, host);
         return Err(e.into());
     }
 
     // Upload the factored L₁.
-    pool.acquire(SLOT_UPDATE, (k * k).max(m * m), host);
+    let su = pool.lease((k * k).max(m * m), host);
     if !timing {
-        stage_block(front, 0, 0, k, k, pool.slot_mut(SLOT_UPDATE));
+        stage_block(front, 0, 0, k, k, pool.slot_mut(su));
     }
-    gpu.h2d(copy, l1v, k, k, pool.slot(SLOT_UPDATE), k, true, CopyMode::Async, host);
+    gpu.h2d(copy, l1v, k, k, pool.slot(su), k, true, CopyMode::Async, host);
 
     // GPU trsm waits for both uploads (same copy stream ⇒ one event).
     let ev_up = gpu.record_event(copy);
@@ -507,78 +753,43 @@ fn fu_p3<T: Scalar>(front: &mut Front<'_, T>, ctx: &mut FuContext<'_>) -> Result
     gpu.trsm(compute, l1v, k, pv, m, host);
     let ev_trsm = gpu.record_event(compute);
 
-    // Download L₂ (overlaps the syrk below).
-    gpu.wait_event(copy, ev_trsm);
-    gpu.d2h(copy, pv, m, k, pool.slot_mut(SLOT_PANEL), m, true, CopyMode::Async, host);
-
-    // GPU syrk into W (fresh buffer ⇒ zero-initialised ⇒ W = −L₂L₂ᵀ).
+    // GPU syrk into W (fresh buffer ⇒ zero-initialised ⇒ W = −L₂L₂ᵀ). The
+    // L₂ download in phase 2 gates on ev_trsm, so it still overlaps this.
     gpu.syrk(compute, pv, wv, m, k, host);
     let ev_syrk = gpu.record_event(compute);
-    gpu.wait_event(copy, ev_syrk);
-    gpu.d2h(copy, wv, m, m, pool.slot_mut(SLOT_UPDATE), m, true, CopyMode::Async, host);
-
-    gpu.sync_all(host);
-    let _ = gpu.free(d_panel);
-    let _ = gpu.free(d_l1);
-    let _ = gpu.free(d_w);
-
-    // Unstage L₂ into the front, apply U += W — straight out of the pinned
-    // staging slots, no intermediate copies.
-    if !timing {
-        unstage_block(front, k, 0, m, k, &pool.slot(SLOT_PANEL)[..m * k]);
-    }
-    let w: &[f32] = if timing { &[] } else { &pool.slot(SLOT_UPDATE)[..m * m] };
-    apply_update_block(front, w, host, timing);
-    pool.release(SLOT_UPDATE, host);
-    pool.release(SLOT_PANEL, host);
-    Ok(())
+    Ok(PendingState::Computed(DownloadPlan::P3 {
+        d_panel,
+        d_l1,
+        d_w,
+        m,
+        k,
+        sp,
+        su,
+        ev_trsm,
+        ev_syrk,
+    }))
 }
 
 // ----- P4 --------------------------------------------------------------------
 
-fn fu_p4<T: Scalar>(front: &mut Front<'_, T>, ctx: &mut FuContext<'_>) -> Result<(), GpuFuError> {
-    let (s, k) = (front.s, front.k);
+/// Figure 9's panel loop over a device-resident `s × s` front view with
+/// pivot width `k`. Returns the failing front-local column on a
+/// non-positive pivot.
+fn p4_panel_loop(
+    gpu: &mut Gpu,
+    host: &mut HostClock,
+    fv: DevMat,
+    s: usize,
+    k: usize,
+    w: usize,
+) -> Result<(), usize> {
     let m = s - k;
-    let w = ctx.panel_width.max(1);
-    let copy_optimized = ctx.copy_optimized;
-    let timing = ctx.timing_only;
-    let (host, gpu, pool) = split_ctx(ctx);
-    let d_front = gpu.alloc(s * s)?;
     let compute = gpu.stream(S_COMPUTE);
-    let fv = DevMat::whole(d_front, s);
-
-    // Upload. Naive: the whole s×s front. Copy-optimized: only the panel
-    // (s×k) and update (m×m) regions.
-    let stage_len = if copy_optimized { s * k + m * m } else { s * s };
-    pool.acquire(SLOT_PANEL, stage_len, host);
-    let empty: &[f32] = &[];
-    if copy_optimized {
-        if !timing {
-            stage_block(front, 0, 0, s, k, &mut pool.slot_mut(SLOT_PANEL)[..s * k]);
-        }
-        let src = if timing { empty } else { &pool.slot(SLOT_PANEL)[..s * k] };
-        gpu.h2d(compute, fv, s, k, src, s, true, CopyMode::Async, host);
-        if m > 0 {
-            if !timing {
-                stage_block(front, k, k, m, m, &mut pool.slot_mut(SLOT_PANEL)[s * k..stage_len]);
-            }
-            let src = if timing { empty } else { &pool.slot(SLOT_PANEL)[s * k..stage_len] };
-            gpu.h2d(compute, fv.offset(k, k), m, m, src, m, true, CopyMode::Async, host);
-        }
-    } else {
-        if !timing {
-            stage_block(front, 0, 0, s, s, pool.slot_mut(SLOT_PANEL));
-        }
-        gpu.h2d(compute, fv, s, s, pool.slot(SLOT_PANEL), s, true, CopyMode::Async, host);
-    }
-
-    // Figure 9's panel loop.
     let mut p = 0;
     while p < k {
         let wb = w.min(k - p);
         if let Err(col) = gpu.panel_potrf(compute, fv.offset(p, p), wb, host) {
-            let _ = gpu.free(d_front);
-            return Err(GpuFuError::NotPd(p + col));
+            return Err(p + col);
         }
         let rest = s - p - wb;
         if rest > 0 {
@@ -605,37 +816,185 @@ fn fu_p4<T: Scalar>(front: &mut Front<'_, T>, ctx: &mut FuContext<'_>) -> Result
         }
         p += wb;
     }
+    Ok(())
+}
 
-    // Download the results.
+fn dispatch_p4<T: Scalar>(
+    front: &mut Front<'_, T>,
+    ctx: &mut FuContext<'_>,
+) -> Result<PendingState, GpuFuError> {
+    let (s, k) = (front.s, front.k);
+    let m = s - k;
+    let w = ctx.panel_width.max(1);
+    let copy_optimized = ctx.copy_optimized;
+    let timing = ctx.timing_only;
+    let (host, gpu, pool) = split_ctx(ctx);
+    let d_front = gpu.alloc(s * s)?;
+    let compute = gpu.stream(S_COMPUTE);
+    let fv = DevMat::whole(d_front, s);
+
+    // Upload. Naive: the whole s×s front. Copy-optimized: only the panel
+    // (s×k) and update (m×m) regions.
+    let stage_len = if copy_optimized { s * k + m * m } else { s * s };
+    let sp = pool.lease(stage_len, host);
+    let empty: &[f32] = &[];
     if copy_optimized {
-        let dst = if timing { &mut [][..] } else { &mut pool.slot_mut(SLOT_PANEL)[..s * k] };
-        gpu.d2h(compute, fv, s, k, dst, s, true, CopyMode::Async, host);
+        if !timing {
+            stage_block(front, 0, 0, s, k, &mut pool.slot_mut(sp)[..s * k]);
+        }
+        let src = if timing { empty } else { &pool.slot(sp)[..s * k] };
+        gpu.h2d(compute, fv, s, k, src, s, true, CopyMode::Async, host);
         if m > 0 {
-            let dst =
-                if timing { &mut [][..] } else { &mut pool.slot_mut(SLOT_PANEL)[s * k..stage_len] };
-            gpu.d2h(compute, fv.offset(k, k), m, m, dst, m, true, CopyMode::Async, host);
+            if !timing {
+                stage_block(front, k, k, m, m, &mut pool.slot_mut(sp)[s * k..stage_len]);
+            }
+            let src = if timing { empty } else { &pool.slot(sp)[s * k..stage_len] };
+            gpu.h2d(compute, fv.offset(k, k), m, m, src, m, true, CopyMode::Async, host);
         }
     } else {
-        let dst = if timing { &mut [][..] } else { pool.slot_mut(SLOT_PANEL) };
-        gpu.d2h(compute, fv, s, s, dst, s, true, CopyMode::Async, host);
+        if !timing {
+            stage_block(front, 0, 0, s, s, pool.slot_mut(sp));
+        }
+        gpu.h2d(compute, fv, s, s, pool.slot(sp), s, true, CopyMode::Async, host);
     }
-    gpu.sync_all(host);
-    let _ = gpu.free(d_front);
 
-    // Unstage into the host front, straight out of the staging slot.
+    if let Err(col) = p4_panel_loop(gpu, host, fv, s, k, w) {
+        let _ = gpu.free(d_front);
+        pool.retire_now(sp, host);
+        return Err(GpuFuError::NotPd(col));
+    }
+    Ok(PendingState::Computed(DownloadPlan::P4 { d_front, s, k, sp, stage_len, copy_optimized }))
+}
+
+// ----- batched small-front dispatch ------------------------------------------
+
+/// Error from a batched dispatch, attributing the failure to one member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchError {
+    /// Index into the dispatched run.
+    pub member: usize,
+    /// The underlying F-U failure.
+    pub error: FuError,
+}
+
+/// A batched dispatch of consecutive small GPU-eligible fronts: one device
+/// allocation, one upload and one download cover the whole run, amortising
+/// the launch and PCIe latency that per-front dispatch pays once per
+/// member. Members run the naive (whole-front) P4 plan back to back, so
+/// per-member kernel sequences — and therefore numerics — are identical to
+/// single dispatch.
+#[derive(Debug)]
+pub struct FuBatchPending {
+    d_all: DevBuf,
+    slot: usize,
+    total: usize,
+    /// `(base, s, k)` per member, in dispatch order.
+    members: Vec<(usize, usize, usize)>,
+}
+
+impl FuBatchPending {
+    /// Number of fronts in the batch.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the batch is empty (never true for a dispatched batch).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Phase 1 for a run of fronts: stage every member into one leased slot,
+/// upload with a single h2d, then enqueue each member's Figure-9 panel
+/// loop. Returns `Ok(None)` if the combined device allocation OOMs (the
+/// caller drains and retries member-by-member).
+pub fn try_dispatch_gpu_batch<T: Scalar>(
+    fronts: &mut [Front<'_, T>],
+    ctx: &mut FuContext<'_>,
+) -> Result<Option<FuBatchPending>, BatchError> {
+    let w = ctx.panel_width.max(1);
+    let timing = ctx.timing_only;
+    let (host, gpu, pool) = split_ctx(ctx);
+    let mut members = Vec::with_capacity(fronts.len());
+    let mut total = 0usize;
+    for f in fronts.iter() {
+        members.push((total, f.s, f.k));
+        total += f.s * f.s;
+    }
+    let d_all = match gpu.alloc(total) {
+        Ok(b) => b,
+        Err(_) => return Ok(None),
+    };
+    let slot = pool.lease(total, host);
     if !timing {
-        let stage = &pool.slot(SLOT_PANEL)[..stage_len];
-        if copy_optimized {
-            unstage_block(front, 0, 0, s, k, &stage[..s * k]);
-            if m > 0 {
-                unstage_block(front, k, k, m, m, &stage[s * k..]);
-            }
-        } else {
-            unstage_block(front, 0, 0, s, s, stage);
+        for (f, &(base, s, _)) in fronts.iter().zip(&members) {
+            stage_block(f, 0, 0, s, s, &mut pool.slot_mut(slot)[base..base + s * s]);
         }
     }
-    pool.release(SLOT_PANEL, host);
-    Ok(())
+    let compute = gpu.stream(S_COMPUTE);
+    gpu.h2d(
+        compute,
+        DevMat::whole(d_all, total),
+        total,
+        1,
+        pool.slot(slot),
+        total,
+        true,
+        CopyMode::Async,
+        host,
+    );
+    for (i, &(base, s, k)) in members.iter().enumerate() {
+        let fv = DevMat { buf: d_all, off: base, ld: s };
+        if let Err(col) = p4_panel_loop(gpu, host, fv, s, k, w) {
+            let _ = gpu.free(d_all);
+            pool.retire_now(slot, host);
+            return Err(BatchError {
+                member: i,
+                error: FuError::NotPositiveDefinite { local_column: col },
+            });
+        }
+    }
+    Ok(Some(FuBatchPending { d_all, slot, total, members }))
+}
+
+/// Phase 2 for a batch: one download covers the whole run, then every
+/// member unstages from its sub-range of the slot. Returns a pending that
+/// [`finish_fu`] drains exactly like a single dispatch.
+pub fn enqueue_batch_downloads<T: Scalar>(
+    fronts: &mut [Front<'_, T>],
+    batch: FuBatchPending,
+    ctx: &mut FuContext<'_>,
+) -> FuPending {
+    let timing = ctx.timing_only;
+    let (host, gpu, pool) = split_ctx(ctx);
+    let FuBatchPending { d_all, slot, total, members } = batch;
+    let compute = gpu.stream(S_COMPUTE);
+    {
+        let dst = if timing { &mut [][..] } else { &mut pool.slot_mut(slot)[..total] };
+        gpu.d2h(
+            compute,
+            DevMat::whole(d_all, total),
+            total,
+            1,
+            dst,
+            total,
+            true,
+            CopyMode::Async,
+            host,
+        );
+    }
+    let done = gpu.record_event(compute);
+    if !timing {
+        for (f, &(base, s, _)) in fronts.iter_mut().zip(&members) {
+            unstage_block(f, 0, 0, s, s, &pool.slot(slot)[base..base + s * s]);
+        }
+    }
+    pool.retire(slot, done.0, host);
+    FuPending {
+        executed: PolicyKind::P4,
+        oom_fallback: false,
+        state: PendingState::Downloaded(FinishPlan { done, bufs: vec![d_all], apply_bytes: 0 }),
+    }
 }
 
 #[cfg(test)]

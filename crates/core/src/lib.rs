@@ -42,11 +42,16 @@ pub mod stats;
 
 pub use arena::FrontArena;
 pub use factor::{
-    factor_permuted, CholeskyFactor, FactorError, FactorOptions, FrontStorage, PolicySelector,
+    factor_permuted, CholeskyFactor, FactorError, FactorOptions, FrontStorage, PipelineOptions,
+    PolicySelector,
 };
 pub use features::{raw_features, LinearPolicyModel, NUM_FEATURES};
 pub use frontal::{ChildUpdate, Front};
-pub use fu::{estimate_fu_time, execute_fu, FuContext, FuError, FuOutcome, DEFAULT_PANEL_WIDTH};
+pub use fu::{
+    dispatch_fu, enqueue_batch_downloads, enqueue_downloads, estimate_fu_time, execute_fu,
+    finish_fu, try_dispatch_gpu, try_dispatch_gpu_batch, BatchError, FuBatchPending, FuContext,
+    FuError, FuOutcome, FuPending, DEFAULT_PANEL_WIDTH,
+};
 pub use parallel::{
     durations_by_supernode, factor_permuted_parallel, simulate_tree_schedule, MoldableModel,
     ParallelOptions, ScheduleResult,
@@ -61,7 +66,7 @@ pub use stats::{FactorStats, FuRecord};
 
 /// Convenient glob-import of the solver-facing API.
 pub mod prelude {
-    pub use crate::factor::{FactorOptions, PolicySelector};
+    pub use crate::factor::{FactorOptions, PipelineOptions, PolicySelector};
     pub use crate::policy::{BaselineThresholds, PolicyKind};
     pub use crate::solver::{
         Precision, RefactorError, RefineStop, RefinedManySolution, RefinedSolution, SolverOptions,

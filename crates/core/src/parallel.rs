@@ -21,12 +21,20 @@
 //! `factor_parallel` bench writes both curves side by side
 //! (`BENCH_factor.json`) so the simulated speedups stay honest.
 
-use crate::factor::{process_supernode, CholeskyFactor, FactorError, FactorOptions, FrontStorage};
-use crate::frontal::{copy_update_packed, ChildUpdate};
+use crate::factor::{
+    fu_err_to_factor, process_supernode, CholeskyFactor, FactorError, FactorOptions, FrontStorage,
+};
+use crate::frontal::{
+    assemble_front_into, charge_panel_extract, charge_update_extract, copy_update_packed,
+    extract_panel_copy, extract_panel_into, ChildUpdate,
+};
+use crate::fu::{
+    dispatch_fu, enqueue_downloads, finish_fu, try_dispatch_gpu, FuContext, FuPending,
+};
 use crate::pinned_pool::PinnedPool;
 use crate::stats::{FactorStats, FuRecord};
 use mf_dense::{FuFlops, Scalar};
-use mf_gpusim::Machine;
+use mf_gpusim::{GpuUtilization, Machine};
 use mf_runtime::{Runtime, TaskGraph, ThreadBudget};
 use mf_sparse::symbolic::SymbolicFactor;
 use mf_sparse::{Permutation, SymCsc};
@@ -217,6 +225,35 @@ struct WorkerCtx<'m, T> {
     peak_front: usize,
     /// Front-storage heap allocations this worker performed.
     allocs: u64,
+    /// Pipelined mode: this worker's fronts with downloads still
+    /// outstanding on its own device — `(sn, pending, (s, k, m))`, oldest
+    /// first. Data is already extracted (the simulator computes numerics
+    /// eagerly); only the d2h completion wait and the extraction charges
+    /// are deferred.
+    inflight: Vec<(usize, FuPending, (usize, usize, usize))>,
+}
+
+/// Finish one of a worker's in-flight fronts: host waits on its `done`
+/// event, device buffers free, and the deferred extraction charges land in
+/// the drain driver's per-front order.
+fn finish_worker_inflight<T: Scalar>(
+    machine: &mut Machine,
+    pool: &mut PinnedPool,
+    opts: &FactorOptions,
+    mut pending: FuPending,
+    (s, k, m): (usize, usize, usize),
+) {
+    let mut ctx = FuContext {
+        machine: &mut *machine,
+        pool,
+        panel_width: opts.panel_width,
+        copy_optimized: opts.copy_optimized,
+        timing_only: false,
+        kernel_threads: None,
+    };
+    finish_fu(&mut pending, &mut ctx);
+    charge_panel_extract::<T>(s, k, &mut machine.host);
+    charge_update_extract::<T>(m, &mut machine.host);
 }
 
 /// Raw-pointer view of the factor slab letting workers write their
@@ -310,10 +347,15 @@ pub fn factor_permuted_parallel<T: Scalar>(
     let budget = ThreadBudget::new(par.thread_budget);
     let saved_cap = mf_dense::thread_cap();
 
+    // Pipelined dispatch (per worker, against its own device). Per-call
+    // records are not collected in this mode — with fronts overlapping on
+    // the device, per-front time attribution is ill-defined.
+    let pipelined = opts.pipeline.enabled;
+
     let states: Vec<WorkerCtx<'_, T>> = machines
         .iter_mut()
         .map(|machine| {
-            machine.set_recording(opts.record_stats);
+            machine.set_recording(opts.record_stats && !(pipelined && machine.gpu.is_some()));
             let pool =
                 if opts.pinned_reuse { PinnedPool::new(2) } else { PinnedPool::without_reuse(2) };
             WorkerCtx {
@@ -325,6 +367,7 @@ pub fn factor_permuted_parallel<T: Scalar>(
                 rel: Vec::new(),
                 peak_front: 0,
                 allocs: 0,
+                inflight: Vec::new(),
             }
         })
         .collect();
@@ -341,6 +384,22 @@ pub fn factor_permuted_parallel<T: Scalar>(
         // surfaced as a structured error (still selected by minimal
         // postorder rank below) rather than a cascading panic.
         let kids = &symbolic.children[sn];
+        if pipelined && st.machine.gpu.is_some() {
+            // Event-wait on this worker's in-flight fronts that are
+            // children of `sn` — a wait on each child's d2h completion
+            // event, not a device drain. Children run by other workers
+            // carry no timing edge here: worker timelines are independent,
+            // exactly as in the drain parallel driver.
+            let mut j = 0;
+            while j < st.inflight.len() {
+                if kids.contains(&st.inflight[j].0) {
+                    let (_, pending, dims) = st.inflight.remove(j);
+                    finish_worker_inflight::<T>(st.machine, &mut st.pool, opts, pending, dims);
+                } else {
+                    j += 1;
+                }
+            }
+        }
         let mut child_bufs: Vec<(usize, Vec<T>)> = Vec::with_capacity(kids.len());
         for &c in kids {
             let taken = updates[c].lock().unwrap_or_else(|poison| poison.into_inner()).take();
@@ -379,6 +438,110 @@ pub fn factor_permuted_parallel<T: Scalar>(
             ChildUpdate { rows: ci.update_rows(), data: &d[..cm * cm] }
         });
         let width = budget.begin();
+        if pipelined && st.machine.gpu.is_some() {
+            // Pipelined per-worker dispatch: phases 1+2 run here; the
+            // host-blocking phase 3 is deferred until a dependent task, the
+            // depth limit, or the end-of-run drain forces it — so this
+            // worker's CPU work on later tasks overlaps its own device.
+            let mut front = assemble_front_into(
+                a,
+                info,
+                children,
+                &mut *front_data,
+                &mut st.rel,
+                &mut st.machine.host,
+            );
+            let policy = opts.selector.choose(sn, m, k);
+            let dispatched = {
+                let mut ctx = FuContext {
+                    machine: &mut *st.machine,
+                    pool: &mut st.pool,
+                    panel_width: opts.panel_width,
+                    copy_optimized: opts.copy_optimized,
+                    timing_only: false,
+                    kernel_threads: Some(width),
+                };
+                try_dispatch_gpu(&mut front, policy, &mut ctx)
+            };
+            let dispatched = match dispatched {
+                Ok(d) => d,
+                Err(e) => {
+                    budget.end();
+                    return Err(fu_err_to_factor(info.col_start, e));
+                }
+            };
+            let mut pending = match dispatched {
+                Some(p) => p,
+                None => {
+                    // Device OOM: reach the drain driver's empty-device
+                    // state on this worker's device before retrying, so
+                    // P1-fallback decisions match it.
+                    while !st.inflight.is_empty() {
+                        let (_, p, dims) = st.inflight.remove(0);
+                        finish_worker_inflight::<T>(st.machine, &mut st.pool, opts, p, dims);
+                    }
+                    let retried = {
+                        let mut ctx = FuContext {
+                            machine: &mut *st.machine,
+                            pool: &mut st.pool,
+                            panel_width: opts.panel_width,
+                            copy_optimized: opts.copy_optimized,
+                            timing_only: false,
+                            kernel_threads: Some(width),
+                        };
+                        dispatch_fu(&mut front, policy, &mut ctx)
+                    };
+                    match retried {
+                        Ok(p) => p,
+                        Err(e) => {
+                            budget.end();
+                            return Err(fu_err_to_factor(info.col_start, e));
+                        }
+                    }
+                }
+            };
+            {
+                let mut ctx = FuContext {
+                    machine: &mut *st.machine,
+                    pool: &mut st.pool,
+                    panel_width: opts.panel_width,
+                    copy_optimized: opts.copy_optimized,
+                    timing_only: false,
+                    kernel_threads: Some(width),
+                };
+                enqueue_downloads(&mut front, &mut pending, &mut ctx);
+            }
+            budget.end();
+            if pending.oom_fallback() {
+                st.oom += 1;
+            }
+            // Extract now — the data exists (the simulator computes
+            // numerics eagerly at enqueue); only time is outstanding. The
+            // charge split matches the serial pipelined driver: inline for
+            // fronts with nothing outstanding, deferred to finish for the
+            // rest.
+            let outstanding = !pending.is_done();
+            if outstanding {
+                extract_panel_copy(&front, panel_out);
+            } else {
+                extract_panel_into(&front, panel_out, &mut st.machine.host);
+                charge_update_extract::<T>(m, &mut st.machine.host);
+            }
+            if m > 0 {
+                st.allocs += 1;
+                let mut u = vec![T::ZERO; m * m];
+                copy_update_packed(front_data, s, k, &mut u);
+                *updates[sn].lock().unwrap_or_else(|poison| poison.into_inner()) = Some(u);
+            }
+            if outstanding {
+                st.inflight.push((sn, pending, (s, k, m)));
+                while st.inflight.len() > opts.pipeline.depth {
+                    let (_, p, dims) = st.inflight.remove(0);
+                    finish_worker_inflight::<T>(st.machine, &mut st.pool, opts, p, dims);
+                }
+            }
+            return Ok(());
+        }
         let out = process_supernode(
             a,
             symbolic,
@@ -413,6 +576,16 @@ pub fn factor_permuted_parallel<T: Scalar>(
     // restore whatever the caller had configured.
     mf_dense::set_num_threads(saved_cap);
 
+    // Pipelined mode: drain any fronts still in flight (timing only — the
+    // data landed at enqueue time), so per-worker clocks include their d2h
+    // completions.
+    for st in states.iter_mut() {
+        while !st.inflight.is_empty() {
+            let (_, p, dims) = st.inflight.remove(0);
+            finish_worker_inflight::<T>(st.machine, &mut st.pool, opts, p, dims);
+        }
+    }
+
     // front_alloc_events starts at 1 for the factor slab.
     let mut stats = FactorStats { front_alloc_events: 1, ..Default::default() };
     for st in states.iter_mut() {
@@ -422,6 +595,19 @@ pub fn factor_permuted_parallel<T: Scalar>(
         stats.front_alloc_events += st.allocs;
         st.machine.set_recording(false);
     }
+    // Aggregate GPU engine accounting across worker devices, measured
+    // against the run's makespan (busy seconds sum; `gpus` counts devices,
+    // so utilization stays normalised per engine).
+    stats.gpu = states.iter().fold(None::<GpuUtilization>, |acc, st| {
+        match (acc, st.machine.gpu.as_ref()) {
+            (None, Some(g)) => Some(g.utilization(stats.total_time)),
+            (Some(mut u), Some(g)) => {
+                u.merge(&g.utilization(stats.total_time));
+                Some(u)
+            }
+            (acc, None) => acc,
+        }
+    });
     // On failure report the error the serial driver would have hit first
     // (minimal postorder rank), so error surfacing is deterministic too.
     if let Some((_, err)) = errors.into_iter().min_by_key(|(sn, _)| rank[*sn]) {
@@ -614,6 +800,48 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, crate::FactorError::NotPositiveDefinite { column: 3 });
+    }
+
+    #[test]
+    fn parallel_pipelined_is_bitwise_drain() {
+        use crate::factor::PipelineOptions;
+        use crate::policy::PolicyKind;
+        let a = laplacian_3d(6, 6, 5, Stencil::Faces);
+        let analysis =
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        let drain =
+            FactorOptions { selector: PolicySelector::Fixed(PolicyKind::P4), ..Default::default() };
+        let piped = FactorOptions { pipeline: PipelineOptions::pipelined(), ..drain.clone() };
+        let mut serial = Machine::paper_node();
+        let (fs, _) = factor_permuted(
+            &analysis.permuted.0,
+            &analysis.symbolic,
+            &analysis.perm,
+            &mut serial,
+            &drain,
+        )
+        .unwrap();
+        for w in [1usize, 2, 4] {
+            let mut ms = machines(w);
+            let (fp, sp) = factor_permuted_parallel(
+                &analysis.permuted.0,
+                &analysis.symbolic,
+                &analysis.perm,
+                &mut ms,
+                &piped,
+                &ParallelOptions { thread_budget: 2 },
+            )
+            .unwrap();
+            assert_eq!(fs.slab.len(), fp.slab.len());
+            assert!(
+                fs.slab.iter().zip(&fp.slab).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "pipelined parallel ({w} workers) must be bitwise-identical to serial drain"
+            );
+            let gpu = sp.gpu.expect("GPU utilization must be aggregated");
+            assert_eq!(gpu.gpus, w, "one device per worker");
+            assert!(gpu.busy_fraction() > 0.0 && gpu.busy_fraction() <= 1.0 + 1e-9);
+            assert!(sp.total_time > 0.0);
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use crate::policy::PolicyKind;
 use mf_dense::FuFlops;
-use mf_gpusim::{Component, KernelKind, ProfileRecord};
+use mf_gpusim::{Component, GpuUtilization, KernelKind, ProfileRecord};
 
 /// Timing breakdown of one factor-update call.
 #[derive(Debug, Clone, Copy)]
@@ -91,6 +91,11 @@ pub struct FactorStats {
     /// slab plus the arena; the parallel driver adds per-worker front
     /// buffer growths and one transient buffer per cross-worker update.
     pub front_alloc_events: u64,
+    /// GPU engine busy/idle accounting over the run, measured against
+    /// `total_time`. `None` on CPU-only machines. Parallel runs aggregate
+    /// one entry per worker device (busy seconds summed, `gpus` counted),
+    /// so utilization stays normalised per engine.
+    pub gpu: Option<GpuUtilization>,
 }
 
 impl FactorStats {

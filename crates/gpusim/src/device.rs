@@ -19,7 +19,7 @@
 use crate::calib::{exact_ops, GpuConfig, KernelKind};
 use crate::host::HostClock;
 use crate::memory::{DevBuf, DevMat, DeviceMemory, DeviceOom, InvalidBuffer};
-use crate::profile::{Component, ProfileRecord};
+use crate::profile::{Component, GpuUtilization, ProfileRecord};
 use mf_dense::potrf_unblocked;
 use mf_dense::{gemm, syrk_lower, trsm_right_lower_trans, Transpose};
 
@@ -49,6 +49,14 @@ pub struct Gpu {
     streams: Vec<f64>,
     compute_free: f64,
     copy_free: f64,
+    /// Accumulated busy time of the compute engine since the last clock
+    /// reset (Σ kernel durations — the engine never overlaps with itself).
+    compute_busy: f64,
+    /// Accumulated busy time of the single copy engine.
+    copy_busy: f64,
+    /// Accumulated busy time charged through each stream (kernels + copies
+    /// issued on it), indexed like `streams`.
+    stream_busy: Vec<f64>,
     records: Vec<ProfileRecord>,
     recording: bool,
 }
@@ -63,6 +71,9 @@ impl Gpu {
             streams: vec![0.0],
             compute_free: 0.0,
             copy_free: 0.0,
+            compute_busy: 0.0,
+            copy_busy: 0.0,
+            stream_busy: vec![0.0],
             records: Vec::new(),
             recording: false,
         }
@@ -81,6 +92,7 @@ impl Gpu {
     /// Create an additional stream.
     pub fn create_stream(&mut self) -> Stream {
         self.streams.push(0.0);
+        self.stream_busy.push(0.0);
         Stream(self.streams.len() - 1)
     }
 
@@ -90,6 +102,7 @@ impl Gpu {
     pub fn stream(&mut self, idx: usize) -> Stream {
         while self.streams.len() <= idx {
             self.streams.push(0.0);
+            self.stream_busy.push(0.0);
         }
         Stream(idx)
     }
@@ -167,6 +180,21 @@ impl Gpu {
         }
     }
 
+    /// Non-blocking event query: has `event` completed by host time `at`?
+    /// Advances nothing — the pipelined dispatch layer uses this to decide
+    /// whether a staging generation can be recycled without stalling.
+    pub fn event_query(&self, event: Event, at: f64) -> bool {
+        event.0 <= at
+    }
+
+    /// Block the host until `event` completes — a targeted wait on one
+    /// dependency, unlike [`Self::sync_all`] which drains every engine.
+    /// This is the primitive that lets a parent front's extend-add wait on
+    /// exactly its child's d2h completion.
+    pub fn wait_event_host(&self, event: Event, host: &mut HostClock) {
+        host.sync_to(event.0);
+    }
+
     /// Block the host until `stream` drains.
     pub fn sync_stream(&mut self, stream: Stream, host: &mut HostClock) {
         host.sync_to(self.streams[stream.0]);
@@ -181,6 +209,27 @@ impl Gpu {
     /// Completion time of the latest work on `stream` (for schedulers).
     pub fn stream_tail(&self, stream: Stream) -> f64 {
         self.streams[stream.0]
+    }
+
+    /// Accumulated compute-engine busy time since the last clock reset.
+    pub fn compute_busy(&self) -> f64 {
+        self.compute_busy
+    }
+
+    /// Accumulated copy-engine busy time since the last clock reset.
+    pub fn copy_busy(&self) -> f64 {
+        self.copy_busy
+    }
+
+    /// Accumulated busy time of work issued on `stream`.
+    pub fn stream_busy(&self, stream: Stream) -> f64 {
+        self.stream_busy[stream.0]
+    }
+
+    /// Engine busy/idle accounting over a span of `span` simulated seconds
+    /// (typically the run's makespan).
+    pub fn utilization(&self, span: f64) -> GpuUtilization {
+        GpuUtilization { compute_busy: self.compute_busy, copy_busy: self.copy_busy, span, gpus: 1 }
     }
 
     // ----- transfers ------------------------------------------------------
@@ -262,6 +311,8 @@ impl Gpu {
         let end = start + dur;
         self.streams[stream.0] = end;
         self.copy_free = end;
+        self.copy_busy += dur;
+        self.stream_busy[stream.0] += dur;
         match mode {
             CopyMode::Sync => host.sync_to(end),
             CopyMode::Async => host.charge_issue(),
@@ -300,6 +351,8 @@ impl Gpu {
         let end = start + dur;
         self.streams[stream.0] = end;
         self.compute_free = end;
+        self.compute_busy += dur;
+        self.stream_busy[stream.0] += dur;
         host.charge_issue();
         if self.recording {
             self.records.push(ProfileRecord {
@@ -426,8 +479,13 @@ impl Gpu {
         for s in &mut self.streams {
             *s = 0.0;
         }
+        for b in &mut self.stream_busy {
+            *b = 0.0;
+        }
         self.compute_free = 0.0;
         self.copy_free = 0.0;
+        self.compute_busy = 0.0;
+        self.copy_busy = 0.0;
         self.records.clear();
     }
 }
@@ -631,6 +689,59 @@ mod tests {
         // Zero matrix is not PD.
         let err = gpu.panel_potrf(s0, v, 4, &mut host).unwrap_err();
         assert_eq!(err, 0);
+    }
+
+    #[test]
+    fn event_query_is_non_blocking() {
+        let (mut gpu, mut host) = setup();
+        let buf = gpu.alloc(64 * 64).unwrap();
+        let s0 = gpu.default_stream();
+        let v = DevMat::whole(buf, 64);
+        gpu.syrk(s0, v, v, 64, 32, &mut host);
+        let ev = gpu.record_event(s0);
+        let before = host.now();
+        assert!(!gpu.event_query(ev, before), "kernel cannot have finished at issue time");
+        assert!(gpu.event_query(ev, ev.0), "event completes exactly at its recorded time");
+        assert_eq!(host.now(), before, "querying must not advance the host clock");
+    }
+
+    #[test]
+    fn wait_event_host_blocks_to_event_not_device() {
+        let (mut gpu, mut host) = setup();
+        let buf = gpu.alloc(1 << 20).unwrap();
+        let s0 = gpu.default_stream();
+        let s1 = gpu.create_stream();
+        let v = DevMat::whole(buf, 1 << 10);
+        // Short kernel on s0, long kernel on s1.
+        gpu.syrk(s0, v, v, 32, 16, &mut host);
+        let ev = gpu.record_event(s0);
+        gpu.syrk(s1, v, v, 1 << 10, 512, &mut host);
+        gpu.wait_event_host(ev, &mut host);
+        assert!((host.now() - ev.0).abs() < 1e-15, "host waits exactly to the event");
+        assert!(host.now() < gpu.stream_tail(s1), "the long kernel is still in flight");
+    }
+
+    #[test]
+    fn engine_busy_accounting_accumulates_and_resets() {
+        let (mut gpu, mut host) = setup();
+        let buf = gpu.alloc(1 << 18).unwrap();
+        let s0 = gpu.default_stream();
+        let v = DevMat::whole(buf, 1 << 9);
+        let data = vec![0.0f32; 1 << 18];
+        gpu.syrk(s0, v, v, 256, 128, &mut host);
+        gpu.h2d(s0, v, 1 << 9, 256, &data, 1 << 9, true, CopyMode::Async, &mut host);
+        let kb = gpu.compute_busy();
+        let cb = gpu.copy_busy();
+        assert!(kb > 0.0 && cb > 0.0);
+        assert!((gpu.stream_busy(s0) - (kb + cb)).abs() < 1e-15);
+        gpu.sync_all(&mut host);
+        let u = gpu.utilization(host.now());
+        assert!(u.compute_utilization() > 0.0 && u.compute_utilization() <= 1.0);
+        assert!(u.busy_fraction() <= 1.0 + 1e-12);
+        gpu.reset_clock();
+        assert_eq!(gpu.compute_busy(), 0.0);
+        assert_eq!(gpu.copy_busy(), 0.0);
+        assert_eq!(gpu.stream_busy(s0), 0.0);
     }
 
     #[test]

@@ -112,6 +112,13 @@ impl HostClock {
         dur
     }
 
+    /// What [`Self::alloc_pinned`] would charge for `bytes`, without
+    /// performing it — lets the staging pool weigh growing a new pinned
+    /// generation against waiting for an in-flight one to complete.
+    pub fn pinned_alloc_cost(&self, bytes: usize) -> f64 {
+        self.cfg.pinned_alloc.time(bytes)
+    }
+
     /// Allocate pinned host memory: charges the allocation cost and tracks
     /// the footprint. Returns the duration charged.
     pub fn alloc_pinned(&mut self, bytes: usize) -> f64 {

@@ -31,7 +31,19 @@ pub use calib::{
 pub use device::{CopyMode, Event, Gpu, Stream};
 pub use host::{HostClock, ISSUE_OVERHEAD};
 pub use memory::{DevBuf, DevMat, DeviceOom, InvalidBuffer};
-pub use profile::{Component, ProfileRecord, ProfileSummary};
+pub use profile::{Component, GpuUtilization, ProfileRecord, ProfileSummary};
+
+/// An operation that needs a device ran on a machine without one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoGpu;
+
+impl core::fmt::Display for NoGpu {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "machine has no GPU")
+    }
+}
+
+impl std::error::Error for NoGpu {}
 
 /// A host/device pair with aligned virtual timelines — the "machine" on
 /// which a factorization executes. Multi-GPU configurations hold one
@@ -59,6 +71,25 @@ impl Machine {
     /// The paper's experimental node: one Xeon 5160 core + one Tesla T10.
     pub fn paper_node() -> Self {
         Machine::with_gpu(calib::xeon_5160_core(), calib::tesla_t10())
+    }
+
+    /// Shared access to the device, or [`NoGpu`] on a CPU-only machine.
+    pub fn gpu_ref(&self) -> Result<&Gpu, NoGpu> {
+        self.gpu.as_ref().ok_or(NoGpu)
+    }
+
+    /// Exclusive access to the device, or [`NoGpu`] on a CPU-only machine.
+    pub fn gpu_mut(&mut self) -> Result<&mut Gpu, NoGpu> {
+        self.gpu.as_mut().ok_or(NoGpu)
+    }
+
+    /// Split-borrow both timelines at once — GPU enqueue calls need
+    /// `&mut Gpu` and `&mut HostClock` simultaneously.
+    pub fn host_and_gpu(&mut self) -> Result<(&mut HostClock, &mut Gpu), NoGpu> {
+        match self.gpu.as_mut() {
+            Some(g) => Ok((&mut self.host, g)),
+            None => Err(NoGpu),
+        }
     }
 
     /// Total elapsed simulated time (host view, after a full sync).
@@ -117,14 +148,30 @@ mod tests {
         let mut m = Machine::paper_node();
         m.set_recording(true);
         m.host.charge_kernel(KernelKind::Potrf, 0, 64, 0);
-        let gpu = m.gpu.as_mut().unwrap();
+        let (host, gpu) = m.host_and_gpu().unwrap();
         let buf = gpu.alloc(64 * 64).unwrap();
         let s0 = gpu.default_stream();
         let v = DevMat::whole(buf, 64);
-        gpu.syrk(s0, v, v, 64, 32, &mut m.host);
+        gpu.syrk(s0, v, v, 64, 32, host);
         let recs = m.take_records();
         assert_eq!(recs.len(), 2);
         assert!(recs.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+
+    #[test]
+    fn gpu_accessors_surface_no_gpu() {
+        let mut m = Machine::cpu_only(xeon_5160_core());
+        assert_eq!(m.gpu_ref().unwrap_err(), NoGpu);
+        assert_eq!(m.gpu_mut().unwrap_err(), NoGpu);
+        assert_eq!(m.host_and_gpu().unwrap_err(), NoGpu);
+        let mut p = Machine::paper_node();
+        assert!(p.gpu_ref().is_ok());
+        let (host, gpu) = p.host_and_gpu().unwrap();
+        let buf = gpu.alloc(16).unwrap();
+        let s0 = gpu.default_stream();
+        let v = DevMat::whole(buf, 4);
+        gpu.syrk(s0, v, v, 4, 2, host);
+        assert!(p.elapsed() > 0.0);
     }
 
     #[test]

@@ -55,6 +55,68 @@ impl ProfileRecord {
     }
 }
 
+/// Engine busy/idle accounting for one or more devices over a span of
+/// simulated time — the GPU-utilization section the pipelined dispatch
+/// layer surfaces through `FactorStats`. For multi-worker runs, per-device
+/// busy times are summed and `gpus` counts the devices, so utilization is
+/// normalised per engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GpuUtilization {
+    /// Σ compute-engine busy seconds across the counted devices.
+    pub compute_busy: f64,
+    /// Σ copy-engine busy seconds across the counted devices.
+    pub copy_busy: f64,
+    /// The span (makespan) the busy time is measured against, seconds.
+    pub span: f64,
+    /// Number of devices aggregated.
+    pub gpus: usize,
+}
+
+impl GpuUtilization {
+    /// Fold another device's accounting into this one (parallel drivers
+    /// aggregate one entry per worker machine).
+    pub fn merge(&mut self, other: &GpuUtilization) {
+        self.compute_busy += other.compute_busy;
+        self.copy_busy += other.copy_busy;
+        self.span = self.span.max(other.span);
+        self.gpus += other.gpus;
+    }
+
+    fn denom(&self) -> f64 {
+        self.span * (self.gpus.max(1)) as f64
+    }
+
+    /// Fraction of the span the compute engines were busy (0..=1).
+    pub fn compute_utilization(&self) -> f64 {
+        if self.span > 0.0 {
+            self.compute_busy / self.denom()
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the span the copy engines were busy (0..=1).
+    pub fn copy_utilization(&self) -> f64 {
+        if self.span > 0.0 {
+            self.copy_busy / self.denom()
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the span *either* engine was busy, upper-bounded by
+    /// engine-sum (engines overlap, so this saturates at 1).
+    pub fn busy_fraction(&self) -> f64 {
+        (self.compute_utilization() + self.copy_utilization()).min(1.0)
+    }
+
+    /// Fraction of the span the compute engines sat idle — the quantity the
+    /// inter-supernode pipeline exists to shrink.
+    pub fn compute_idle_fraction(&self) -> f64 {
+        1.0 - self.compute_utilization()
+    }
+}
+
 /// Aggregate statistics over a batch of records.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ProfileSummary {

@@ -12,10 +12,38 @@
 use std::ops::{Range, RangeInclusive};
 
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
         ProptestConfig, Strategy, TestCaseError,
     };
+}
+
+/// Subset of `proptest::collection` — vectors with strategy-drawn elements.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy yielding `Vec`s whose length is drawn from `len` and whose
+    /// elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.pick(rng)).collect()
+        }
+    }
 }
 
 pub use rand::rngs::StdRng;
@@ -127,6 +155,31 @@ impl Strategy for Range<i32> {
         rng.gen_range(self.clone())
     }
 }
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn pick(&self, rng: &mut StdRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Tuples of strategies draw each component independently, mirroring
+/// upstream proptest's tuple `Strategy` impls.
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn pick(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.pick(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
 
 /// Full-domain strategy for primitives, mirroring `proptest::arbitrary`.
 #[derive(Debug, Clone, Copy, Default)]

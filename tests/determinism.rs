@@ -228,6 +228,68 @@ fn parallel_error_is_serial_first_error() {
     }
 }
 
+/// Pipelined dispatch (event-chained staging, look-ahead uploads, batched
+/// small-front runs) must not change a single bit relative to the
+/// drain-per-front driver: the pipeline reorders *when* device work is
+/// issued and when the host waits, never the numeric op content or order.
+fn assert_pipelined_bitwise_drain<T: Scalar>(
+    a: &SymCsc<T>,
+    symbolic: &SymbolicFactor,
+    perm: &Permutation,
+) {
+    use gpu_multifrontal::core::PipelineOptions;
+    for policy in [PolicyKind::P2, PolicyKind::P3, PolicyKind::P4] {
+        let drain =
+            FactorOptions { selector: PolicySelector::Fixed(policy), ..FactorOptions::default() };
+        let piped = FactorOptions { pipeline: PipelineOptions::pipelined(), ..drain.clone() };
+        let mut m0 = Machine::paper_node();
+        let (fd, sd) = factor_permuted(a, symbolic, perm, &mut m0, &drain).unwrap();
+        let reference = panel_bits(&fd);
+        let mut m1 = Machine::paper_node();
+        let (fp, sp) = factor_permuted(a, symbolic, perm, &mut m1, &piped).unwrap();
+        assert_eq!(
+            reference,
+            panel_bits(&fp),
+            "serial pipelined {policy:?} diverged from drain driver"
+        );
+        assert_eq!(sp.oom_fallbacks, sd.oom_fallbacks, "{policy:?} OOM decisions must match");
+        for workers in [1usize, 2, 4, 8] {
+            let mut machines: Vec<Machine> = (0..workers).map(|_| Machine::paper_node()).collect();
+            let (fw, _) = factor_permuted_parallel(
+                a,
+                symbolic,
+                perm,
+                &mut machines,
+                &piped,
+                &ParallelOptions { thread_budget: 2 },
+            )
+            .unwrap();
+            assert_eq!(
+                reference,
+                panel_bits(&fw),
+                "{workers}-worker pipelined {policy:?} diverged from serial drain"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_bitwise_identical_f32() {
+    for a in [laplacian_3d(6, 6, 5, Stencil::Faces), elasticity_3d(4, 3, 3)] {
+        let an = analysis_of(&a);
+        let a32: SymCsc<f32> = an.permuted.0.cast();
+        assert_pipelined_bitwise_drain(&a32, &an.symbolic, &an.perm);
+    }
+}
+
+#[test]
+fn pipelined_bitwise_identical_f64() {
+    for a in [laplacian_2d(16, 13, Stencil::Faces), laplacian_3d(6, 6, 5, Stencil::Faces)] {
+        let an = analysis_of(&a);
+        assert_pipelined_bitwise_drain(&an.permuted.0, &an.symbolic, &an.perm);
+    }
+}
+
 /// A deterministic, full-rank block of `nrhs` right-hand sides.
 fn rhs_block<T: Scalar>(n: usize, nrhs: usize) -> Vec<T> {
     (0..n * nrhs)

@@ -194,6 +194,113 @@ proptest! {
         prop_assert_eq!(stats.front_alloc_events, 2);
     }
 
+    /// Stream/event semantics of the GPU simulator, under arbitrary op
+    /// interleavings: `wait_event` never moves a stream's clock backwards
+    /// (it is a forward-only max), stream tails never regress as work is
+    /// enqueued, and `event_query` answers exactly "has the event's
+    /// timestamp passed".
+    #[test]
+    fn gpusim_wait_event_is_forward_only(
+        ops in prop::collection::vec((0u8..4, 0usize..3, 0usize..8, 1usize..64), 1..60),
+    ) {
+        use gpu_multifrontal::gpusim::{CopyMode, DevMat, Event, Machine};
+        let mut machine = Machine::paper_node();
+        let (host, gpu) = machine.host_and_gpu().unwrap();
+        let streams = [gpu.stream(0), gpu.stream(1), gpu.stream(2)];
+        let buf = gpu.alloc(4096).unwrap();
+        let src = vec![1.25f32; 64];
+        let mut dst = vec![0.0f32; 64];
+        let mut events: Vec<Event> = Vec::new();
+        for &(kind, si, ei, n) in &ops {
+            let s = streams[si];
+            let before = gpu.stream_tail(s);
+            match kind {
+                0 => gpu.h2d(s, DevMat::whole(buf, n), n, 1, &src, n, true, CopyMode::Async, host),
+                1 => gpu.d2h(s, DevMat::whole(buf, n), n, 1, &mut dst, n, true, CopyMode::Async, host),
+                2 => {
+                    let e = gpu.record_event(s);
+                    // An event records the stream's tail at record time.
+                    prop_assert_eq!(e.0.to_bits(), gpu.stream_tail(s).to_bits());
+                    events.push(e);
+                }
+                _ => {
+                    if !events.is_empty() {
+                        let e = events[ei % events.len()];
+                        gpu.wait_event(s, e);
+                        let after = gpu.stream_tail(s);
+                        prop_assert!(after >= before, "wait_event moved a stream backwards");
+                        prop_assert!(after >= e.0, "stream must not run ahead of its dependency");
+                        prop_assert!(gpu.event_query(e, after), "event complete at the waited tail");
+                    }
+                }
+            }
+            prop_assert!(gpu.stream_tail(s) >= before, "stream tails must be monotone");
+        }
+        // event_query is exactly a timestamp comparison — no side effects.
+        for e in &events {
+            prop_assert!(gpu.event_query(*e, e.0));
+            prop_assert!(!gpu.event_query(*e, e.0 - 1e-9));
+        }
+    }
+
+    /// Record/wait chains are transitive: if stream B waits on an event from
+    /// A and C waits on an event B recorded afterwards, C's clock covers A's
+    /// original event — dependencies propagate through intermediate streams.
+    #[test]
+    fn gpusim_event_chains_are_transitive(
+        na in 1usize..64, nb in 1usize..64, nc in 1usize..64,
+    ) {
+        use gpu_multifrontal::gpusim::{CopyMode, DevMat, Machine};
+        let mut machine = Machine::paper_node();
+        let (host, gpu) = machine.host_and_gpu().unwrap();
+        let (a, b, c) = (gpu.stream(0), gpu.stream(1), gpu.stream(2));
+        let buf = gpu.alloc(64).unwrap();
+        let src = vec![0.5f32; 64];
+        let mut dst = vec![0.0f32; 64];
+        gpu.h2d(a, DevMat::whole(buf, na), na, 1, &src, na, true, CopyMode::Async, host);
+        let e1 = gpu.record_event(a);
+        gpu.wait_event(b, e1);
+        gpu.h2d(b, DevMat::whole(buf, nb), nb, 1, &src, nb, true, CopyMode::Async, host);
+        let e2 = gpu.record_event(b);
+        gpu.wait_event(c, e2);
+        gpu.d2h(c, DevMat::whole(buf, nc), nc, 1, &mut dst, nc, true, CopyMode::Async, host);
+        prop_assert!(e2.0 >= e1.0, "downstream event must cover its dependency");
+        prop_assert!(gpu.stream_tail(c) >= e1.0, "transitive dependency must reach stream C");
+        // Host-side wait on the final d2h makes every upstream event queryable.
+        let done = gpu.record_event(c);
+        gpu.wait_event_host(done, host);
+        prop_assert!(gpu.event_query(e1, host.now()));
+        prop_assert!(gpu.event_query(e2, host.now()));
+        prop_assert!(gpu.event_query(done, host.now()));
+    }
+
+    /// A d2h that waits (via an event) on an h2d observes exactly the bytes
+    /// the upload wrote, for arbitrary payloads and cross-stream hand-offs.
+    #[test]
+    fn gpusim_d2h_after_h2d_roundtrips_data(
+        vals in prop::collection::vec(-1e6f32..1e6, 1..128),
+        cross_stream in any::<bool>(),
+    ) {
+        use gpu_multifrontal::gpusim::{CopyMode, DevMat, Machine};
+        let mut machine = Machine::paper_node();
+        let (host, gpu) = machine.host_and_gpu().unwrap();
+        let up = gpu.stream(0);
+        let down = if cross_stream { gpu.stream(1) } else { up };
+        let n = vals.len();
+        let buf = gpu.alloc(n).unwrap();
+        gpu.h2d(up, DevMat::whole(buf, n), n, 1, &vals, n, true, CopyMode::Async, host);
+        let uploaded = gpu.record_event(up);
+        gpu.wait_event(down, uploaded);
+        let mut out = vec![0.0f32; n];
+        gpu.d2h(down, DevMat::whole(buf, n), n, 1, &mut out, n, true, CopyMode::Async, host);
+        let done = gpu.record_event(down);
+        gpu.wait_event_host(done, host);
+        for (i, (&x, &y)) in vals.iter().zip(&out).enumerate() {
+            prop_assert!(x.to_bits() == y.to_bits(), "lane {i} corrupted in h2d→d2h round trip");
+        }
+        gpu.free(buf).unwrap();
+    }
+
     /// Permutation composition and inversion laws.
     #[test]
     fn permutation_laws(n in 1usize..64, seed in 0u64..100) {
