@@ -27,7 +27,28 @@ cargo test -q --release --test determinism
 echo "==> determinism suite (RUST_TEST_THREADS=1)"
 RUST_TEST_THREADS=1 cargo test -q --release --test determinism
 
-echo "==> factor_parallel bench (writes BENCH_factor.json)"
+# The intra-front tiled task DAG has its own bitwise contract (serial vs
+# 1/2/4/8 workers × f32/f64 × arena/heap with fronts forced to expand).
+# Run the tiled tests by name and count them, so a filter typo or a renamed
+# test cannot silently skip the suite.
+echo "==> tiled determinism suite (explicit, default + single test thread)"
+for t in "" "RUST_TEST_THREADS=1"; do
+  out=$(env $t cargo test --release --test determinism tiled_expansion 2>&1) || {
+    echo "$out"
+    exit 1
+  }
+  echo "$out" | grep -q "2 passed" || {
+    echo "expected exactly 2 tiled determinism tests to run:"
+    echo "$out"
+    exit 1
+  }
+done
+
+# The factor bench runs the tiled scheduler on every suite matrix and
+# asserts critical_path <= makespan <= serial_time for the tree and tiled
+# schedule models at every worker count — a violation panics the bench and
+# fails this step.
+echo "==> factor_parallel bench (tiled + tree schedulers, writes BENCH_factor.json)"
 cargo bench -p mf-bench --bench factor_parallel
 
 echo "==> solve bench (writes BENCH_solve.json)"

@@ -15,6 +15,14 @@
 //! The per-worker delta between the two validates the schedule model
 //! against the real runtime wherever the host has threads to spare.
 //!
+//! A third pair of numbers compares the two *scheduling granularities* on
+//! the same recorded CPU (P1) run: tree-only list scheduling (one task per
+//! supernode — speedup plateaus at the critical path through the root
+//! chain) against the intra-front tiled task DAG, which splits every large
+//! front into `potrf`/`trsm`/`syrk`/`gemm` tile tasks and keeps all workers
+//! busy inside the root fronts. `tiled_vs_tree_speedup` in the JSON is the
+//! ratio of the two makespans at each worker count.
+//!
 //! The bench also compares the two front-storage backends — the arena
 //! (default) against the per-front heap reference — at w=1 (serial) and
 //! w=4, and reports the arena's memory contract per matrix: peak front
@@ -24,12 +32,12 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use mf_core::{
-    durations_by_supernode, factor_permuted, factor_permuted_parallel, simulate_tree_schedule,
-    BaselineThresholds, FactorOptions, FrontStorage, MoldableModel, ParallelOptions,
-    PolicySelector,
+    durations_by_supernode, factor_permuted, factor_permuted_parallel, simulate_tiled_schedule,
+    simulate_tree_schedule, BaselineThresholds, FactorOptions, FrontStorage, MoldableModel,
+    ParallelOptions, PolicyKind, PolicySelector, TilingOptions,
 };
-use mf_gpusim::Machine;
-use mf_matgen::PaperMatrix;
+use mf_gpusim::{xeon_5160_core, Machine};
+use mf_matgen::{elasticity_3d, laplacian_3d, PaperMatrix, Stencil};
 use mf_sparse::symbolic::{analyze, Analysis};
 use mf_sparse::{AmalgamationOptions, OrderingKind, SymCsc};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -68,13 +76,25 @@ const WORKER_COUNTS: [usize; 3] = [2, 4, 8];
 const COMPARE_WORKERS: usize = 4;
 
 /// Matrices: the largest 3-D stand-in (sgi_1M) plus a vector-FE stand-in
-/// (audikw_1), both shrunk to bench-friendly orders.
+/// (audikw_1), both shrunk to bench-friendly orders, followed by three
+/// larger root-heavy configs — bench-tractable stand-ins for ≥10⁵-DoF 3-D
+/// Poisson/elasticity problems whose nested-dissection root separators
+/// produce fronts of 1000–2300 columns (far above the 256-column tiling
+/// threshold), so intra-front tile parallelism has real work to win.
 fn suite() -> Vec<(&'static str, SymCsc<f64>)> {
     let scale =
         std::env::var("MF_BENCH_SCALE").ok().and_then(|s| s.parse::<f64>().ok()).unwrap_or(0.30);
+    let large = std::env::var("MF_BENCH_LARGE_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let g = |base: usize| ((base as f64 * large).round() as usize).max(4);
     vec![
         ("sgi_1M", PaperMatrix::Sgi1M.generate_scaled(scale)),
         ("audikw_1", PaperMatrix::Audikw1.generate_scaled(scale)),
+        ("poisson3d_L", laplacian_3d(g(20), g(20), g(20), Stencil::Full)),
+        ("elasticity3d_L", elasticity_3d(g(13), g(13), g(13))),
+        ("elasticity3d_M", elasticity_3d(g(11), g(11), g(11))),
     ]
 }
 
@@ -152,6 +172,49 @@ fn simulated_speedups(a: &SymCsc<f64>) -> Vec<(usize, f64)> {
                 Some(MoldableModel::default()),
             );
             (w, r.speedup())
+        })
+        .collect()
+}
+
+/// Simulated makespans of tree-only list scheduling vs the intra-front
+/// tiled task DAG on the same recorded CPU-only (fixed P1) run. Both
+/// schedulers use width-1 tasks (no molding), so the ratio isolates what
+/// scheduling granularity alone buys. Returns per worker count
+/// `(workers, tiled_speedup_vs_serial, tree_makespan / tiled_makespan)`,
+/// and asserts the schedule-model invariant
+/// `critical_path ≤ makespan ≤ serial_time` for every result — the CI gate
+/// that the critical-path accounting and the simulated makespan cannot
+/// disagree by construction.
+fn tiled_speedups(a: &SymCsc<f64>) -> Vec<(usize, f64, f64)> {
+    let an = analysis_of(a);
+    let mut machine = Machine::paper_node();
+    let ropts = FactorOptions {
+        selector: PolicySelector::Fixed(PolicyKind::P1),
+        record_stats: true,
+        ..Default::default()
+    };
+    let (_, stats) =
+        factor_permuted(&an.permuted.0, &an.symbolic, &an.perm, &mut machine, &ropts).unwrap();
+    let (durations, ops) = durations_by_supernode(&an.symbolic, &stats);
+    let tiling = TilingOptions::tiled();
+    let cpu = xeon_5160_core();
+    WORKER_COUNTS
+        .iter()
+        .map(|&w| {
+            let tree = simulate_tree_schedule(&an.symbolic, &durations, &ops, w, None);
+            let tiled = simulate_tiled_schedule(&an.symbolic, &stats, &tiling, &cpu, w);
+            for (which, r) in [("tree", &tree), ("tiled", &tiled)] {
+                assert!(
+                    r.critical_path <= r.makespan * (1.0 + 1e-9)
+                        && r.makespan <= r.serial_time * (1.0 + 1e-9),
+                    "{which} schedule at w={w}: critical path {}, makespan {}, serial {} \
+                     violate cp ≤ makespan ≤ serial",
+                    r.critical_path,
+                    r.makespan,
+                    r.serial_time
+                );
+            }
+            (w, tiled.speedup(), tree.makespan / tiled.makespan)
         })
         .collect()
 }
@@ -245,8 +308,12 @@ fn write_bench_json() {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"hardware_threads\": {threads},\n"));
     out.push_str(
-        "  \"note\": \"measured = real wall-clock on this host (bounded by hardware_threads); \
-         simulated = tree-schedule model of the paper's multi-worker node; arena_speedup_vs_heap \
+        "  \"note\": \"measured = real wall-clock on this host (bounded by hardware_threads; \
+         on a single-core host parallel wall-clock speedup stays near 1 by necessity); \
+         simulated = tree-schedule model of the paper's multi-worker node (molded kernels); \
+         tiled_speedup = simulated makespan speedup of the intra-front tiled task DAG vs serial \
+         on a recorded CPU P1 run; tiled_vs_tree_speedup = tree-only makespan / tiled makespan \
+         at the same worker count (both width-1); arena_speedup_vs_heap \
          = per-front heap allocation baseline time / arena time, interleaved A/B timing\",\n",
     );
     out.push_str("  \"matrices\": [\n");
@@ -259,22 +326,33 @@ fn write_bench_json() {
         };
         let Some(serial_ms) = mean_of(format!("serial/{name}")) else { continue };
         let sim = simulated_speedups(&a);
+        let tiled = tiled_speedups(&a);
         let mut rows: Vec<String> = Vec::new();
         for &w in &WORKER_COUNTS {
             let Some(par_ms) = mean_of(format!("w{w}/{name}")) else { continue };
             let measured = serial_ms / par_ms;
             let simulated = sim.iter().find(|&&(sw, _)| sw == w).map(|&(_, s)| s).unwrap_or(1.0);
+            let (tiled_sp, tiled_vs_tree) = tiled
+                .iter()
+                .find(|&&(tw, _, _)| tw == w)
+                .map(|&(_, s, r)| (s, r))
+                .unwrap_or((1.0, 1.0));
             rows.push(format!(
                 "        {{\"workers\": {w}, \"measured_ms\": {par_ms:.3}, \
                  \"measured_speedup\": {measured:.3}, \"simulated_speedup\": {simulated:.3}, \
-                 \"sim_minus_measured\": {:.3}}}",
+                 \"sim_minus_measured\": {:.3}, \"tiled_speedup\": {tiled_sp:.3}, \
+                 \"tiled_vs_tree_speedup\": {tiled_vs_tree:.3}}}",
                 simulated - measured
             ));
         }
         let an = analysis_of(&a);
+        // The larger root-heavy matrices would spend most of the bench's
+        // wall budget in the 31-rep A/B storage loop; fewer pairs still
+        // give a stable median at their ≥50 ms per-run times.
+        let cmp_reps = if a.order() > 3000 { 9 } else { 31 };
         let mut cmp_rows: Vec<String> = Vec::new();
         for w in [1usize, COMPARE_WORKERS] {
-            let (arena_ms, heap_ms) = compare_backends(&an, w, 31);
+            let (arena_ms, heap_ms) = compare_backends(&an, w, cmp_reps);
             cmp_rows.push(format!(
                 "        {{\"workers\": {w}, \"arena_ms\": {arena_ms:.3}, \
                  \"heap_ms\": {heap_ms:.3}, \"arena_speedup_vs_heap\": {:.3}}}",

@@ -25,6 +25,7 @@ use crate::fu::{
 use crate::pinned_pool::PinnedPool;
 use crate::policy::{BaselineThresholds, PolicyKind};
 use crate::stats::{FactorStats, FuRecord};
+use crate::tile::TilingOptions;
 use mf_dense::{FuFlops, Scalar};
 use mf_gpusim::Machine;
 use mf_sparse::symbolic::SymbolicFactor;
@@ -135,6 +136,12 @@ pub struct FactorOptions {
     pub front_storage: FrontStorage,
     /// Pipelined GPU dispatch (see [`PipelineOptions`]).
     pub pipeline: PipelineOptions,
+    /// Intra-front tiling (see [`TilingOptions`]); **off by default** —
+    /// enable with [`TilingOptions::tiled`]. When enabled, CPU (P1) fronts
+    /// at or above the threshold run the canonical tiled loop nest in every
+    /// driver, and the parallel driver additionally schedules their tile
+    /// tasks across workers.
+    pub tiling: TilingOptions,
 }
 
 impl Default for FactorOptions {
@@ -147,6 +154,7 @@ impl Default for FactorOptions {
             pinned_reuse: true,
             front_storage: FrontStorage::default(),
             pipeline: PipelineOptions::default(),
+            tiling: TilingOptions::default(),
         }
     }
 }
@@ -300,6 +308,7 @@ pub(crate) fn process_supernode<'c, T: Scalar + 'c>(
         copy_optimized: opts.copy_optimized,
         timing_only: false,
         kernel_threads,
+        tiling: opts.tiling,
     };
     let outcome = execute_fu(&mut front, policy, &mut ctx).map_err(|e| match e {
         FuError::NotPositiveDefinite { local_column } => {
@@ -487,6 +496,7 @@ fn fu_ctx<'a>(
         copy_optimized: opts.copy_optimized,
         timing_only: false,
         kernel_threads: None,
+        tiling: opts.tiling,
     }
 }
 

@@ -24,6 +24,7 @@
 use crate::frontal::Front;
 use crate::pinned_pool::PinnedPool;
 use crate::policy::PolicyKind;
+use crate::tile::{process_front_tiled, TilingOptions};
 use mf_dense::{potrf, syrk_lower, trsm_right_lower_trans, Scalar};
 use mf_gpusim::{CopyMode, DevBuf, DevMat, Event, Gpu, HostClock, KernelKind, Machine};
 
@@ -70,6 +71,11 @@ pub struct FuContext<'a> {
     /// serial driver). Thread width never changes results — the engine is
     /// bitwise deterministic at every thread count.
     pub kernel_threads: Option<usize>,
+    /// Intra-front tiling policy: CPU (P1) fronts whose order clears
+    /// [`TilingOptions::min_front`] run the canonical tiled loop nest of
+    /// `crate::tile` instead of the monolithic body — in *both* the serial
+    /// and parallel drivers, so the two stay bitwise identical.
+    pub tiling: TilingOptions,
 }
 
 /// Outcome of an F-U call.
@@ -426,6 +432,11 @@ pub fn estimate_fu_time(
             copy_optimized,
             timing_only: true,
             kernel_threads: None,
+            // The (m, k)-map estimator models the monolithic P1 kernel:
+            // building a per-estimate tile plan would cost O((s/tile)³)
+            // tasks per call across the figures' huge (m, k) grids, and
+            // the maps compare *policies*, not CPU schedules.
+            tiling: TilingOptions::disabled(),
         };
         execute_fu(&mut front, policy, &mut ctx)
             .expect("timing-only execution cannot fail numerically");
@@ -438,6 +449,7 @@ pub fn estimate_fu_time(
         copy_optimized,
         timing_only: true,
         kernel_threads: None,
+        tiling: TilingOptions::disabled(),
     };
     let out = execute_fu(&mut front, policy, &mut ctx)
         .expect("timing-only execution cannot fail numerically");
@@ -532,6 +544,13 @@ fn cpu_syrk<T: Scalar>(front: &mut Front<'_, T>, host: &mut HostClock, timing_on
 fn fu_p1<T: Scalar>(front: &mut Front<'_, T>, ctx: &mut FuContext<'_>) -> Result<(), FuError> {
     let timing = ctx.timing_only;
     let host = &mut ctx.machine.host;
+    // Fronts above the tiling threshold run the canonical tiled loop nest
+    // (crate::tile) — the same schedule the parallel driver's tile tasks
+    // execute, which is what keeps serial and parallel factors bitwise
+    // identical. Small fronts keep the monolithic body below.
+    if let Some(plan) = ctx.tiling.plan(front.s, front.k) {
+        return process_front_tiled(front, &plan, host, timing);
+    }
     cpu_potrf(front, host, timing)?;
     cpu_trsm(front, host, timing);
     cpu_syrk(front, host, timing);
@@ -1024,6 +1043,7 @@ mod tests {
             copy_optimized: false,
             timing_only: false,
             kernel_threads: None,
+            tiling: TilingOptions::default(),
         };
         let out = execute_fu(&mut front, policy, &mut ctx).unwrap();
         assert_eq!(out.executed, policy);
@@ -1090,6 +1110,7 @@ mod tests {
                 copy_optimized: false,
                 timing_only: false,
                 kernel_threads: None,
+                tiling: TilingOptions::default(),
             };
             let err = execute_fu(&mut front, p, &mut ctx).unwrap_err();
             assert_eq!(err, FuError::NotPositiveDefinite { local_column: 4 }, "{p}");
@@ -1133,6 +1154,7 @@ mod tests {
             copy_optimized: false,
             timing_only: false,
             kernel_threads: None,
+            tiling: TilingOptions::default(),
         };
         let out = execute_fu(&mut front, PolicyKind::P4, &mut ctx).unwrap();
         assert_eq!(out.executed, PolicyKind::P1);
@@ -1155,6 +1177,7 @@ mod tests {
             copy_optimized: false,
             timing_only: false,
             kernel_threads: None,
+            tiling: TilingOptions::default(),
         };
         let out = execute_fu(&mut front, PolicyKind::P3, &mut ctx).unwrap();
         assert_eq!(out.executed, PolicyKind::P1);
@@ -1176,6 +1199,7 @@ mod tests {
                 copy_optimized: opt,
                 timing_only: false,
                 kernel_threads: None,
+                tiling: TilingOptions::default(),
             };
             execute_fu(&mut front, PolicyKind::P4, &mut ctx).unwrap();
             t[idx] = machine.elapsed();
@@ -1198,6 +1222,7 @@ mod tests {
             copy_optimized: true,
             timing_only: false,
             kernel_threads: None,
+            tiling: TilingOptions::default(),
         };
         execute_fu(&mut front, PolicyKind::P4, &mut ctx).unwrap();
         for j in 0..s {
@@ -1229,6 +1254,7 @@ mod tests {
             copy_optimized: false,
             timing_only: false,
             kernel_threads: None,
+            tiling: TilingOptions::default(),
         };
         execute_fu(&mut front, PolicyKind::P3, &mut ctx).unwrap();
         assert!(machine.elapsed() > t_fast * 5.0);
@@ -1256,6 +1282,7 @@ mod tests {
                     copy_optimized: false,
                     timing_only: false,
                     kernel_threads: None,
+                    tiling: TilingOptions::default(),
                 };
                 execute_fu(&mut front, p, &mut ctx).unwrap();
                 if pass == 1 {
@@ -1298,6 +1325,7 @@ mod tests {
                 copy_optimized: false,
                 timing_only: false,
                 kernel_threads: None,
+                tiling: TilingOptions::default(),
             };
             execute_fu(&mut front, p, &mut ctx).unwrap();
             assert_eq!(machine.gpu.as_ref().unwrap().mem_used(), 0, "{p} leaked device memory");

@@ -39,6 +39,7 @@ pub mod policy;
 pub mod solve;
 pub mod solver;
 pub mod stats;
+pub mod tile;
 
 pub use arena::FrontArena;
 pub use factor::{
@@ -53,8 +54,8 @@ pub use fu::{
     FuError, FuOutcome, FuPending, DEFAULT_PANEL_WIDTH,
 };
 pub use parallel::{
-    durations_by_supernode, factor_permuted_parallel, simulate_tree_schedule, MoldableModel,
-    ParallelOptions, ScheduleResult,
+    durations_by_supernode, factor_permuted_parallel, simulate_tiled_schedule,
+    simulate_tree_schedule, MoldableModel, ParallelOptions, ScheduleResult,
 };
 pub use pinned_pool::PinnedPool;
 pub use policy::{BaselineThresholds, PolicyKind};
@@ -62,7 +63,8 @@ pub use solver::{
     Precision, RefactorError, RefineInfo, RefineStop, RefinedManySolution, RefinedSolution,
     SolverOptions, SpdSolver,
 };
-pub use stats::{FactorStats, FuRecord};
+pub use stats::{FactorStats, FuRecord, TaskKind, TaskRecord};
+pub use tile::{process_front_tiled, FrontView, TileKernel, TilePlan, TilingOptions};
 
 /// Convenient glob-import of the solver-facing API.
 pub mod prelude {
@@ -72,4 +74,5 @@ pub mod prelude {
         Precision, RefactorError, RefineStop, RefinedManySolution, RefinedSolution, SolverOptions,
         SpdSolver,
     };
+    pub use crate::tile::TilingOptions;
 }

@@ -1,0 +1,681 @@
+//! Intra-front tiled task DAG: blocked Cholesky of one frontal matrix as
+//! `potrf(k)` → `trsm(i,k)` → `syrk/gemm(i,j,k)` tile tasks.
+//!
+//! Tree-level parallelism starves near the root of the elimination tree:
+//! the last few huge fronts serialize the whole factorization. The classic
+//! fix — SyLVER's `factor_front_posdef` and the paper-era blocked
+//! algorithms — decomposes each large front into tile tasks scheduled on
+//! the same runtime as tree nodes. This module holds everything both
+//! drivers share:
+//!
+//! * [`TilingOptions`] / [`TilePlan`] — the symbolic tile plan: a fixed
+//!   tile size over the front's column-major layout, the task list in
+//!   **canonical serial order**, and the dependency lists that make any
+//!   topological execution order produce the same bits.
+//! * [`FrontView`] + [`exec_tile_task`] — the packed-scratch executor one
+//!   tile task runs through, identical on the serial and parallel paths.
+//! * [`process_front_tiled`] — the serial driver body: execute the plan's
+//!   tasks in emission order.
+//!
+//! # The determinism contract
+//!
+//! The tiled loop nest is the *canonical* numeric schedule for CPU (P1)
+//! fronts at or above [`TilingOptions::min_front`] — the serial driver runs
+//! the very same task bodies in the very same per-tile reduction order
+//! (updates to tile `(i,j)` applied in ascending `k`, the serial loop
+//! nest), so parallel-vs-serial bitwise identity holds *by construction*,
+//! not by accident of scheduling:
+//!
+//! * every task packs its operand tiles into thread-local scratch, runs a
+//!   dims-deterministic `mf_dense` kernel on the packed copies, and writes
+//!   the output tile back — the bytes a task writes are a pure function of
+//!   the bytes its DAG predecessors wrote;
+//! * the dependency lists order every pair of tasks that touch a common
+//!   tile, so *which worker* runs a task (or when) cannot change the bytes
+//!   it reads;
+//! * updates to a tile are chained in ascending pivot-tile order `k`, so
+//!   the floating-point reduction order per element is fixed.
+//!
+//! Fronts below the threshold keep the monolithic `potrf`/`trsm`/`syrk`
+//! body (`fu.rs`), whose kernels the proptest suite pins the tiled
+//! schedule against numerically (the two are *different* elimination
+//! orders, so they agree to factorization accuracy, not bitwise).
+//!
+//! # Why packed scratch instead of strided sub-views
+//!
+//! Concurrent tile tasks need overlapping *column ranges* of the front
+//! (`trsm(i,k)` and `trsm(i',k)` share columns; an update reads panel
+//! columns another task wrote) — there is no safe way to hand each task a
+//! disjoint `&mut` slice. [`FrontView`] instead moves bytes with raw-pointer
+//! block copies (element-disjointness per task guaranteed by the DAG), so
+//! no aliasing references ever materialize, and the kernels only ever see
+//! the task's private packed tiles.
+
+use crate::frontal::Front;
+use crate::fu::FuError;
+use mf_dense::{tile_gemm_nt, tile_potrf, tile_syrk, tile_trsm, Scalar};
+use mf_gpusim::{HostClock, KernelKind};
+
+/// Tile-plan policy knobs, carried in `FactorOptions` and `FuContext`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilingOptions {
+    /// Master switch; `false` keeps every front on the monolithic body.
+    pub enabled: bool,
+    /// Tile edge in columns/rows (clamped to ≥ 1).
+    pub tile: usize,
+    /// Minimum front order `s` for tiling; smaller fronts stay monolithic
+    /// (tile-task overhead would swamp their kernels).
+    pub min_front: usize,
+}
+
+impl Default for TilingOptions {
+    /// Tiling is **opt-in** (like pipelined GPU dispatch): the blocked
+    /// schedule is a different elimination order with different kernel
+    /// rates, so switching it on silently would change every caller's
+    /// serial P1 baseline. `Default` carries the standard geometry but
+    /// leaves the switch off; use [`TilingOptions::tiled`] to enable.
+    fn default() -> Self {
+        TilingOptions { enabled: false, tile: 128, min_front: 256 }
+    }
+}
+
+impl TilingOptions {
+    /// Tiling enabled with the standard geometry (128-column tiles,
+    /// 256-column front threshold).
+    pub fn tiled() -> Self {
+        TilingOptions { enabled: true, ..Self::default() }
+    }
+
+    /// Tiling switched off: every front runs the monolithic body.
+    pub fn disabled() -> Self {
+        TilingOptions { enabled: false, ..Self::default() }
+    }
+
+    /// The tile plan for an `s × s` front with pivot width `k`, or `None`
+    /// if this front should run the monolithic body (tiling disabled,
+    /// front below threshold, or a degenerate single-task plan).
+    pub fn plan(&self, s: usize, k: usize) -> Option<TilePlan> {
+        if !self.enabled || s < self.min_front || k == 0 {
+            return None;
+        }
+        let plan = TilePlan::build(s, k, self.tile.max(1));
+        if plan.tasks.len() < 2 {
+            return None; // a lone potrf gains nothing from the DAG
+        }
+        Some(plan)
+    }
+}
+
+/// One tile task. Indices are row-tile/pivot-tile numbers into
+/// [`TilePlan::rows`]; the canonical serial order is the emission order in
+/// [`TilePlan::tasks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileKernel {
+    /// Dense Cholesky of diagonal tile `kb`.
+    Potrf {
+        /// Pivot tile index.
+        kb: usize,
+    },
+    /// Solve row-block `i` of pivot column `kb` against the factored
+    /// diagonal tile.
+    Trsm {
+        /// Row tile index (`i > kb`).
+        i: usize,
+        /// Pivot tile index.
+        kb: usize,
+    },
+    /// Symmetric rank-`w` update of diagonal tile `(j, j)` from pivot
+    /// column `kb`.
+    Syrk {
+        /// Row (= column) tile index (`j > kb`).
+        j: usize,
+        /// Pivot tile index.
+        kb: usize,
+    },
+    /// Rank-`w` update of off-diagonal tile `(i, j)` from pivot column
+    /// `kb`.
+    Gemm {
+        /// Row tile index (`i > j`).
+        i: usize,
+        /// Column tile index (`j > kb`).
+        j: usize,
+        /// Pivot tile index.
+        kb: usize,
+    },
+}
+
+/// The symbolic tile plan of one front: row-tile layout, task list in
+/// canonical serial order, and per-task dependency lists.
+#[derive(Debug, Clone)]
+pub struct TilePlan {
+    /// Front order.
+    pub s: usize,
+    /// Pivot-block width.
+    pub k: usize,
+    /// Tile edge.
+    pub tile: usize,
+    /// Number of pivot (column) tiles; row tiles `0..nb` are the pivot
+    /// tiles, `nb..rows.len()` cover the update rows `k..s`. Row tiles
+    /// never straddle column `k`.
+    pub nb: usize,
+    /// `(r0, h)` of every row tile.
+    pub rows: Vec<(usize, usize)>,
+    /// Tile tasks in canonical serial (topological) order.
+    pub tasks: Vec<TileKernel>,
+    /// `deps[t]` = indices of the tasks that must complete before task `t`.
+    pub deps: Vec<Vec<u32>>,
+}
+
+impl TilePlan {
+    fn build(s: usize, k: usize, tile: usize) -> TilePlan {
+        let nb = k.div_ceil(tile);
+        let m = s - k;
+        let mb = m.div_ceil(tile);
+        let nt = nb + mb;
+        let mut rows = Vec::with_capacity(nt);
+        for rb in 0..nb {
+            let r0 = rb * tile;
+            rows.push((r0, tile.min(k - r0)));
+        }
+        for ub in 0..mb {
+            let r0 = k + ub * tile;
+            rows.push((r0, tile.min(s - r0)));
+        }
+
+        let mut tasks = Vec::new();
+        let mut deps: Vec<Vec<u32>> = Vec::new();
+        // Last task that wrote tile (i, j) — the ascending-k update chain.
+        let mut last_write: Vec<Option<u32>> = vec![None; nt * nt];
+        let lw = |i: usize, j: usize| i * nt + j;
+        let push = |tasks: &mut Vec<TileKernel>,
+                    deps: &mut Vec<Vec<u32>>,
+                    t: TileKernel,
+                    pre: [Option<u32>; 3]| {
+            let id = tasks.len() as u32;
+            tasks.push(t);
+            deps.push(pre.into_iter().flatten().collect());
+            id
+        };
+
+        for kb in 0..nt.min(nb) {
+            let id = push(
+                &mut tasks,
+                &mut deps,
+                TileKernel::Potrf { kb },
+                [last_write[lw(kb, kb)], None, None],
+            );
+            last_write[lw(kb, kb)] = Some(id);
+            let potrf_id = id;
+
+            let mut trsm_id: Vec<Option<u32>> = vec![None; nt];
+            for i in kb + 1..nt {
+                let id = push(
+                    &mut tasks,
+                    &mut deps,
+                    TileKernel::Trsm { i, kb },
+                    [Some(potrf_id), last_write[lw(i, kb)], None],
+                );
+                last_write[lw(i, kb)] = Some(id);
+                trsm_id[i] = Some(id);
+            }
+
+            // Trailing updates, column-major over the remaining tiles —
+            // the canonical serial order the chained deps reproduce under
+            // any worker schedule.
+            for j in kb + 1..nt {
+                for i in j..nt {
+                    let t = if i == j {
+                        TileKernel::Syrk { j, kb }
+                    } else {
+                        TileKernel::Gemm { i, j, kb }
+                    };
+                    let second = if i == j { None } else { trsm_id[j] };
+                    let id =
+                        push(&mut tasks, &mut deps, t, [trsm_id[i], second, last_write[lw(i, j)]]);
+                    last_write[lw(i, j)] = Some(id);
+                }
+            }
+        }
+        TilePlan { s, k, tile, nb, rows, tasks, deps }
+    }
+
+    /// Number of tile tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the plan has no tasks (never true for a built plan).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Tasks no other task depends on (the finish barrier's prerequisites).
+    pub fn terminals(&self) -> Vec<u32> {
+        let mut has_dep = vec![false; self.tasks.len()];
+        for pre in &self.deps {
+            for &p in pre {
+                has_dep[p as usize] = true;
+            }
+        }
+        (0..self.tasks.len() as u32).filter(|&t| !has_dep[t as usize]).collect()
+    }
+
+    /// The `charge_kernel` arguments `(kind, m, n, k)` of task `idx` —
+    /// the same deterministic shape-only cost on the serial driver, the
+    /// parallel workers and the makespan simulator.
+    pub fn charge_args(&self, idx: usize) -> (KernelKind, usize, usize, usize) {
+        match self.tasks[idx] {
+            TileKernel::Potrf { kb } => (KernelKind::Potrf, 0, self.rows[kb].1, 0),
+            TileKernel::Trsm { i, kb } => (KernelKind::Trsm, self.rows[i].1, 0, self.rows[kb].1),
+            TileKernel::Syrk { j, kb } => (KernelKind::Syrk, 0, self.rows[j].1, self.rows[kb].1),
+            TileKernel::Gemm { i, j, kb } => {
+                (KernelKind::Gemm, self.rows[i].1, self.rows[j].1, self.rows[kb].1)
+            }
+        }
+    }
+}
+
+// ----- the shared tile-task executor -----------------------------------------
+
+/// A raw view of one front's `s × s` column-major buffer, shareable across
+/// the workers executing that front's tile tasks.
+///
+/// The view never hands out references into the buffer: tasks move bytes
+/// with [`read_block`](Self::read_block) / [`write_block`](Self::write_block)
+/// raw copies between the front and their private packed scratch. Soundness
+/// rests on the plan's dependency lists — two concurrently running tasks
+/// never read-write or write-write overlapping elements (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct FrontView<T> {
+    ptr: *mut T,
+    s: usize,
+}
+
+// SAFETY: the view is a tagged pointer; cross-thread use is governed by the
+// tile DAG, which orders every conflicting element access (module docs).
+unsafe impl<T: Send> Send for FrontView<T> {}
+// SAFETY: as above — shared access from several workers is exactly the
+// intended use, with disjointness guaranteed by the plan's deps.
+unsafe impl<T: Send> Sync for FrontView<T> {}
+
+impl<T: Scalar> FrontView<T> {
+    /// View over a front buffer of order `s` (`data.len() ≥ s·s`).
+    pub fn new(data: &mut [T], s: usize) -> Self {
+        assert!(data.len() >= s * s, "front buffer shorter than s×s");
+        FrontView { ptr: data.as_mut_ptr(), s }
+    }
+
+    /// Front order.
+    pub fn order(&self) -> usize {
+        self.s
+    }
+
+    /// Pack the `rows × cols` block at `(r0, c0)` into `dst` (ld = `rows`).
+    ///
+    /// # Safety
+    /// No concurrent task may be *writing* any element of the block, and
+    /// the backing buffer must outlive the call.
+    pub unsafe fn read_block(&self, r0: usize, c0: usize, rows: usize, cols: usize, dst: &mut [T]) {
+        debug_assert!(r0 + rows <= self.s && c0 + cols <= self.s && dst.len() >= rows * cols);
+        for j in 0..cols {
+            let src = self.ptr.add((c0 + j) * self.s + r0);
+            std::ptr::copy_nonoverlapping(src, dst.as_mut_ptr().add(j * rows), rows);
+        }
+    }
+
+    /// The whole `s × s` front buffer as a mutable slice — for the
+    /// assembly/extraction phases that bracket a front's tile tasks.
+    ///
+    /// # Safety
+    /// The caller must hold exclusive access to the entire buffer for the
+    /// chosen lifetime `'a` (in the drivers: the assemble and extract
+    /// tasks, which the task graph orders against every tile task of the
+    /// front), and the backing buffer must outlive `'a`.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn as_mut_slice<'a>(&self) -> &'a mut [T] {
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.s * self.s) }
+    }
+
+    /// Unpack `src` (ld = `rows`) into the block at `(r0, c0)`.
+    ///
+    /// # Safety
+    /// No concurrent task may be *reading or writing* any element of the
+    /// block, and the backing buffer must outlive the call.
+    pub unsafe fn write_block(&self, r0: usize, c0: usize, rows: usize, cols: usize, src: &[T]) {
+        debug_assert!(r0 + rows <= self.s && c0 + cols <= self.s && src.len() >= rows * cols);
+        for j in 0..cols {
+            let dst = self.ptr.add((c0 + j) * self.s + r0);
+            std::ptr::copy_nonoverlapping(src.as_ptr().add(j * rows), dst, rows);
+        }
+    }
+}
+
+std::thread_local! {
+    /// Per-thread tile staging scratch (u64-backed so one buffer serves
+    /// every `Scalar`), same pattern as `fu.rs`'s pivot scratch: never
+    /// shrinks, at most one allocation per thread per run.
+    static TILE_SCRATCH: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run `body` on three disjoint thread-local scratch slices of `lens`
+/// scalars each. Slices are *not* zeroed — every caller fully overwrites
+/// what it reads (diagonal tiles carry garbage strictly-upper halves that
+/// the masked kernels neither read nor write).
+fn with_tile_scratch<T: Scalar, R>(
+    lens: [usize; 3],
+    body: impl FnOnce(&mut [T], &mut [T], &mut [T]) -> R,
+) -> R {
+    TILE_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        let total: usize = lens.iter().sum();
+        let words = (total * T::BYTES).div_ceil(std::mem::size_of::<u64>());
+        if buf.len() < words {
+            buf.resize(words, 0);
+        }
+        // SAFETY: the buffer holds at least `total * T::BYTES` bytes, u64
+        // alignment satisfies every Scalar, and Scalar types admit any bit
+        // pattern.
+        let all = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<T>(), total) };
+        let (a, rest) = all.split_at_mut(lens[0]);
+        let (b, c) = rest.split_at_mut(lens[1]);
+        body(a, b, &mut c[..lens[2]])
+    })
+}
+
+/// Execute one tile task of `plan` against `view` and charge its kernel
+/// cost to `host`. Returns the charged duration.
+///
+/// This single body serves the serial driver ([`process_front_tiled`]) and
+/// every parallel worker, which is what makes serial/parallel factors
+/// bitwise identical by construction.
+///
+/// # Safety
+/// All of task `idx`'s plan dependencies must have completed, and no task
+/// that the plan orders against `idx` may run concurrently with it. The
+/// buffer behind `view` must stay alive and unmoved for the call.
+pub unsafe fn exec_tile_task<T: Scalar>(
+    view: FrontView<T>,
+    plan: &TilePlan,
+    idx: usize,
+    host: &mut HostClock,
+    timing_only: bool,
+) -> Result<f64, FuError> {
+    let mut fail: Option<usize> = None;
+    if !timing_only {
+        match plan.tasks[idx] {
+            TileKernel::Potrf { kb } => {
+                let (c0, w) = plan.rows[kb];
+                with_tile_scratch::<T, _>([w * w, 0, 0], |a, _, _| {
+                    view.read_block(c0, c0, w, w, a);
+                    let r = tile_potrf(w, a, w);
+                    // Write back even on failure so the partially factored
+                    // pivot is visible, like the monolithic body.
+                    view.write_block(c0, c0, w, w, a);
+                    if let Err(e) = r {
+                        fail = Some(c0 + e.column);
+                    }
+                });
+            }
+            TileKernel::Trsm { i, kb } => {
+                let (c0, w) = plan.rows[kb];
+                let (r0, h) = plan.rows[i];
+                with_tile_scratch::<T, _>([w * w, h * w, 0], |l, b, _| {
+                    view.read_block(c0, c0, w, w, l);
+                    view.read_block(r0, c0, h, w, b);
+                    tile_trsm(h, w, l, w, b, h);
+                    view.write_block(r0, c0, h, w, b);
+                });
+            }
+            TileKernel::Syrk { j, kb } => {
+                let (c0, w) = plan.rows[kb];
+                let (r0, h) = plan.rows[j];
+                with_tile_scratch::<T, _>([h * w, h * h, 0], |a, c, _| {
+                    view.read_block(r0, c0, h, w, a);
+                    view.read_block(r0, r0, h, h, c);
+                    tile_syrk(h, w, a, h, c, h);
+                    view.write_block(r0, r0, h, h, c);
+                });
+            }
+            TileKernel::Gemm { i, j, kb } => {
+                let (c0, w) = plan.rows[kb];
+                let (ri, hi) = plan.rows[i];
+                let (rj, hj) = plan.rows[j];
+                with_tile_scratch::<T, _>([hi * w, hj * w, hi * hj], |a, b, c| {
+                    view.read_block(ri, c0, hi, w, a);
+                    view.read_block(rj, c0, hj, w, b);
+                    view.read_block(ri, rj, hi, hj, c);
+                    tile_gemm_nt(hi, hj, w, a, hi, b, hj, c, hi);
+                    view.write_block(ri, rj, hi, hj, c);
+                });
+            }
+        }
+    }
+    let (kind, m, n, k) = plan.charge_args(idx);
+    let dur = host.charge_kernel(kind, m, n, k);
+    match fail {
+        Some(col) => Err(FuError::NotPositiveDefinite { local_column: col }),
+        None => Ok(dur),
+    }
+}
+
+/// The serial tiled front body: run the plan's tasks in canonical emission
+/// order. This *is* the reference schedule the parallel driver reproduces.
+pub fn process_front_tiled<T: Scalar>(
+    front: &mut Front<'_, T>,
+    plan: &TilePlan,
+    host: &mut HostClock,
+    timing_only: bool,
+) -> Result<(), FuError> {
+    debug_assert_eq!((plan.s, plan.k), (front.s, front.k), "plan does not match front");
+    if timing_only {
+        // The front may be a dummy (no backing storage): only charge.
+        for idx in 0..plan.len() {
+            let (kind, m, n, k) = plan.charge_args(idx);
+            host.charge_kernel(kind, m, n, k);
+        }
+        return Ok(());
+    }
+    let view = FrontView::new(front.data, front.s);
+    let mut first_fail: Option<usize> = None;
+    for idx in 0..plan.len() {
+        // SAFETY: serial execution in a topological order; `front.data`
+        // is exclusively borrowed for the loop. On a pivot failure the
+        // remaining tasks still run (charging time, skipping numerics is
+        // not needed — later tiles just consume the partial factor), but
+        // we surface the *first* failing column like the monolithic body.
+        match unsafe { exec_tile_task(view, plan, idx, host, timing_only) } {
+            Ok(_) => {}
+            Err(FuError::NotPositiveDefinite { local_column }) => {
+                first_fail.get_or_insert(local_column);
+            }
+        }
+    }
+    match first_fail {
+        Some(local_column) => Err(FuError::NotPositiveDefinite { local_column }),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_dense::matrix::random_spd;
+    use mf_gpusim::Machine;
+
+    fn opts(tile: usize, min_front: usize) -> TilingOptions {
+        TilingOptions { enabled: true, tile, min_front }
+    }
+
+    #[test]
+    fn threshold_and_switch_gate_the_plan() {
+        assert!(TilingOptions::disabled().plan(4096, 2048).is_none());
+        assert!(TilingOptions::default().plan(4096, 2048).is_none(), "default is opt-out");
+        assert!(TilingOptions::tiled().plan(255, 100).is_none());
+        assert!(TilingOptions::tiled().plan(300, 0).is_none());
+        assert!(TilingOptions::tiled().plan(300, 100).is_some());
+        // Degenerate: one pivot tile, no update rows → single potrf task.
+        assert!(opts(64, 32).plan(40, 40).is_none());
+    }
+
+    #[test]
+    fn plan_counts_and_layout() {
+        // s = 100, k = 48, tile = 20 → pivot tiles 20/20/8, update rows
+        // 52 → tiles 20/20/12.
+        let p = opts(20, 32).plan(100, 48).unwrap();
+        assert_eq!(p.nb, 3);
+        assert_eq!(p.rows, vec![(0, 20), (20, 20), (40, 8), (48, 20), (68, 20), (88, 12)]);
+        // Per round kb over nt = 6 tiles: 1 potrf + (nt-kb-1) trsm +
+        // T(nt-kb-1) updates.
+        let expect: usize = (0..3).map(|kb| 1 + (5 - kb) + (5 - kb) * (6 - kb) / 2).sum();
+        assert_eq!(p.len(), expect);
+        // Canonical order starts with the first round.
+        assert_eq!(p.tasks[0], TileKernel::Potrf { kb: 0 });
+        assert_eq!(p.tasks[1], TileKernel::Trsm { i: 1, kb: 0 });
+        // Single DAG root; emission order is topological.
+        let roots = p.deps.iter().filter(|d| d.is_empty()).count();
+        assert_eq!(roots, 1);
+        for (t, pre) in p.deps.iter().enumerate() {
+            for &q in pre {
+                assert!((q as usize) < t, "dep {q} of {t} not earlier");
+            }
+        }
+        // Terminals all live in the last round (kb = nb-1).
+        for &t in &p.terminals() {
+            let kb = match p.tasks[t as usize] {
+                TileKernel::Potrf { kb }
+                | TileKernel::Trsm { kb, .. }
+                | TileKernel::Syrk { kb, .. }
+                | TileKernel::Gemm { kb, .. } => kb,
+            };
+            assert_eq!(kb, p.nb - 1);
+        }
+    }
+
+    #[test]
+    fn every_update_chain_is_ascending_k() {
+        let p = opts(16, 32).plan(90, 41).unwrap();
+        // For each tile, collect the pivot rounds of its writers in task
+        // order — they must ascend.
+        let nt = p.rows.len();
+        let mut rounds: Vec<Vec<usize>> = vec![Vec::new(); nt * nt];
+        for t in &p.tasks {
+            let (i, j, kb) = match *t {
+                TileKernel::Potrf { kb } => (kb, kb, kb),
+                TileKernel::Trsm { i, kb } => (i, kb, kb),
+                TileKernel::Syrk { j, kb } => (j, j, kb),
+                TileKernel::Gemm { i, j, kb } => (i, j, kb),
+            };
+            rounds[i * nt + j].push(kb);
+        }
+        for r in rounds {
+            assert!(r.windows(2).all(|w| w[0] <= w[1]), "non-ascending chain {r:?}");
+        }
+    }
+
+    #[test]
+    fn tiled_matches_monolithic_numerically() {
+        // The tiled schedule is a different but valid elimination order —
+        // pin it to the monolithic kernels at factorization accuracy.
+        for (s, k, tile) in [(96, 50, 16), (120, 120, 32), (70, 33, 33)] {
+            let a = random_spd::<f64>(s, 1234 + s as u64);
+            let mut mono = a.as_slice().to_vec();
+            {
+                let f = Front { s, k, data: &mut mono };
+                let mut machine = Machine::cpu_only(mf_gpusim::xeon_5160_core());
+                // Monolithic reference via the dense kernels directly.
+                let _ = &mut machine;
+                mf_dense::potrf(k, f.data, s).unwrap();
+                if s > k {
+                    let m = s - k;
+                    let piv: Vec<f64> = (0..k * k)
+                        .map(|p| if p % k >= p / k { f.data[(p / k) * s + p % k] } else { 0.0 })
+                        .collect();
+                    mf_dense::trsm_right_lower_trans(m, k, &piv, k, &mut f.data[k..], s);
+                    let (pc, tr) = f.data.split_at_mut(k * s);
+                    mf_dense::syrk_lower(m, k, -1.0, &pc[k..], s, 1.0, &mut tr[k..], s);
+                }
+            }
+            let mut tiled = a.as_slice().to_vec();
+            let plan = opts(tile, 32).plan(s, k).unwrap();
+            let mut machine = Machine::cpu_only(mf_gpusim::xeon_5160_core());
+            let mut f = Front { s, k, data: &mut tiled };
+            process_front_tiled(&mut f, &plan, &mut machine.host, false).unwrap();
+            let mut max = 0.0f64;
+            for j in 0..s {
+                for i in j..s {
+                    if j < k || i >= k {
+                        max = max.max((tiled[i + j * s] - mono[i + j * s]).abs());
+                    }
+                }
+            }
+            assert!(max < 1e-10, "(s={s},k={k},tile={tile}) deviates by {max}");
+        }
+    }
+
+    #[test]
+    fn any_topological_order_is_bitwise_identical() {
+        // Execute the plan in reverse-priority topological order (always
+        // pick the highest-index ready task) and compare bits against the
+        // canonical serial order — the deps must fully pin the bytes.
+        let (s, k, tile) = (110, 60, 16);
+        let a = random_spd::<f64>(s, 99);
+        let plan = opts(tile, 32).plan(s, k).unwrap();
+
+        let mut serial = a.as_slice().to_vec();
+        let mut machine = Machine::cpu_only(mf_gpusim::xeon_5160_core());
+        let mut f = Front { s, k, data: &mut serial };
+        process_front_tiled(&mut f, &plan, &mut machine.host, false).unwrap();
+
+        let mut scrambled = a.as_slice().to_vec();
+        let view = FrontView::new(&mut scrambled, s);
+        let mut remaining: Vec<usize> = plan.deps.iter().map(|d| d.len()).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); plan.len()];
+        for (t, pre) in plan.deps.iter().enumerate() {
+            for &q in pre {
+                dependents[q as usize].push(t);
+            }
+        }
+        let mut ready: Vec<usize> = (0..plan.len()).filter(|&t| remaining[t] == 0).collect();
+        let mut machine2 = Machine::cpu_only(mf_gpusim::xeon_5160_core());
+        let mut run = 0;
+        while let Some(t) = ready.pop() {
+            // SAFETY: deps satisfied; single-threaded here.
+            unsafe { exec_tile_task(view, &plan, t, &mut machine2.host, false).unwrap() };
+            run += 1;
+            for &d in &dependents[t] {
+                remaining[d] -= 1;
+                if remaining[d] == 0 {
+                    ready.push(d);
+                }
+            }
+            ready.sort_unstable();
+        }
+        assert_eq!(run, plan.len());
+        assert!(
+            serial.iter().zip(&scrambled).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "execution order leaked into the bits"
+        );
+    }
+
+    #[test]
+    fn failing_pivot_reports_front_local_column() {
+        let (s, k, tile) = (80, 60, 16);
+        let mut a = random_spd::<f64>(s, 7).as_slice().to_vec();
+        a[37 + 37 * s] = -4.0; // poison a pivot in tile kb = 2
+        let plan = opts(tile, 32).plan(s, k).unwrap();
+        let mut machine = Machine::cpu_only(mf_gpusim::xeon_5160_core());
+        let mut f = Front { s, k, data: &mut a };
+        let err = process_front_tiled(&mut f, &plan, &mut machine.host, false).unwrap_err();
+        assert_eq!(err, FuError::NotPositiveDefinite { local_column: 37 });
+    }
+
+    #[test]
+    fn timing_only_charges_without_storage() {
+        let plan = opts(64, 128).plan(500, 200).unwrap();
+        let mut machine = Machine::cpu_only(mf_gpusim::xeon_5160_core());
+        let empty: &mut [f64] = &mut [];
+        let mut f = Front { s: 500, k: 200, data: empty };
+        process_front_tiled(&mut f, &plan, &mut machine.host, true).unwrap();
+        assert!(machine.elapsed() > 0.0);
+    }
+}

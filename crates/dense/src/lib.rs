@@ -43,6 +43,7 @@ mod potrf;
 mod reference;
 mod simd;
 mod syrk;
+mod tile;
 mod trsm;
 
 pub use gemm::{gemm, gemm_multi_rhs, gemm_nt, Transpose};
@@ -52,6 +53,7 @@ pub use potrf::{potrf, potrf_blocked, potrf_unblocked, PotrfError};
 pub use reference::{gemm_ref, potrf_ref, syrk_ref, trsm_ref};
 pub use scalar::Scalar;
 pub use syrk::syrk_lower;
+pub use tile::{tile_gemm_nt, tile_potrf, tile_syrk, tile_trsm};
 pub use trsm::{
     trsm_left_lower_notrans, trsm_left_lower_notrans_multi, trsm_left_lower_trans,
     trsm_left_lower_trans_multi, trsm_right_lower_trans,

@@ -7,18 +7,29 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
-/// How long an idle worker sleeps before re-scanning on its own. The parker
-/// is wakeup-driven; the timeout is only a safety net against the narrow
-/// race documented in [`Parker::park`].
-const PARK_TIMEOUT: Duration = Duration::from_micros(500);
+/// How long an idle worker sleeps before re-scanning on its own. Wakeups
+/// are delivered reliably (the SeqCst handshake in [`Parker`] closes the
+/// historical store-load race), so the timeout is pure paranoia against
+/// bugs elsewhere — it can afford to be long. The old 500 µs value papered
+/// over missed wakes with busy re-scans, which burned a core per idle
+/// worker on expansion-heavy graphs.
+const PARK_TIMEOUT: Duration = Duration::from_millis(5);
 
 /// Epoch-based sleep/wake coordination for idle workers.
 ///
 /// A worker reads the epoch, scans every deque, and parks only if the epoch
-/// is still unchanged — any wake-worthy event (task release, abort, last
-/// completion) bumps the epoch first, so a scan-miss/park race can only
-/// happen when the bump lands in the instant between the re-check and the
-/// wait, and the wait itself is bounded by a timeout.
+/// is still unchanged — any wake-worthy event (task release or expansion,
+/// abort, last completion) bumps the epoch first.
+///
+/// The wake path is a classic two-flag (Dekker-style) handshake: the parker
+/// publishes `sleepers += 1` then reads `epoch`; the waker publishes
+/// `epoch += 1` then reads `sleepers`. Both sides' operations are `SeqCst`,
+/// so at least one of them observes the other — a missed wake would need
+/// the parker to read the pre-bump epoch *and* the waker to read the
+/// pre-increment sleeper count, which the total `SeqCst` order forbids.
+/// Release/acquire alone is not enough: each thread's load could hoist
+/// above its own store, and the wait would silently fall back to the
+/// safety timeout.
 #[derive(Debug, Default)]
 struct Parker {
     epoch: AtomicU64,
@@ -29,13 +40,13 @@ struct Parker {
 
 impl Parker {
     fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
+        self.epoch.load(Ordering::SeqCst)
     }
 
     /// Bump the epoch and wake every parked worker.
     fn wake_all(&self) {
-        self.epoch.fetch_add(1, Ordering::Release);
-        if self.sleepers.load(Ordering::Acquire) > 0 {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
             // Taking the lock orders the notify after any in-progress
             // check-then-wait transition.
             let _g = self.lock.lock().unwrap();
@@ -45,14 +56,14 @@ impl Parker {
 
     /// Park until the epoch moves past `seen` (or the safety timeout).
     fn park(&self, seen: u64) {
-        self.sleepers.fetch_add(1, Ordering::AcqRel);
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
         {
             let g = self.lock.lock().unwrap();
-            if self.epoch.load(Ordering::Acquire) == seen {
+            if self.epoch.load(Ordering::SeqCst) == seen {
                 let _ = self.cv.wait_timeout(g, PARK_TIMEOUT).unwrap();
             }
         }
-        self.sleepers.fetch_sub(1, Ordering::AcqRel);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -133,7 +144,10 @@ impl Runtime {
         let nw = self.workers;
         // Each deque is sized to the whole graph: a task is pushed at most
         // once overall, so no deque can ever see more than `n` pushes —
-        // the no-wraparound precondition of `TaskDeque`.
+        // the no-wraparound precondition of `TaskDeque`. Callers that
+        // expand coarse tasks into fine-grained child tasks (e.g. a front's
+        // tile DAG) pre-declare them as graph nodes, so the bound covers
+        // the maximum tile-task burst too — no deque ever grows or spills.
         let deques: Vec<TaskDeque> = (0..nw).map(|_| TaskDeque::new(n)).collect();
         for (i, t) in graph.initial_ready().into_iter().enumerate() {
             deques[i % nw].push(t);
@@ -311,6 +325,44 @@ mod tests {
         assert!(errs.iter().any(|(t, e)| *t == 17 && *e == "boom"));
         // The root (task 0, which depends on everything) must never run.
         assert!(ran.load(Ordering::Relaxed) < g.len(), "abort must cut the run short");
+    }
+
+    #[test]
+    fn park_wake_storm_stays_live() {
+        // Alternating wide/narrow rounds: W parallel tasks funnel into a
+        // single gate task that releases the next round, so most workers
+        // park at every gate and must be woken by whichever worker runs it.
+        // A lost wake costs a full PARK_TIMEOUT per occurrence; systematic
+        // loss would stall this test into its harness timeout. Correctness
+        // (every task exactly once, in round order) is asserted directly.
+        let (rounds, width, workers) = (200usize, 4usize, 4usize);
+        let n = rounds * (width + 1);
+        let mut g = TaskGraph::new(n);
+        let id = |r: usize, j: usize| r * (width + 1) + j; // j == width is the gate
+        for r in 0..rounds {
+            for j in 0..width {
+                if r > 0 {
+                    g.add_dependency(id(r, j), id(r - 1, width));
+                }
+                g.add_dependency(id(r, width), id(r, j));
+            }
+        }
+        let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let rt = Runtime::new(workers);
+        let (_, errs) = rt.run(&g, vec![(); workers], |_, t| -> Result<(), ()> {
+            let (r, j) = (t / (width + 1), t % (width + 1));
+            if j == width {
+                for jj in 0..width {
+                    assert!(done[id(r, jj)].load(Ordering::Acquire), "gate {r} ran early");
+                }
+            } else if r > 0 {
+                assert!(done[id(r - 1, width)].load(Ordering::Acquire), "round {r} ran early");
+            }
+            assert!(!done[t].swap(true, Ordering::AcqRel), "task {t} ran twice");
+            Ok(())
+        });
+        assert!(errs.is_empty());
+        assert!(done.iter().all(|d| d.load(Ordering::Relaxed)));
     }
 
     #[test]

@@ -160,6 +160,89 @@ fn storage_backends_bitwise_agree_f32() {
     }
 }
 
+/// Intra-front tiled task expansion: with the tile size and expansion
+/// threshold lowered so the test families' root fronts really split into
+/// `potrf`/`trsm`/`syrk`/`gemm` tile tasks, the parallel driver schedules
+/// those tiles across workers — and the factor must still be bitwise
+/// identical to the serial driver at every worker count, because the tiled
+/// loop nest is the *same* canonical numeric schedule serially and in
+/// parallel (the DAG only reorders independent tiles; every output tile has
+/// exactly one writer per round and the update reduction order over `k` is
+/// fixed). Checked for both storage backends, which must also agree with
+/// each other.
+fn tiled_opts(storage: FrontStorage) -> FactorOptions {
+    FactorOptions {
+        selector: PolicySelector::Fixed(PolicyKind::P1),
+        tiling: TilingOptions { enabled: true, tile: 8, min_front: 24 },
+        front_storage: storage,
+        record_stats: true,
+        ..Default::default()
+    }
+}
+
+fn assert_tiled_bitwise<T: Scalar>(a: &SymCsc<T>, symbolic: &SymbolicFactor, perm: &Permutation) {
+    use gpu_multifrontal::core::TaskKind;
+    let mut cross_storage: Option<Vec<u64>> = None;
+    for (sname, storage) in [("arena", FrontStorage::Arena), ("heap", FrontStorage::Heap)] {
+        let opts = tiled_opts(storage);
+        let mut serial_machine = Machine::paper_node();
+        let (fs, _) = factor_permuted(a, symbolic, perm, &mut serial_machine, &opts).unwrap();
+        let reference = panel_bits(&fs);
+        match &cross_storage {
+            None => cross_storage = Some(reference.clone()),
+            Some(r) => assert_eq!(r, &reference, "storage backend changed the tiled factor"),
+        }
+        for workers in [1usize, 2, 4, 8] {
+            let mut machines: Vec<Machine> = (0..workers).map(|_| Machine::paper_node()).collect();
+            let (fp, sp) = factor_permuted_parallel(
+                a,
+                symbolic,
+                perm,
+                &mut machines,
+                &opts,
+                &ParallelOptions { thread_budget: 4 },
+            )
+            .unwrap();
+            assert_eq!(
+                reference,
+                panel_bits(&fp),
+                "{workers}-worker {sname} tiled factor must be bitwise identical to serial"
+            );
+            // The thresholds above must actually expand fronts, otherwise
+            // this suite silently degenerates into the untiled one.
+            assert!(
+                sp.tasks.iter().any(|t| t.kind == TaskKind::Potrf),
+                "no front expanded into tile tasks ({sname}, w={workers})"
+            );
+        }
+    }
+}
+
+#[test]
+fn tiled_expansion_bitwise_identical_f64_all_families() {
+    for a in [
+        laplacian_2d(20, 17, Stencil::Faces),
+        laplacian_3d(8, 7, 6, Stencil::Faces),
+        elasticity_3d(4, 4, 3),
+    ] {
+        let an = analysis_of(&a);
+        assert_tiled_bitwise(&an.permuted.0, &an.symbolic, &an.perm);
+    }
+}
+
+#[test]
+fn tiled_expansion_bitwise_identical_f32_all_families() {
+    for a in [
+        laplacian_2d(20, 17, Stencil::Faces),
+        laplacian_3d(8, 7, 6, Stencil::Faces),
+        elasticity_3d(4, 4, 3),
+    ] {
+        let an = analysis_of(&a);
+        let a32: SymCsc<f32> = an.permuted.0.cast();
+        assert_tiled_bitwise(&a32, &an.symbolic, &an.perm);
+    }
+}
+
 #[test]
 fn thread_budget_never_changes_bits() {
     // The nested-parallelism arbitration only picks kernel widths; the
