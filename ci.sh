@@ -27,6 +27,16 @@ cargo test -q --release --test determinism
 echo "==> determinism suite (RUST_TEST_THREADS=1)"
 RUST_TEST_THREADS=1 cargo test -q --release --test determinism
 
+# The server's concurrency contracts (batched responses bitwise identical to
+# serial answers, typed rejections, LRU eviction accounting) must hold with
+# test cases running concurrently and fully serialized — the schedules put
+# very different load shapes through the worker pool.
+echo "==> server suite (default test threads)"
+cargo test -q --release -p mf-server
+
+echo "==> server suite (RUST_TEST_THREADS=1)"
+RUST_TEST_THREADS=1 cargo test -q --release -p mf-server
+
 # The intra-front tiled task DAG has its own bitwise contract (serial vs
 # 1/2/4/8 workers × f32/f64 × arena/heap with fronts forced to expand).
 # Run the tiled tests by name and count them, so a filter typo or a renamed
@@ -56,5 +66,13 @@ cargo bench -p mf-bench --bench solve
 
 echo "==> gpu_pipeline bench (writes BENCH_gpu.json)"
 cargo bench -p mf-bench --bench gpu_pipeline
+
+# Open-loop load bench for the service layer. Three invariants are asserted
+# inside the bench and panic (failing this step) on violation: every response
+# bitwise identical to the serial single-request answer, batched mode beating
+# per-request dispatch on requests/sec at 8 concurrent callers, and overload
+# bursts shedding load without corrupting accepted requests.
+echo "==> server load bench (writes BENCH_server.json)"
+cargo bench -p mf-bench --bench server
 
 echo "CI OK"

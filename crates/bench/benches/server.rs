@@ -1,0 +1,284 @@
+//! Open-loop load benchmark of the mf-server service layer: cross-request
+//! RHS batching vs per-request dispatch under concurrent callers.
+//!
+//! The driver is open-loop: every caller thread *issues* its whole request
+//! schedule through `solve_many_async` without waiting on completions, so
+//! service time cannot throttle the offered load. Completion latency is
+//! stamped by the worker at reply time (`wait_with_latency`), so a tardy
+//! waiter never inflates it.
+//!
+//! `BENCH_server.json` reports, per matrix, requests/sec and latency
+//! percentiles for the same offered load served two ways:
+//!
+//! * **per_request** — `max_batch_rhs = 1`: every request is its own
+//!   triangular sweep (per-request dispatch), and
+//! * **batched** — `max_batch_rhs = 32`: pending RHS from independent
+//!   callers are aggregated into blocked `solve_many` sweeps.
+//!
+//! Three invariants are *asserted* (a violation panics and fails CI):
+//!
+//! 1. every response, batched or not, is bitwise identical to the serial
+//!    single-request answer from a standalone solver;
+//! 2. batched mode beats per-request dispatch on requests/sec at the
+//!    8-concurrent-caller load point;
+//! 3. an overload burst against a tiny queue yields typed `Overloaded`
+//!    rejections while every *accepted* request still completes with the
+//!    bitwise-exact answer — rejected requests never corrupt a session.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mf_core::{Precision, SolverOptions, SpdSolver};
+use mf_gpusim::Machine;
+use mf_matgen::PaperMatrix;
+use mf_server::{ServeError, Server, ServerConfig, SessionId};
+use mf_sparse::SymCsc;
+
+const CALLERS: usize = 8;
+const REQS_PER_CALLER: usize = 48;
+const DISTINCT_RHS: usize = 16;
+const BATCH_WINDOW: usize = 32;
+
+fn opts() -> SolverOptions {
+    SolverOptions { precision: Precision::F64, ..Default::default() }
+}
+
+fn suite() -> Vec<(&'static str, SymCsc<f64>)> {
+    let scale =
+        std::env::var("MF_BENCH_SCALE").ok().and_then(|s| s.parse::<f64>().ok()).unwrap_or(0.30);
+    vec![
+        ("sgi_1M", PaperMatrix::Sgi1M.generate_scaled(scale)),
+        ("audikw_1", PaperMatrix::Audikw1.generate_scaled(scale)),
+    ]
+}
+
+fn rhs(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = (i as u64 ^ seed).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed) >> 33;
+            (x as f64 / (1u64 << 31) as f64) - 0.5
+        })
+        .collect()
+}
+
+fn assert_bitwise(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    assert!(
+        got.iter().zip(want).all(|(g, w)| g.to_bits() == w.to_bits()),
+        "{what}: response diverged bitwise from the serial single-request answer"
+    );
+}
+
+struct LoadResult {
+    wall: Duration,
+    latencies: Vec<Duration>,
+    batches: u64,
+    max_batch_rhs: u64,
+}
+
+impl LoadResult {
+    fn requests_per_sec(&self) -> f64 {
+        self.latencies.len() as f64 / self.wall.as_secs_f64()
+    }
+
+    fn percentile_ms(&self, p: f64) -> f64 {
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx].as_secs_f64() * 1e3
+    }
+}
+
+/// Drive `CALLERS` threads issuing `REQS_PER_CALLER` single-RHS requests
+/// each against one shared session, open-loop; wait for every completion
+/// and assert each response bitwise against its precomputed serial answer.
+fn drive(server: &Arc<Server>, session: SessionId, expected: &[Vec<f64>]) -> LoadResult {
+    let before = server.stats();
+    let start = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CALLERS)
+            .map(|c| {
+                let server = server.clone();
+                s.spawn(move || {
+                    // Issue the full schedule first (open loop)...
+                    let tickets: Vec<_> = (0..REQS_PER_CALLER)
+                        .map(|i| {
+                            let which = (c * 31 + i) % DISTINCT_RHS;
+                            let b = rhs(expected[which].len(), which as u64);
+                            let t = server
+                                .solve_many_async(session, b, 1)
+                                .expect("queue_depth covers the whole schedule");
+                            (which, t)
+                        })
+                        .collect();
+                    // ...then collect completions and check every answer.
+                    tickets
+                        .into_iter()
+                        .map(|(which, t)| {
+                            let (x, latency) = t.wait_with_latency();
+                            let x = x.expect("accepted requests complete");
+                            assert_bitwise(&x, &expected[which], "load response");
+                            latency
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("caller thread")).collect()
+    });
+    let wall = start.elapsed();
+    let after = server.stats();
+    LoadResult {
+        wall,
+        latencies,
+        batches: after.batches - before.batches,
+        max_batch_rhs: after.max_batch_rhs,
+    }
+}
+
+fn run_mode(a: &SymCsc<f64>, max_batch_rhs: usize, expected: &[Vec<f64>]) -> LoadResult {
+    let server = Arc::new(Server::start(ServerConfig {
+        solver: opts(),
+        workers: 2,
+        max_batch_rhs,
+        queue_depth: CALLERS * REQS_PER_CALLER + 64,
+        ..Default::default()
+    }));
+    let session = server.submit("bench", a).expect("bench matrix is SPD");
+    // Warm-up outside the timed window.
+    for (which, want) in expected.iter().enumerate().take(4) {
+        let x = server.solve(session, rhs(a.order(), which as u64)).expect("warm-up");
+        assert_bitwise(&x, want, "warm-up response");
+    }
+    drive(&server, session, expected)
+}
+
+/// Overload burst: a tiny queue under a hot submission loop must produce
+/// typed rejections, and every accepted request must still come back
+/// bitwise exact.
+fn overload_burst(a: &SymCsc<f64>, expected: &[Vec<f64>]) -> (usize, usize) {
+    let server = Server::start(ServerConfig {
+        solver: opts(),
+        workers: 1,
+        max_batch_rhs: 4,
+        queue_depth: 8,
+        ..Default::default()
+    });
+    let session = server.submit("burst", a).expect("bench matrix is SPD");
+    let mut tickets = Vec::new();
+    let mut rejected = 0usize;
+    for i in 0..4000 {
+        let which = i % DISTINCT_RHS;
+        match server.solve_many_async(session, rhs(a.order(), which as u64), 1) {
+            Ok(t) => tickets.push((which, t)),
+            Err(ServeError::Overloaded { .. }) => {
+                rejected += 1;
+                if rejected >= 64 && !tickets.is_empty() {
+                    break;
+                }
+            }
+            Err(e) => panic!("unexpected rejection during burst: {e}"),
+        }
+    }
+    assert!(rejected > 0, "a queue_depth=8 server under a hot loop must shed load");
+    let accepted = tickets.len();
+    for (which, t) in tickets {
+        let x = t.wait().expect("accepted requests complete despite the burst");
+        assert_bitwise(&x, &expected[which], "burst response");
+    }
+    // The session survived the burst intact.
+    let x = server.solve(session, rhs(a.order(), 0)).expect("post-burst solve");
+    assert_bitwise(&x, &expected[0], "post-burst response");
+    (accepted, rejected)
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut blocks: Vec<String> = Vec::new();
+    let mut burst_block = String::new();
+
+    for (name, a) in suite() {
+        let n = a.order();
+        // Serial single-request reference answers on a standalone solver.
+        let expected: Vec<Vec<f64>> = {
+            let mut machine = Machine::paper_node();
+            let solver = SpdSolver::new(&a, &mut machine, &opts()).expect("SPD");
+            (0..DISTINCT_RHS)
+                .map(|which| solver.solve_many(&rhs(n, which as u64), 1).expect("well-formed"))
+                .collect()
+        };
+
+        let per_request = run_mode(&a, 1, &expected);
+        let batched = run_mode(&a, BATCH_WINDOW, &expected);
+        let gain = batched.requests_per_sec() / per_request.requests_per_sec();
+
+        assert!(per_request.max_batch_rhs <= 1, "window 1 must disable batching");
+        assert!(
+            batched.max_batch_rhs > 1,
+            "saturated 8-caller load must actually form cross-request batches"
+        );
+        // The acceptance gate: batching must win throughput at 8 callers.
+        assert!(
+            gain > 1.0,
+            "{name}: batched mode ({:.1} req/s) did not beat per-request dispatch \
+             ({:.1} req/s) at {CALLERS} concurrent callers",
+            batched.requests_per_sec(),
+            per_request.requests_per_sec()
+        );
+        println!(
+            "{name}: per_request {:.1} req/s, batched {:.1} req/s ({gain:.2}x), \
+             widest batch {} RHS over {} sweeps",
+            per_request.requests_per_sec(),
+            batched.requests_per_sec(),
+            batched.max_batch_rhs,
+            batched.batches,
+        );
+
+        let mode_json = |m: &LoadResult| {
+            format!(
+                "{{\"requests_per_sec\": {:.1}, \"wall_ms\": {:.1}, \"p50_ms\": {:.3}, \
+                 \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"sweeps\": {}, \"widest_batch_rhs\": {}}}",
+                m.requests_per_sec(),
+                m.wall.as_secs_f64() * 1e3,
+                m.percentile_ms(0.50),
+                m.percentile_ms(0.95),
+                m.percentile_ms(0.99),
+                m.batches,
+                m.max_batch_rhs
+            )
+        };
+        blocks.push(format!(
+            "    {{\"name\": \"{name}\", \"order\": {n},\n      \"per_request\": {},\n      \
+             \"batched\": {},\n      \"batched_throughput_gain\": {gain:.3}}}",
+            mode_json(&per_request),
+            mode_json(&batched)
+        ));
+
+        if burst_block.is_empty() {
+            let (accepted, rejected) = overload_burst(&a, &expected);
+            burst_block = format!(
+                "{{\"matrix\": \"{name}\", \"queue_depth\": 8, \"accepted\": {accepted}, \
+                 \"rejected\": {rejected}, \"accepted_all_bitwise_identical\": true}}"
+            );
+            println!(
+                "{name}: overload burst shed {rejected} requests, \
+                 {accepted} accepted all bitwise-exact"
+            );
+        }
+    }
+
+    let out = format!(
+        "{{\n  \"hardware_threads\": {threads},\n  \"callers\": {CALLERS},\n  \
+         \"requests_per_caller\": {REQS_PER_CALLER},\n  \"note\": \"open-loop driver; every \
+         response asserted bitwise identical to the serial single-request answer; \
+         batched_throughput_gain > 1 is asserted at {CALLERS} concurrent callers\",\n  \
+         \"matrices\": [\n{}\n  ],\n  \"overload_burst\": {burst_block}\n}}\n",
+        blocks.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote BENCH_server.json ({threads} hardware threads)");
+    }
+}

@@ -24,7 +24,7 @@
 //! };
 //! let solver = SpdSolver::new(&a, &mut machine, &opts).unwrap();
 //! let b = mf_matgen::rhs_ones(&a);
-//! let sol = solver.solve_refined(&b, 4, 1e-12);
+//! let sol = solver.solve_refined(&b, 4, 1e-12).unwrap();
 //! assert!(sol.residual_history.last().unwrap() < &1e-11);
 //! ```
 
@@ -60,8 +60,8 @@ pub use parallel::{
 pub use pinned_pool::PinnedPool;
 pub use policy::{BaselineThresholds, PolicyKind};
 pub use solver::{
-    Precision, RefactorError, RefineInfo, RefineStop, RefinedManySolution, RefinedSolution,
-    SolverOptions, SpdSolver,
+    estimated_memory_bytes, Precision, RefactorError, RefineInfo, RefineStop, RefinedManySolution,
+    RefinedSolution, SolveError, SolverOptions, SpdSolver,
 };
 pub use stats::{FactorStats, FuRecord, TaskKind, TaskRecord};
 pub use tile::{process_front_tiled, FrontView, TileKernel, TilePlan, TilingOptions};
@@ -71,8 +71,8 @@ pub mod prelude {
     pub use crate::factor::{FactorOptions, PipelineOptions, PolicySelector};
     pub use crate::policy::{BaselineThresholds, PolicyKind};
     pub use crate::solver::{
-        Precision, RefactorError, RefineStop, RefinedManySolution, RefinedSolution, SolverOptions,
-        SpdSolver,
+        Precision, RefactorError, RefineStop, RefinedManySolution, RefinedSolution, SolveError,
+        SolverOptions, SpdSolver,
     };
     pub use crate::tile::TilingOptions;
 }

@@ -118,6 +118,94 @@ enum FactorHolder {
     F32(CholeskyFactor<f32>),
 }
 
+/// Rejection of a malformed solve request, reported **before** any numeric
+/// work touches the factor. A long-lived service must degrade gracefully on
+/// bad input — a panic would unwind a worker thread — so every
+/// [`SpdSolver`] solve entry point validates its right-hand sides and
+/// returns one of these instead of asserting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// `b.len()` is not `n × nrhs`.
+    DimensionMismatch {
+        /// Required length (`n × nrhs`).
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+    /// `nrhs == 0`: an empty request is a caller bug, not a solve.
+    ZeroRhs,
+    /// A right-hand-side entry is NaN or infinite; the triangular sweeps
+    /// would silently propagate it through every dependent unknown.
+    NonFinite {
+        /// Column (RHS index) of the offending entry.
+        column: usize,
+        /// Row of the offending entry.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::DimensionMismatch { expected, got } => {
+                write!(f, "right-hand side has {got} entries, expected {expected}")
+            }
+            SolveError::ZeroRhs => write!(f, "nrhs must be at least 1"),
+            SolveError::NonFinite { column, row } => {
+                write!(f, "non-finite right-hand-side entry at row {row}, column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl SolveError {
+    /// Validate an `n × nrhs` column-major right-hand-side block — exactly
+    /// the check every [`SpdSolver`] solve entry point performs. Public so a
+    /// serving layer can reject malformed requests at admission time, before
+    /// they consume a queue slot.
+    pub fn validate(n: usize, b: &[f64], nrhs: usize) -> Result<(), SolveError> {
+        if nrhs == 0 {
+            return Err(SolveError::ZeroRhs);
+        }
+        let expected = n * nrhs;
+        if b.len() != expected {
+            return Err(SolveError::DimensionMismatch { expected, got: b.len() });
+        }
+        if let Some(bad) = b.iter().position(|v| !v.is_finite()) {
+            return Err(SolveError::NonFinite { column: bad / n, row: bad % n });
+        }
+        Ok(())
+    }
+}
+
+/// Validate an `n × nrhs` column-major right-hand-side block.
+fn validate_rhs(n: usize, b: &[f64], nrhs: usize) -> Result<(), SolveError> {
+    SolveError::validate(n, b, nrhs)
+}
+
+/// The resident-bytes estimate a serving layer should charge for keeping a
+/// solver with this analysis alive at the given precision: factor slab +
+/// refactor update-stack peak (both at the factor precision) + the two
+/// pattern copies a [`SpdSolver`] retains (original and permuted matrix).
+/// [`SpdSolver::memory_bytes`] reports the same figure for a built solver;
+/// this form lets admission control run **before** the numeric
+/// factorization spends the memory.
+pub fn estimated_memory_bytes(analysis: &Analysis, precision: Precision) -> usize {
+    let scalar = match precision {
+        Precision::F64 => std::mem::size_of::<f64>(),
+        Precision::F32 => std::mem::size_of::<f32>(),
+    };
+    let idx = std::mem::size_of::<usize>();
+    let sym = &analysis.symbolic;
+    let pa = &analysis.permuted.0;
+    let factor_slab = sym.factor_slab_len() * scalar;
+    let update_stack = sym.update_stack_peak() * scalar;
+    let pattern = pa.nnz_lower() * (idx + std::mem::size_of::<f64>()) + (pa.order() + 1) * idx;
+    factor_slab + update_stack + 2 * pattern
+}
+
 /// Failure of [`SpdSolver::refactor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RefactorError {
@@ -226,34 +314,58 @@ impl SpdSolver {
         self.analysis.symbolic.factor_nnz()
     }
 
+    /// Resident working-set estimate for this solver in bytes: the factor
+    /// slab at the configured precision, the update-stack peak a refactor
+    /// would need (the symbolic working-storage bound), and the two pattern
+    /// copies it retains (the original matrix and the permuted copy inside
+    /// the cached analysis). This is the quantity a serving layer should
+    /// charge a tenant for keeping the session resident and refactorable.
+    pub fn memory_bytes(&self) -> usize {
+        estimated_memory_bytes(&self.analysis, self.opts.precision)
+    }
+
     /// One direct solve (no refinement); accuracy is limited by the factor
     /// precision.
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
         self.solve_many(b, 1)
     }
 
     /// Direct solve of `nrhs` right-hand sides (`b` is `n × nrhs`
     /// column-major). Column `j` is bitwise identical to [`SpdSolver::solve`]
     /// on column `j` alone.
-    pub fn solve_many(&self, b: &[f64], nrhs: usize) -> Vec<f64> {
-        match &self.factor {
-            FactorHolder::F64(f) => f.solve_many(b, nrhs),
-            FactorHolder::F32(f) => {
-                let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
-                f.solve_many(&b32, nrhs).into_iter().map(|v| v as f64).collect()
-            }
-        }
+    pub fn solve_many(&self, b: &[f64], nrhs: usize) -> Result<Vec<f64>, SolveError> {
+        validate_rhs(self.a.order(), b, nrhs)?;
+        Ok(self.solve_many_raw(b, nrhs))
     }
 
     /// [`SpdSolver::solve_many`] with the triangular sweeps scheduled across
     /// `workers` threads on the elimination tree; bitwise identical to the
     /// serial path at every worker count.
-    pub fn solve_many_parallel(&self, b: &[f64], nrhs: usize, workers: usize) -> Vec<f64> {
-        match &self.factor {
+    pub fn solve_many_parallel(
+        &self,
+        b: &[f64],
+        nrhs: usize,
+        workers: usize,
+    ) -> Result<Vec<f64>, SolveError> {
+        validate_rhs(self.a.order(), b, nrhs)?;
+        Ok(match &self.factor {
             FactorHolder::F64(f) => f.solve_many_parallel(b, nrhs, workers),
             FactorHolder::F32(f) => {
                 let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
                 f.solve_many_parallel(&b32, nrhs, workers).into_iter().map(|v| v as f64).collect()
+            }
+        })
+    }
+
+    /// The validated solve body; also used internally for refinement
+    /// corrections, whose residual blocks are produced by this solver and
+    /// bypass request validation.
+    fn solve_many_raw(&self, b: &[f64], nrhs: usize) -> Vec<f64> {
+        match &self.factor {
+            FactorHolder::F64(f) => f.solve_many(b, nrhs),
+            FactorHolder::F32(f) => {
+                let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+                f.solve_many(&b32, nrhs).into_iter().map(|v| v as f64).collect()
             }
         }
     }
@@ -266,16 +378,21 @@ impl SpdSolver {
     /// denominator underflows or vanishes (e.g. `b = 0` so `x = 0`), it
     /// falls back to `‖b‖∞`, and failing that reports the absolute residual
     /// — the history is finite for every input, never NaN.
-    pub fn solve_refined(&self, b: &[f64], max_iters: usize, tol: f64) -> RefinedSolution {
-        let mut many = self.solve_refined_many(b, 1, max_iters, tol);
+    pub fn solve_refined(
+        &self,
+        b: &[f64],
+        max_iters: usize,
+        tol: f64,
+    ) -> Result<RefinedSolution, SolveError> {
+        let mut many = self.solve_refined_many(b, 1, max_iters, tol)?;
         let info = many.columns.pop().expect("one column");
-        RefinedSolution {
+        Ok(RefinedSolution {
             x: many.x,
             residual_history: info.residual_history,
             iterations: info.iterations,
             converged: info.converged,
             stop: info.stop,
-        }
+        })
     }
 
     /// Blocked iterative refinement over `nrhs` right-hand sides (`b` is
@@ -294,12 +411,12 @@ impl SpdSolver {
         nrhs: usize,
         max_iters: usize,
         tol: f64,
-    ) -> RefinedManySolution {
+    ) -> Result<RefinedManySolution, SolveError> {
         let n = self.a.order();
-        assert_eq!(b.len(), n * nrhs, "B must be n × nrhs column-major");
+        validate_rhs(n, b, nrhs)?;
         let norm_a = self.a.norm_inf();
 
-        let mut x = self.solve_many(b, nrhs);
+        let mut x = self.solve_many_raw(b, nrhs);
         let mut cols: Vec<ColState> = (0..nrhs)
             .map(|j| {
                 let bj = &b[j * n..(j + 1) * n];
@@ -334,7 +451,7 @@ impl SpdSolver {
             for &j in &active {
                 rblock.extend_from_slice(&cols[j].r);
             }
-            let dx = self.solve_many(&rblock, active.len());
+            let dx = self.solve_many_raw(&rblock, active.len());
             for (slot, &j) in active.iter().enumerate() {
                 let xj = &mut x[j * n..(j + 1) * n];
                 for (xi, di) in xj.iter_mut().zip(&dx[slot * n..(slot + 1) * n]) {
@@ -359,7 +476,7 @@ impl SpdSolver {
                 }
             })
             .collect();
-        RefinedManySolution { x, columns }
+        Ok(RefinedManySolution { x, columns })
     }
 }
 
@@ -436,7 +553,7 @@ mod tests {
         let s =
             SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P1, Precision::F64)).unwrap();
         let (xtrue, b) = rhs_for_solution(&a, 1);
-        let x = s.solve(&b);
+        let x = s.solve(&b).unwrap();
         let err = x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(err < 1e-9, "forward error {err}");
     }
@@ -449,7 +566,7 @@ mod tests {
         let s =
             SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P3, Precision::F32)).unwrap();
         let (_, b) = rhs_for_solution(&a, 3);
-        let refined = s.solve_refined(&b, 5, 1e-14);
+        let refined = s.solve_refined(&b, 5, 1e-14).unwrap();
         let first = refined.residual_history[0];
         let last = *refined.residual_history.last().unwrap();
         assert!(first > 1e-9, "f32 factor should start with a visible residual: {first:e}");
@@ -470,7 +587,7 @@ mod tests {
         let s =
             SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P4, Precision::F32)).unwrap();
         let (_, b) = rhs_for_solution(&a, 9);
-        let refined = s.solve_refined(&b, 6, 1e-15);
+        let refined = s.solve_refined(&b, 6, 1e-15).unwrap();
         for w in refined.residual_history.windows(2) {
             assert!(
                 w[1] < w[0] * 1.5,
@@ -496,7 +613,7 @@ mod tests {
         };
         let s = SpdSolver::new(&a, &mut machine, &opts).unwrap();
         let (_, b) = rhs_for_solution(&a, 4);
-        let refined = s.solve_refined(&b, 4, 1e-13);
+        let refined = s.solve_refined(&b, 4, 1e-13).unwrap();
         assert!(*refined.residual_history.last().unwrap() < 1e-12);
         assert!(s.factor_time() > 0.0);
         assert!(s.factor_nnz() > a.nnz_lower());
@@ -510,7 +627,7 @@ mod tests {
             SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P1, Precision::F64)).unwrap();
         for seed in 0..3 {
             let (xtrue, b) = rhs_for_solution(&a, seed);
-            let x = s.solve(&b);
+            let x = s.solve(&b).unwrap();
             let err = x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             assert!(err < 1e-9);
         }
@@ -527,7 +644,7 @@ mod tests {
         let s =
             SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P3, Precision::F32)).unwrap();
         let b = vec![0.0; a.order()];
-        let refined = s.solve_refined(&b, 4, 1e-14);
+        let refined = s.solve_refined(&b, 4, 1e-14).unwrap();
         assert!(
             refined.residual_history.iter().all(|v| v.is_finite()),
             "history must never contain NaN/inf: {:?}",
@@ -549,7 +666,7 @@ mod tests {
         let s =
             SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P3, Precision::F32)).unwrap();
         let (_, b) = rhs_for_solution(&a, 5);
-        let refined = s.solve_refined(&b, 50, 1e-30);
+        let refined = s.solve_refined(&b, 50, 1e-30).unwrap();
         assert!(!refined.converged);
         assert_ne!(refined.stop, RefineStop::Converged);
         assert!(
@@ -572,10 +689,10 @@ mod tests {
             let (_, bj) = rhs_for_solution(&a, 100 + j as u64);
             b.extend(bj);
         }
-        let many = s.solve_refined_many(&b, nrhs, 5, 1e-14);
+        let many = s.solve_refined_many(&b, nrhs, 5, 1e-14).unwrap();
         assert_eq!(many.columns.len(), nrhs);
         for j in 0..nrhs {
-            let single = s.solve_refined(&b[j * n..(j + 1) * n], 5, 1e-14);
+            let single = s.solve_refined(&b[j * n..(j + 1) * n], 5, 1e-14).unwrap();
             assert_eq!(single.residual_history, many.columns[j].residual_history, "col {j}");
             assert_eq!(single.iterations, many.columns[j].iterations, "col {j}");
             assert_eq!(single.converged, many.columns[j].converged, "col {j}");
@@ -604,12 +721,66 @@ mod tests {
         let mut machine2 = Machine::paper_node();
         let fresh = SpdSolver::new(&a2, &mut machine2, &opts).unwrap();
         let (_, b) = rhs_for_solution(&a2, 17);
-        let x_re = s.solve(&b);
-        let x_fresh = fresh.solve(&b);
+        let x_re = s.solve(&b).unwrap();
+        let x_fresh = fresh.solve(&b).unwrap();
         assert_eq!(x_re.len(), x_fresh.len());
         for (p, q) in x_re.iter().zip(&x_fresh) {
             assert_eq!(p.to_bits(), q.to_bits());
         }
+    }
+
+    #[test]
+    fn malformed_requests_get_typed_errors_not_panics() {
+        let a = laplacian_3d(4, 4, 3, Stencil::Faces);
+        let n = a.order();
+        let mut machine = Machine::paper_node();
+        let s =
+            SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P1, Precision::F64)).unwrap();
+        // Wrong-length b, on every entry point.
+        let short = vec![1.0; n - 1];
+        let want = SolveError::DimensionMismatch { expected: n, got: n - 1 };
+        assert_eq!(s.solve(&short).unwrap_err(), want);
+        assert_eq!(s.solve_many(&short, 1).unwrap_err(), want);
+        assert_eq!(s.solve_many_parallel(&short, 1, 2).unwrap_err(), want);
+        assert_eq!(s.solve_refined(&short, 3, 1e-12).unwrap_err(), want);
+        assert_eq!(s.solve_refined_many(&short, 1, 3, 1e-12).unwrap_err(), want);
+        // nrhs == 0 (even with an empty b, which is length-consistent).
+        assert_eq!(s.solve_many(&[], 0).unwrap_err(), SolveError::ZeroRhs);
+        assert_eq!(s.solve_refined_many(&[], 0, 3, 1e-12).unwrap_err(), SolveError::ZeroRhs);
+        // Non-finite entries, with the offending coordinate reported.
+        let mut b = vec![1.0; 2 * n];
+        b[n + 3] = f64::NAN;
+        assert_eq!(s.solve_many(&b, 2).unwrap_err(), SolveError::NonFinite { column: 1, row: 3 });
+        b[n + 3] = f64::INFINITY;
+        assert_eq!(
+            s.solve_refined_many(&b, 2, 3, 1e-12).unwrap_err(),
+            SolveError::NonFinite { column: 1, row: 3 }
+        );
+        // The solver must still work after every rejection.
+        let (xtrue, good) = rhs_for_solution(&a, 11);
+        let x = s.solve(&good).unwrap();
+        let err = x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-9);
+    }
+
+    #[test]
+    fn memory_bytes_scales_with_precision_and_problem() {
+        let a = laplacian_3d(6, 6, 5, Stencil::Faces);
+        let mut machine = Machine::paper_node();
+        let s64 =
+            SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P1, Precision::F64)).unwrap();
+        let s32 =
+            SpdSolver::new(&a, &mut machine, &solver_opts(PolicyKind::P1, Precision::F32)).unwrap();
+        let sym = s64.analysis().symbolic.factor_slab_len();
+        assert!(s64.memory_bytes() >= sym * 8, "must charge at least the f64 factor slab");
+        assert!(
+            s32.memory_bytes() < s64.memory_bytes(),
+            "an f32 factor must charge less than an f64 one"
+        );
+        let small = laplacian_3d(3, 3, 3, Stencil::Faces);
+        let t = SpdSolver::new(&small, &mut machine, &solver_opts(PolicyKind::P1, Precision::F64))
+            .unwrap();
+        assert!(t.memory_bytes() < s64.memory_bytes());
     }
 
     #[test]
@@ -622,7 +793,7 @@ mod tests {
         assert_eq!(s.refactor(&other, &mut machine), Err(RefactorError::PatternMismatch));
         // The old factor must still work after the rejection.
         let (xtrue, b) = rhs_for_solution(&a, 2);
-        let x = s.solve(&b);
+        let x = s.solve(&b).unwrap();
         let err = x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(err < 1e-9);
     }

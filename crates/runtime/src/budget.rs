@@ -51,6 +51,35 @@ impl ThreadBudget {
         let prev = self.active.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "ThreadBudget::end without begin");
     }
+
+    /// RAII form of [`Self::begin`]/[`Self::end`]: the slot is released when
+    /// the returned lease drops, including on unwind — the form long-lived
+    /// services should use, where a leaked slot would permanently shrink
+    /// every later task's kernel width.
+    pub fn lease(&self) -> BudgetLease<'_> {
+        let width = self.begin();
+        BudgetLease { budget: self, width }
+    }
+}
+
+/// A held slot of a [`ThreadBudget`]; see [`ThreadBudget::lease`].
+#[derive(Debug)]
+pub struct BudgetLease<'a> {
+    budget: &'a ThreadBudget,
+    width: usize,
+}
+
+impl BudgetLease<'_> {
+    /// The kernel-thread width granted to this task.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl Drop for BudgetLease<'_> {
+    fn drop(&mut self) {
+        self.budget.end();
+    }
 }
 
 #[cfg(test)]
@@ -87,6 +116,25 @@ mod tests {
         for _ in 0..5 {
             b.end();
         }
+    }
+
+    #[test]
+    fn lease_releases_on_drop_and_on_unwind() {
+        let b = ThreadBudget::new(8);
+        {
+            let l1 = b.lease();
+            assert_eq!(l1.width(), 8);
+            let l2 = b.lease();
+            assert_eq!(l2.width(), 4);
+            assert_eq!(b.active(), 2);
+        }
+        assert_eq!(b.active(), 0, "both leases must release on scope exit");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _l = b.lease();
+            panic!("worker died mid-task");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(b.active(), 0, "a panicking holder must still release its slot");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod deque;
 pub mod graph;
 pub mod pool;
 
-pub use budget::ThreadBudget;
+pub use budget::{BudgetLease, ThreadBudget};
 pub use deque::{Steal, TaskDeque};
 pub use graph::TaskGraph;
 pub use pool::Runtime;

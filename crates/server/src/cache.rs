@@ -1,0 +1,144 @@
+//! Symbolic-analysis cache keyed by sparsity-pattern fingerprint.
+//!
+//! The symbolic phase (ordering, elimination tree, supernodes, symbolic
+//! factorization) depends only on the sparsity pattern, and for the
+//! refactor-heavy traffic a solver service sees — time-stepping, Newton
+//! iterations, per-tenant model variants — the *same few patterns* arrive
+//! over and over from independent callers. This cache lets every
+//! same-pattern submission skip straight to the numeric factorization.
+//!
+//! Keying is two-level, exactly as the collision semantics demand:
+//!
+//! 1. [`SymCsc::fingerprint`] — a cheap stable structural hash — selects a
+//!    bucket. A fingerprint match is only a *candidate*.
+//! 2. [`SymCsc::same_pattern`] is the authoritative gate: the stored
+//!    pattern is compared entry-for-entry before the analysis is reused, so
+//!    a hash collision costs one comparison, never a wrong analysis.
+//!
+//! The cache holds at most `budget` entries (the *entry budget*) and evicts
+//! the least-recently-used analysis when a new pattern arrives at capacity.
+//! A zero budget disables caching entirely.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use mf_sparse::symbolic::Analysis;
+use mf_sparse::SymCsc;
+
+/// One cached analysis: the exact pattern it was computed for (the
+/// `same_pattern` gate operand) and the analysis itself, shared by `Arc` so
+/// concurrent submissions can clone it without holding the cache lock.
+struct Entry {
+    pattern: SymCsc<f64>,
+    analysis: Arc<Analysis>,
+    last_used: u64,
+}
+
+struct CacheInner {
+    /// Fingerprint → bucket of entries whose patterns hash to it. Buckets
+    /// have more than one entry only on a genuine 64-bit collision.
+    map: HashMap<u64, Vec<Entry>>,
+    len: usize,
+    peak: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Thread-safe LRU cache of symbolic analyses, keyed by pattern fingerprint.
+pub(crate) struct AnalysisCache {
+    budget: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl AnalysisCache {
+    pub(crate) fn new(budget: usize) -> Self {
+        AnalysisCache {
+            budget,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                len: 0,
+                peak: 0,
+                clock: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Look up the analysis for `a`'s pattern. Returns `None` (and counts a
+    /// miss) when no cached pattern passes the `same_pattern` gate.
+    pub(crate) fn lookup(&self, a: &SymCsc<f64>) -> Option<Arc<Analysis>> {
+        let fp = a.fingerprint();
+        let mut inner = lock(&self.inner);
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(bucket) = inner.map.get_mut(&fp) {
+            if let Some(e) = bucket.iter_mut().find(|e| a.same_pattern(&e.pattern)) {
+                e.last_used = stamp;
+                let hit = e.analysis.clone();
+                inner.hits += 1;
+                return Some(hit);
+            }
+        }
+        inner.misses += 1;
+        None
+    }
+
+    /// Insert a freshly computed analysis for `pattern`, evicting the
+    /// least-recently-used entry if the cache is at its entry budget. With a
+    /// zero budget this is a no-op.
+    pub(crate) fn insert(&self, pattern: SymCsc<f64>, analysis: Arc<Analysis>) {
+        if self.budget == 0 {
+            return;
+        }
+        let fp = pattern.fingerprint();
+        let mut inner = lock(&self.inner);
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(bucket) = inner.map.get(&fp) {
+            if bucket.iter().any(|e| pattern.same_pattern(&e.pattern)) {
+                return; // a concurrent submission already cached this pattern
+            }
+        }
+        while inner.len >= self.budget {
+            evict_lru(&mut inner);
+        }
+        inner.map.entry(fp).or_default().push(Entry { pattern, analysis, last_used: stamp });
+        inner.len += 1;
+        inner.peak = inner.peak.max(inner.len);
+    }
+
+    /// (current entries, peak entries, hits, misses).
+    pub(crate) fn stats(&self) -> (usize, usize, u64, u64) {
+        let inner = lock(&self.inner);
+        (inner.len, inner.peak, inner.hits, inner.misses)
+    }
+}
+
+/// Remove the globally least-recently-used entry. Linear in the number of
+/// entries, which is bounded by the (small) entry budget.
+fn evict_lru(inner: &mut CacheInner) {
+    let mut victim: Option<(u64, usize, u64)> = None; // (fp, idx, stamp)
+    for (&fp, bucket) in inner.map.iter() {
+        for (i, e) in bucket.iter().enumerate() {
+            if victim.is_none_or(|(_, _, s)| e.last_used < s) {
+                victim = Some((fp, i, e.last_used));
+            }
+        }
+    }
+    let Some((fp, i, _)) = victim else { return };
+    let bucket = inner.map.get_mut(&fp).expect("victim bucket exists");
+    bucket.remove(i);
+    if bucket.is_empty() {
+        inner.map.remove(&fp);
+    }
+    inner.len -= 1;
+}
+
+/// Poison-tolerant lock: a worker that panicked mid-solve (e.g. a batch
+/// validation assert) must not wedge every later request.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}

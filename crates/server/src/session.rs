@@ -1,0 +1,152 @@
+//! Sessions, their FIFO operation queues, and the one-shot reply channels
+//! that deliver results back to blocked callers.
+//!
+//! A session is one factored system owned by one tenant. All mutation of a
+//! session flows through its queue in submission order — solves *and*
+//! refactors — and a session is drained by **at most one worker at a time**
+//! (the `in_service` flag), so per-session semantics are strictly FIFO: a
+//! solve enqueued before a refactor sees the old values, one enqueued after
+//! sees the new ones, regardless of batching.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mf_core::SpdSolver;
+use mf_sparse::SymCsc;
+
+use crate::cache::lock;
+use crate::{ServeError, SubmitError};
+
+/// Opaque handle to a submitted system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub(crate) u64);
+
+/// A single-use reply slot: the worker `put`s exactly once, the caller
+/// `wait`s. Completion is timestamped at `put` so open-loop load drivers can
+/// measure service latency without the waiter being scheduled promptly.
+pub(crate) struct OneShot<T> {
+    slot: Mutex<Option<(T, Instant)>>,
+    cv: Condvar,
+}
+
+impl<T> OneShot<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(OneShot { slot: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    pub(crate) fn put(&self, value: T) {
+        let mut slot = lock(&self.slot);
+        debug_assert!(slot.is_none(), "OneShot::put called twice");
+        *slot = Some((value, Instant::now()));
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> (T, Instant) {
+        let mut slot = lock(&self.slot);
+        loop {
+            if let Some(v) = slot.take() {
+                return v;
+            }
+            slot = self.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Handle to an in-flight solve request; see
+/// [`crate::Server::solve_many_async`].
+pub struct SolveTicket {
+    pub(crate) shot: Arc<OneShot<Result<Vec<f64>, ServeError>>>,
+    pub(crate) submitted: Instant,
+}
+
+impl SolveTicket {
+    /// Block until the request completes (or is failed by shutdown).
+    pub fn wait(self) -> Result<Vec<f64>, ServeError> {
+        self.shot.wait().0
+    }
+
+    /// [`Self::wait`], also reporting the queue-to-completion latency (the
+    /// completion side is stamped by the worker, so a tardy waiter does not
+    /// inflate it).
+    pub fn wait_with_latency(self) -> (Result<Vec<f64>, ServeError>, Duration) {
+        let (value, done) = self.shot.wait();
+        (value, done.saturating_duration_since(self.submitted))
+    }
+}
+
+/// Handle to an in-flight refactor; see [`crate::Server::resubmit_async`].
+pub struct RefactorTicket {
+    pub(crate) shot: Arc<OneShot<Result<(), SubmitError>>>,
+}
+
+impl RefactorTicket {
+    /// Block until the refactor completes.
+    pub fn wait(self) -> Result<(), SubmitError> {
+        self.shot.wait().0
+    }
+}
+
+/// One queued operation. The worker consumes runs of `Solve`s as a batch
+/// but always executes a `Refactor` alone, at its queue position.
+pub(crate) enum Op {
+    Solve { b: Vec<f64>, nrhs: usize, reply: Arc<OneShot<Result<Vec<f64>, ServeError>>> },
+    Refactor { a: Box<SymCsc<f64>>, reply: Arc<OneShot<Result<(), SubmitError>>> },
+}
+
+/// Queue state guarded by one mutex; the flags encode the scheduling
+/// protocol (a session is in the ready queue XOR being drained XOR idle).
+pub(crate) struct SessionQueue {
+    pub(crate) ops: VecDeque<Op>,
+    /// Session sits in the server's ready queue awaiting a worker.
+    pub(crate) scheduled: bool,
+    /// A worker is currently draining this session (grants FIFO exclusivity).
+    pub(crate) in_service: bool,
+    /// Evicted or closed: rejects new enqueues; already-queued ops drain.
+    pub(crate) closed: bool,
+}
+
+/// One tenant-owned factored system plus its request queue.
+pub(crate) struct Session {
+    pub(crate) tenant: String,
+    pub(crate) n: usize,
+    /// Resident bytes charged to the tenant while this session lives.
+    pub(crate) mem_bytes: usize,
+    pub(crate) q: Mutex<SessionQueue>,
+    pub(crate) solver: Mutex<SpdSolver>,
+    /// Logical LRU stamp (server clock) of the last submit/solve touch.
+    pub(crate) last_used: AtomicU64,
+}
+
+impl Session {
+    pub(crate) fn new(
+        tenant: String,
+        n: usize,
+        mem_bytes: usize,
+        solver: SpdSolver,
+        stamp: u64,
+    ) -> Arc<Self> {
+        Arc::new(Session {
+            tenant,
+            n,
+            mem_bytes,
+            q: Mutex::new(SessionQueue {
+                ops: VecDeque::new(),
+                scheduled: false,
+                in_service: false,
+                closed: false,
+            }),
+            solver: Mutex::new(solver),
+            last_used: AtomicU64::new(stamp),
+        })
+    }
+
+    pub(crate) fn touch(&self, stamp: u64) {
+        self.last_used.store(stamp, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stamp(&self) -> u64 {
+        self.last_used.load(Ordering::Relaxed)
+    }
+}

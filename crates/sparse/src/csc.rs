@@ -194,6 +194,35 @@ impl<T: Scalar> SymCsc<T> {
         self.n == other.n && self.colptr == other.colptr && self.rowind == other.rowind
     }
 
+    /// A 64-bit structural fingerprint of the sparsity pattern: a fixed
+    /// FNV-1a hash over `n`, `colptr`, and `rowind`, independent of the
+    /// numeric values, the scalar type, how the matrix was assembled, and
+    /// the process (no per-run hasher seed) — so it is a stable cache key
+    /// across submissions, threads, and runs.
+    ///
+    /// Two matrices with the same pattern always fingerprint identically;
+    /// the converse is probabilistic, so a fingerprint match is only a
+    /// *candidate* — [`Self::same_pattern`] remains the authoritative gate
+    /// before any symbolic analysis is reused.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(mut h: u64, v: u64) -> u64 {
+            for b in v.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = eat(OFFSET, self.n as u64);
+        for &p in &self.colptr {
+            h = eat(h, p as u64);
+        }
+        for &r in &self.rowind {
+            h = eat(h, r as u64);
+        }
+        h
+    }
+
     /// Look up entry `(i, j)`; either triangle may be queried.
     pub fn get(&self, i: usize, j: usize) -> Option<T> {
         let (r, c) = if i >= j { (i, j) } else { (j, i) };
@@ -469,6 +498,62 @@ mod tests {
         a.matvec(&x, &mut b);
         let r = a.residual(&x, &b);
         assert!(r.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn fingerprint_ignores_values_and_scalar_type() {
+        let a = arrow(6);
+        let scaled = SymCsc::from_parts(
+            a.order(),
+            a.colptr().to_vec(),
+            a.rowind().to_vec(),
+            a.values().iter().map(|&v| v * 3.5).collect(),
+        );
+        assert_eq!(a.fingerprint(), scaled.fingerprint(), "values must not affect the key");
+        let a32: SymCsc<f32> = a.cast();
+        assert_eq!(a.fingerprint(), a32.fingerprint(), "scalar type must not affect the key");
+        assert!(a.same_pattern(&scaled) && a.same_pattern(&a32));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_one_entry_patterns() {
+        // Patterns differing in exactly one structural entry must hash apart
+        // (for every choice of the extra entry on a small matrix), and
+        // `same_pattern` must agree with the distinction.
+        let base = arrow(8);
+        let mut seen = vec![base.fingerprint()];
+        for j in 0..7 {
+            for i in (j + 1)..7 {
+                if base.get(i, j).is_some() {
+                    continue;
+                }
+                let mut t = Triplet::new(8);
+                for c in 0..8 {
+                    for (&r, &v) in base.col_rows(c).iter().zip(base.col_vals(c)) {
+                        t.push(r, c, v);
+                    }
+                }
+                t.push(i, j, -0.25);
+                let extended = t.assemble();
+                assert!(!extended.same_pattern(&base));
+                let fp = extended.fingerprint();
+                assert!(
+                    !seen.contains(&fp),
+                    "pattern with extra entry ({i},{j}) collided structurally"
+                );
+                seen.push(fp);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_order_padding() {
+        // Same entries, larger order (trailing empty columns are a distinct
+        // pattern): n participates in the hash.
+        let a = SymCsc::from_parts(2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]);
+        let b = SymCsc::from_parts(3, vec![0, 1, 2, 2], vec![0, 1], vec![1.0, 1.0]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert!(!a.same_pattern(&b));
     }
 
     #[test]

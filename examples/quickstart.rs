@@ -41,7 +41,7 @@ fn main() {
 
     // Solve with a known solution and refine to double precision.
     let (xtrue, b) = rhs_for_solution(&a, 42);
-    let sol = solver.solve_refined(&b, 4, 1e-13);
+    let sol = solver.solve_refined(&b, 4, 1e-13).unwrap();
     let err = sol.x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("refinement history (relative residual): {:?}", sol.residual_history);
     println!(

@@ -35,7 +35,7 @@
 //! };
 //! let solver = SpdSolver::new(&a, &mut machine, &opts).unwrap();
 //! let b = gpu_multifrontal::matgen::rhs_ones(&a);
-//! let sol = solver.solve_refined(&b, 4, 1e-12);
+//! let sol = solver.solve_refined(&b, 4, 1e-12).unwrap();
 //! assert!(*sol.residual_history.last().unwrap() < 1e-11);
 //! println!("factored in {:.3} simulated seconds", solver.factor_time());
 //! ```
@@ -46,6 +46,7 @@ pub use mf_dense as dense;
 pub use mf_gpusim as gpusim;
 pub use mf_matgen as matgen;
 pub use mf_runtime as runtime;
+pub use mf_server as server;
 pub use mf_sparse as sparse;
 
 /// Glob-import of the user-facing solver API.

@@ -476,8 +476,8 @@ fn refactorization_reuses_symbolic_and_matches_fresh_solver() {
     let mut m2 = Machine::paper_node();
     let fresh = SpdSolver::new(&a2, &mut m2, &opts).unwrap();
     let b = rhs_block::<f64>(a.order(), 1);
-    let xr: Vec<u64> = solver.solve(&b).iter().map(|x| x.to_bits()).collect();
-    let xf: Vec<u64> = fresh.solve(&b).iter().map(|x| x.to_bits()).collect();
+    let xr: Vec<u64> = solver.solve(&b).unwrap().iter().map(|x| x.to_bits()).collect();
+    let xf: Vec<u64> = fresh.solve(&b).unwrap().iter().map(|x| x.to_bits()).collect();
     assert_eq!(xr, xf, "refactored solver must match a fresh solver bitwise");
 }
 

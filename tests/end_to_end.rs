@@ -12,7 +12,7 @@ fn solve_and_check(a: &SymCsc<f64>, opts: &SolverOptions, tol: f64) {
     let mut machine = Machine::paper_node();
     let solver = SpdSolver::new(a, &mut machine, opts).expect("SPD matrix must factor");
     let (xtrue, b) = rhs_for_solution(a, 11);
-    let sol = solver.solve_refined(&b, 5, 1e-13);
+    let sol = solver.solve_refined(&b, 5, 1e-13).unwrap();
     let err = sol.x.iter().zip(&xtrue).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
     assert!(err < tol, "forward error {err:.3e} exceeds {tol:.0e}");
     assert!(solver.factor_time() > 0.0);
@@ -71,7 +71,7 @@ fn f64_cpu_solver_is_direct_precision() {
     let o = opts(PolicySelector::Fixed(PolicyKind::P1), Precision::F64);
     let solver = SpdSolver::new(&a, &mut machine, &o).unwrap();
     let (xtrue, b) = rhs_for_solution(&a, 5);
-    let x = solver.solve(&b); // no refinement needed
+    let x = solver.solve(&b).unwrap(); // no refinement needed
     let err = x.iter().zip(&xtrue).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
     assert!(err < 1e-9, "f64 direct solve error {err:.3e}");
 }
@@ -88,7 +88,7 @@ fn f32_needs_refinement_f64_does_not() {
     )
     .unwrap();
     let (_, b) = rhs_for_solution(&a, 2);
-    let refined = s32.solve_refined(&b, 5, 1e-14);
+    let refined = s32.solve_refined(&b, 5, 1e-14).unwrap();
     assert!(refined.residual_history[0] > 1e-9, "f32 must start imprecise");
     assert!(*refined.residual_history.last().unwrap() < 1e-13, "refinement must converge");
     assert!(refined.iterations <= 3);
@@ -110,7 +110,7 @@ fn amalgamation_changes_structure_not_solution() {
         };
         let mut machine = Machine::paper_node();
         let solver = SpdSolver::new(&a, &mut machine, &o).unwrap();
-        let x = solver.solve(&b);
+        let x = solver.solve(&b).unwrap();
         let err = x.iter().zip(&xtrue).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
         assert!(err < 1e-9);
     }
@@ -123,7 +123,7 @@ fn cpu_only_machine_runs_gpu_selectors_via_fallback() {
     let o = opts(PolicySelector::Fixed(PolicyKind::P4), Precision::F32);
     let solver = SpdSolver::new(&a, &mut machine, &o).unwrap();
     let (xtrue, b) = rhs_for_solution(&a, 4);
-    let sol = solver.solve_refined(&b, 4, 1e-12);
+    let sol = solver.solve_refined(&b, 4, 1e-12).unwrap();
     let err = sol.x.iter().zip(&xtrue).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
     assert!(err < 1e-8);
     // Every call degraded to P1.
@@ -143,7 +143,7 @@ fn tiny_and_degenerate_systems() {
         &opts(PolicySelector::Fixed(PolicyKind::P1), Precision::F64),
     )
     .unwrap();
-    let x = solver.solve(&[8.0]);
+    let x = solver.solve(&[8.0]).unwrap();
     assert!((x[0] - 2.0).abs() < 1e-12);
 
     // Diagonal system.
@@ -160,7 +160,7 @@ fn tiny_and_degenerate_systems() {
     )
     .unwrap();
     let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
-    let x = solver.solve(&b);
+    let x = solver.solve(&b).unwrap();
     for (i, &xi) in x.iter().enumerate() {
         assert!((xi - 1.0).abs() < 1e-5, "x[{i}] = {xi}");
     }

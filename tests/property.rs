@@ -53,7 +53,7 @@ proptest! {
         };
         let solver = SpdSolver::new(&a, &mut machine, &opts).expect("diag-dominant ⇒ SPD");
         let (xtrue, b) = gpu_multifrontal::matgen::rhs_for_solution(&a, seed ^ 0xABCD);
-        let sol = solver.solve_refined(&b, 6, 1e-12);
+        let sol = solver.solve_refined(&b, 6, 1e-12).unwrap();
         let err = sol.x.iter().zip(&xtrue).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
         let scale = xtrue.iter().map(|v| v.abs()).fold(0.0f64, f64::max).max(1.0);
         prop_assert!(err < 1e-6 * scale, "forward error {err:.3e}");
