@@ -54,6 +54,24 @@ for t in "" "RUST_TEST_THREADS=1"; do
   }
 done
 
+# The analysis pipeline has its own bitwise contract: analyze_parallel must
+# reproduce the serial analyze byte for byte (permutation, etree, supernode
+# partition, row structures, fingerprint) at 1/2/4/8 workers, across matrix
+# families and at both factor precisions. Run the analysis tests by name and
+# count them, so a filter typo or a renamed test cannot silently skip them.
+echo "==> analysis determinism suite (explicit, default + single test thread)"
+for t in "" "RUST_TEST_THREADS=1"; do
+  out=$(env $t cargo test --release --test determinism analysis_ 2>&1) || {
+    echo "$out"
+    exit 1
+  }
+  echo "$out" | grep -q "4 passed" || {
+    echo "expected exactly 4 analysis determinism tests to run:"
+    echo "$out"
+    exit 1
+  }
+done
+
 # The factor bench runs the tiled scheduler on every suite matrix and
 # asserts critical_path <= makespan <= serial_time for the tree and tiled
 # schedule models at every worker count — a violation panics the bench and
@@ -63,6 +81,13 @@ cargo bench -p mf-bench --bench factor_parallel
 
 echo "==> solve bench (writes BENCH_solve.json)"
 cargo bench -p mf-bench --bench solve
+
+# The symbolic bench asserts, before timing anything, that analyze_parallel's
+# fingerprint matches the serial analysis at 1/2/4/8 workers on every suite
+# matrix, and that the supernodal task DAG admits a >1x simulated multi-worker
+# speedup — either violation panics the bench and fails this step.
+echo "==> symbolic bench (analysis fingerprint gate, writes BENCH_symbolic.json)"
+cargo bench -p mf-bench --bench symbolic
 
 echo "==> gpu_pipeline bench (writes BENCH_gpu.json)"
 cargo bench -p mf-bench --bench gpu_pipeline

@@ -99,7 +99,7 @@ fn suite() -> Vec<(&'static str, SymCsc<f64>)> {
 }
 
 fn analysis_of(a: &SymCsc<f64>) -> Analysis {
-    analyze(a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+    analyze(a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default())).unwrap()
 }
 
 fn opts() -> FactorOptions {

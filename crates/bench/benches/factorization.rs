@@ -13,7 +13,8 @@ fn bench_factor(c: &mut Criterion) {
     for nx in [10usize, 14] {
         let a = laplacian_3d(nx, nx, nx, Stencil::Faces);
         let analysis =
-            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+                .unwrap();
         let a32: SymCsc<f32> = analysis.permuted.0.cast();
         for p in [PolicyKind::P1, PolicyKind::P4] {
             g.bench_with_input(BenchmarkId::new(format!("{p}"), nx * nx * nx), &p, |b, &p| {

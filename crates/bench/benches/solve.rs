@@ -34,7 +34,8 @@ fn suite() -> Vec<(&'static str, SymCsc<f64>)> {
 }
 
 fn factor_of(a: &SymCsc<f64>) -> CholeskyFactor<f64> {
-    let an = analyze(a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+    let an =
+        analyze(a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default())).unwrap();
     let opts = FactorOptions {
         selector: PolicySelector::Baseline(BaselineThresholds::default()),
         ..Default::default()

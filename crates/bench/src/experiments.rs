@@ -970,7 +970,8 @@ pub fn exp_ablations(cfg: &ExpConfig, cache: &mut Option<SuiteData>) -> Report {
     {
         let a = &m.a;
         let plain =
-            mf_sparse::symbolic::analyze(a, mf_sparse::OrderingKind::NestedDissection, None);
+            mf_sparse::symbolic::analyze(a, mf_sparse::OrderingKind::NestedDissection, None)
+                .unwrap();
         let amal = &m.analysis;
         r.line(&format!(
             "supernodes: {} (fundamental) → {} (amalgamated); factor nnz {} → {}",

@@ -205,7 +205,8 @@ impl SuiteData {
                 cfg.scale
             );
             let analysis =
-                analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+                analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+                    .unwrap();
             let stats = run_all_policies(&analysis);
             let dataset = Dataset::from_policy_runs(&[&stats[0], &stats[1], &stats[2], &stats[3]]);
             matrices.push(MatrixRuns { which: pm, a, analysis, stats, dataset });

@@ -29,7 +29,7 @@ use crate::tile::TilingOptions;
 use mf_dense::{FuFlops, Scalar};
 use mf_gpusim::Machine;
 use mf_sparse::symbolic::SymbolicFactor;
-use mf_sparse::{Permutation, SymCsc};
+use mf_sparse::{AnalyzeError, Permutation, SymCsc};
 
 /// How the policy for each factor-update call is chosen.
 #[derive(Debug, Clone)]
@@ -175,6 +175,8 @@ pub enum FactorError {
         /// Supernode whose child hand-off was missing.
         supernode: usize,
     },
+    /// The symbolic analysis rejected the matrix before any numbers moved.
+    Analyze(AnalyzeError),
 }
 
 impl std::fmt::Display for FactorError {
@@ -192,11 +194,18 @@ impl std::fmt::Display for FactorError {
                     "parallel worker lost before supernode {supernode} received its child updates"
                 )
             }
+            FactorError::Analyze(e) => write!(f, "analysis failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for FactorError {}
+
+impl From<AnalyzeError> for FactorError {
+    fn from(e: AnalyzeError) -> Self {
+        FactorError::Analyze(e)
+    }
+}
 
 /// The Cholesky factor in supernodal panel form: `P·A·Pᵀ = L·Lᵀ`.
 ///
@@ -934,7 +943,8 @@ mod tests {
     ) -> (CholeskyFactor<f64>, FactorStats, SymCsc<f64>) {
         let a = laplacian_2d(nx, ny, Stencil::Faces);
         let analysis =
-            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+                .unwrap();
         let mut machine = Machine::paper_node();
         let opts = FactorOptions { selector, record_stats: true, ..Default::default() };
         let (f, s) = factor_permuted(
@@ -1001,7 +1011,8 @@ mod tests {
     fn baseline_hybrid_uses_multiple_policies_on_3d() {
         let a = laplacian_3d(9, 9, 9, Stencil::Faces);
         let analysis =
-            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+                .unwrap();
         let mut machine = Machine::paper_node();
         let opts = FactorOptions {
             selector: PolicySelector::Baseline(BaselineThresholds::default()),
@@ -1023,7 +1034,7 @@ mod tests {
     #[test]
     fn oracle_selector_uses_table() {
         let a = laplacian_2d(8, 8, Stencil::Faces);
-        let analysis = analyze(&a, OrderingKind::NestedDissection, None);
+        let analysis = analyze(&a, OrderingKind::NestedDissection, None).unwrap();
         let nsn = analysis.symbolic.num_supernodes();
         let table = vec![PolicyKind::P2; nsn];
         let mut machine = Machine::paper_node();
@@ -1054,7 +1065,7 @@ mod tests {
             }
         }
         let a = t.assemble();
-        let analysis = analyze(&a, OrderingKind::Natural, None);
+        let analysis = analyze(&a, OrderingKind::Natural, None).unwrap();
         let mut machine = Machine::paper_node();
         let err = factor_permuted(
             &analysis.permuted.0,
@@ -1071,6 +1082,7 @@ mod tests {
                 assert_eq!(column, 3);
             }
             FactorError::WorkerLost { .. } => panic!("serial factorization cannot lose a worker"),
+            FactorError::Analyze(_) => panic!("analysis already succeeded before the factor"),
         }
     }
 
@@ -1088,7 +1100,8 @@ mod tests {
     fn pipelined_driver_matches_drain_bitwise_and_runs_faster() {
         let a = laplacian_3d(7, 6, 6, Stencil::Faces);
         let analysis =
-            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+                .unwrap();
         let run = |pipeline: PipelineOptions, selector: PolicySelector| {
             let mut machine = Machine::paper_node();
             let opts = FactorOptions { selector, pipeline, ..Default::default() };
@@ -1140,7 +1153,8 @@ mod tests {
         // produce identical bits.
         let a = laplacian_3d(6, 6, 5, Stencil::Faces);
         let analysis =
-            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+                .unwrap();
         let run = |pipeline: PipelineOptions| {
             let mut cfg = mf_gpusim::tesla_t10();
             cfg.mem_bytes = 2_000; // 500 f32 elements — only small fronts fit
@@ -1177,7 +1191,7 @@ mod tests {
             }
         }
         let a = t.assemble();
-        let analysis = analyze(&a, OrderingKind::Natural, None);
+        let analysis = analyze(&a, OrderingKind::Natural, None).unwrap();
         let mut machine = Machine::paper_node();
         let opts = FactorOptions {
             selector: PolicySelector::Fixed(PolicyKind::P4),
@@ -1199,7 +1213,8 @@ mod tests {
     fn arena_and_heap_storage_agree_bit_for_bit() {
         let a = laplacian_3d(6, 5, 7, Stencil::Faces);
         let analysis =
-            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+                .unwrap();
         let run = |storage: FrontStorage| {
             let mut machine = Machine::paper_node();
             let opts = FactorOptions {

@@ -66,6 +66,11 @@ pub use solver::{
 pub use stats::{FactorStats, FuRecord, TaskKind, TaskRecord};
 pub use tile::{process_front_tiled, FrontView, TileKernel, TilePlan, TilingOptions};
 
+// Re-export the analysis entry points: `analyze_parallel` is the public
+// parallel symbolic pipeline (bitwise identical to `analyze` at every worker
+// count), and `AnalyzeError` is how both reject structurally singular input.
+pub use mf_sparse::{analyze, analyze_parallel, Analysis, AnalyzeError};
+
 /// Convenient glob-import of the solver-facing API.
 pub mod prelude {
     pub use crate::factor::{FactorOptions, PipelineOptions, PolicySelector};
@@ -75,4 +80,5 @@ pub mod prelude {
         SolverOptions, SpdSolver,
     };
     pub use crate::tile::TilingOptions;
+    pub use mf_sparse::{analyze, analyze_parallel, Analysis, AnalyzeError};
 }

@@ -1111,7 +1111,9 @@ mod tests {
 
     fn symbolic_3d() -> SymbolicFactor {
         let a = laplacian_3d(8, 8, 8, Stencil::Faces);
-        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default())).symbolic
+        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+            .unwrap()
+            .symbolic
     }
 
     fn uniform_durations(sym: &SymbolicFactor) -> (Vec<f64>, Vec<f64>) {
@@ -1191,7 +1193,7 @@ mod tests {
     fn chain_tree_gains_only_from_molding() {
         // A pure chain (tridiagonal-like) has no tree parallelism at all.
         let a = laplacian_2d(60, 1, Stencil::Faces);
-        let sym = analyze(&a, OrderingKind::Natural, None).symbolic;
+        let sym = analyze(&a, OrderingKind::Natural, None).unwrap().symbolic;
         let d: Vec<f64> = vec![1.0; sym.num_supernodes()];
         let o: Vec<f64> = vec![1.0; sym.num_supernodes()];
         let r = simulate_tree_schedule(&sym, &d, &o, 4, None);
@@ -1221,7 +1223,8 @@ mod tests {
     fn parallel_factor_is_bitwise_serial() {
         let a = laplacian_2d(14, 11, Stencil::Faces);
         let analysis =
-            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+                .unwrap();
         let opts = FactorOptions {
             selector: PolicySelector::Baseline(BaselineThresholds::default()),
             record_stats: true,
@@ -1262,7 +1265,8 @@ mod tests {
         use crate::tile::TilingOptions;
         let a = laplacian_3d(9, 9, 9, Stencil::Faces);
         let analysis =
-            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+                .unwrap();
         let opts = FactorOptions {
             selector: PolicySelector::Fixed(PolicyKind::P1),
             record_stats: true,
@@ -1324,7 +1328,8 @@ mod tests {
         use crate::tile::TilingOptions;
         let a = laplacian_3d(7, 7, 7, Stencil::Faces);
         let analysis =
-            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+                .unwrap();
         let opts = FactorOptions {
             selector: PolicySelector::Fixed(PolicyKind::P1),
             record_stats: true,
@@ -1404,7 +1409,7 @@ mod tests {
             }
         }
         let a = t.assemble();
-        let analysis = analyze(&a, OrderingKind::Natural, None);
+        let analysis = analyze(&a, OrderingKind::Natural, None).unwrap();
         let mut ms = machines(2);
         let err = factor_permuted_parallel(
             &analysis.permuted.0,
@@ -1424,7 +1429,8 @@ mod tests {
         use crate::policy::PolicyKind;
         let a = laplacian_3d(6, 6, 5, Stencil::Faces);
         let analysis =
-            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+                .unwrap();
         let drain =
             FactorOptions { selector: PolicySelector::Fixed(PolicyKind::P4), ..Default::default() };
         let piped = FactorOptions { pipeline: PipelineOptions::pipelined(), ..drain.clone() };
@@ -1464,7 +1470,8 @@ mod tests {
     fn durations_cover_recorded_run() {
         let a = laplacian_2d(10, 10, Stencil::Faces);
         let analysis =
-            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+                .unwrap();
         let mut machine = Machine::paper_node();
         let opts = FactorOptions { record_stats: true, ..Default::default() };
         let (_, stats) = factor_permuted(

@@ -434,7 +434,7 @@ mod tests {
     use mf_sparse::{AmalgamationOptions, OrderingKind, SymCsc};
 
     fn factor_of(a: &SymCsc<f64>, ordering: OrderingKind) -> CholeskyFactor<f64> {
-        let analysis = analyze(a, ordering, Some(&AmalgamationOptions::default()));
+        let analysis = analyze(a, ordering, Some(&AmalgamationOptions::default())).unwrap();
         let mut machine = Machine::paper_node();
         let (f, _) = factor_permuted(
             &analysis.permuted.0,
@@ -452,7 +452,7 @@ mod tests {
         selector: PolicySelector,
         ordering: OrderingKind,
     ) -> (Vec<f64>, Vec<f64>) {
-        let analysis = analyze(a, ordering, Some(&AmalgamationOptions::default()));
+        let analysis = analyze(a, ordering, Some(&AmalgamationOptions::default())).unwrap();
         let mut machine = Machine::paper_node();
         let opts = FactorOptions { selector, ..Default::default() };
         let (f, _) = factor_permuted(

@@ -28,7 +28,7 @@
 use crate::factor::{factor_permuted, CholeskyFactor, FactorError, FactorOptions};
 use crate::stats::FactorStats;
 use mf_gpusim::Machine;
-use mf_sparse::symbolic::{analyze, Analysis, SymCscF64Holder};
+use mf_sparse::symbolic::{analyze, analyze_parallel, Analysis, SymCscF64Holder};
 use mf_sparse::{AmalgamationOptions, OrderingKind, SymCsc};
 
 /// Which precision the factor is stored/computed in.
@@ -52,6 +52,11 @@ pub struct SolverOptions {
     pub factor: FactorOptions,
     /// Factor precision.
     pub precision: Precision,
+    /// Worker threads for the symbolic analysis. `0` or `1` runs the serial
+    /// pipeline; `> 1` runs [`analyze_parallel`] on the mf-runtime pool,
+    /// which is bitwise identical to the serial analysis at every worker
+    /// count.
+    pub analysis_workers: usize,
 }
 
 /// Why a refinement loop stopped (see the module-level convergence
@@ -246,7 +251,11 @@ impl SpdSolver {
         machine: &mut Machine,
         opts: &SolverOptions,
     ) -> Result<Self, FactorError> {
-        let analysis = analyze(a, opts.ordering, opts.amalgamation.as_ref());
+        let analysis = if opts.analysis_workers > 1 {
+            analyze_parallel(a, opts.ordering, opts.amalgamation.as_ref(), opts.analysis_workers)
+        } else {
+            analyze(a, opts.ordering, opts.amalgamation.as_ref())
+        }?;
         Self::from_analysis(a, &analysis, machine, opts)
     }
 
@@ -543,6 +552,7 @@ mod tests {
             amalgamation: Some(AmalgamationOptions::default()),
             factor: FactorOptions { selector: PolicySelector::Fixed(p), ..Default::default() },
             precision: prec,
+            analysis_workers: 0,
         }
     }
 
@@ -610,6 +620,7 @@ mod tests {
                 ..Default::default()
             },
             precision: Precision::F32,
+            analysis_workers: 0,
         };
         let s = SpdSolver::new(&a, &mut machine, &opts).unwrap();
         let (_, b) = rhs_for_solution(&a, 4);
@@ -781,6 +792,46 @@ mod tests {
         let t = SpdSolver::new(&small, &mut machine, &solver_opts(PolicyKind::P1, Precision::F64))
             .unwrap();
         assert!(t.memory_bytes() < s64.memory_bytes());
+    }
+
+    #[test]
+    fn parallel_analysis_solver_matches_serial_bitwise() {
+        let a = laplacian_3d(6, 5, 5, Stencil::Faces);
+        let (_, b) = rhs_for_solution(&a, 23);
+        let serial_opts = solver_opts(PolicyKind::P1, Precision::F64);
+        let mut machine = Machine::paper_node();
+        let x0 = SpdSolver::new(&a, &mut machine, &serial_opts).unwrap().solve(&b).unwrap();
+        for workers in [2, 4, 8] {
+            let opts = SolverOptions { analysis_workers: workers, ..serial_opts.clone() };
+            let mut machine = Machine::paper_node();
+            let s = SpdSolver::new(&a, &mut machine, &opts).unwrap();
+            let x = s.solve(&b).unwrap();
+            for (p, q) in x.iter().zip(&x0) {
+                assert_eq!(p.to_bits(), q.to_bits(), "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_diagonal_surfaces_as_typed_factor_error() {
+        use mf_sparse::{AnalyzeError, Triplet};
+        let mut t = Triplet::new(3);
+        t.push(0, 0, 4.0);
+        t.push(2, 2, 4.0);
+        t.push(2, 1, -1.0); // column 1 has off-diagonal structure but no pivot
+        let a = t.assemble();
+        for workers in [0, 4] {
+            let opts = SolverOptions {
+                analysis_workers: workers,
+                ..solver_opts(PolicyKind::P1, Precision::F64)
+            };
+            let mut machine = Machine::paper_node();
+            let err = match SpdSolver::new(&a, &mut machine, &opts) {
+                Err(e) => e,
+                Ok(_) => panic!("missing diagonal must be rejected (workers={workers})"),
+            };
+            assert_eq!(err, FactorError::Analyze(AnalyzeError::MissingDiagonal { col: 1 }));
+        }
     }
 
     #[test]

@@ -42,8 +42,6 @@ struct CacheInner {
     len: usize,
     peak: usize,
     clock: u64,
-    hits: u64,
-    misses: u64,
 }
 
 /// Thread-safe LRU cache of symbolic analyses, keyed by pattern fingerprint.
@@ -56,19 +54,15 @@ impl AnalysisCache {
     pub(crate) fn new(budget: usize) -> Self {
         AnalysisCache {
             budget,
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                len: 0,
-                peak: 0,
-                clock: 0,
-                hits: 0,
-                misses: 0,
-            }),
+            inner: Mutex::new(CacheInner { map: HashMap::new(), len: 0, peak: 0, clock: 0 }),
         }
     }
 
-    /// Look up the analysis for `a`'s pattern. Returns `None` (and counts a
-    /// miss) when no cached pattern passes the `same_pattern` gate.
+    /// Look up the analysis for `a`'s pattern. Returns `None` when no cached
+    /// pattern passes the `same_pattern` gate. Hit/miss accounting belongs
+    /// to the server's own atomic counters — keeping a second copy here
+    /// invited drift between the two (lookups and counter reads are not one
+    /// atomic step), so the cache tracks only what it owns: occupancy.
     pub(crate) fn lookup(&self, a: &SymCsc<f64>) -> Option<Arc<Analysis>> {
         let fp = a.fingerprint();
         let mut inner = lock(&self.inner);
@@ -77,12 +71,9 @@ impl AnalysisCache {
         if let Some(bucket) = inner.map.get_mut(&fp) {
             if let Some(e) = bucket.iter_mut().find(|e| a.same_pattern(&e.pattern)) {
                 e.last_used = stamp;
-                let hit = e.analysis.clone();
-                inner.hits += 1;
-                return Some(hit);
+                return Some(e.analysis.clone());
             }
         }
-        inner.misses += 1;
         None
     }
 
@@ -110,10 +101,10 @@ impl AnalysisCache {
         inner.peak = inner.peak.max(inner.len);
     }
 
-    /// (current entries, peak entries, hits, misses).
-    pub(crate) fn stats(&self) -> (usize, usize, u64, u64) {
+    /// (current entries, peak entries).
+    pub(crate) fn stats(&self) -> (usize, usize) {
         let inner = lock(&self.inner);
-        (inner.len, inner.peak, inner.hits, inner.misses)
+        (inner.len, inner.peak)
     }
 }
 

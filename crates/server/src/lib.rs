@@ -68,7 +68,7 @@ use std::time::Instant;
 use mf_core::{estimated_memory_bytes, FactorError, SolveError, SolverOptions, SpdSolver};
 use mf_gpusim::Machine;
 use mf_runtime::ThreadBudget;
-use mf_sparse::symbolic::{analyze, Analysis, SymCscF64Holder};
+use mf_sparse::symbolic::{analyze, analyze_parallel, Analysis, AnalyzeError, SymCscF64Holder};
 use mf_sparse::SymCsc;
 
 use cache::{lock, AnalysisCache};
@@ -132,6 +132,10 @@ pub enum SubmitError {
         /// Bytes still resident after LRU eviction of idle sessions.
         resident: usize,
     },
+    /// The symbolic analysis rejected the matrix at admission (e.g. a
+    /// structurally missing diagonal) — hostile input must produce a typed
+    /// rejection, never unwind a caller thread.
+    Analyze(AnalyzeError),
     /// The numeric factorization failed (e.g. the matrix is not SPD).
     Factor(FactorError),
     /// A refactor's matrix pattern differs from the session's.
@@ -155,6 +159,7 @@ impl std::fmt::Display for SubmitError {
                 "tenant memory budget exceeded: need {required} bytes, {resident} of {budget} \
                  already resident"
             ),
+            SubmitError::Analyze(e) => write!(f, "analysis rejected the matrix: {e}"),
             SubmitError::Factor(e) => write!(f, "factorization failed: {e}"),
             SubmitError::PatternMismatch => {
                 write!(f, "matrix pattern differs from the session's analyzed pattern")
@@ -353,11 +358,19 @@ impl Server {
             }
             None => {
                 inner.stats.analysis_misses.fetch_add(1, Ordering::Relaxed);
-                let an = Arc::new(analyze(
-                    a,
-                    inner.cfg.solver.ordering,
-                    inner.cfg.solver.amalgamation.as_ref(),
-                ));
+                let opts = &inner.cfg.solver;
+                let an = if opts.analysis_workers > 1 {
+                    analyze_parallel(
+                        a,
+                        opts.ordering,
+                        opts.amalgamation.as_ref(),
+                        opts.analysis_workers,
+                    )
+                } else {
+                    analyze(a, opts.ordering, opts.amalgamation.as_ref())
+                }
+                .map(Arc::new)
+                .map_err(SubmitError::Analyze)?;
                 inner.cache.insert(a.clone(), an.clone());
                 an
             }
@@ -579,13 +592,17 @@ impl Server {
     pub fn stats(&self) -> ServerStats {
         let inner = &self.inner;
         let s = &inner.stats;
-        let (cache_entries, cache_entries_peak, hits, misses) = inner.cache.stats();
+        // The cache reports only its occupancy: hit/miss counts live in the
+        // server's atomic counters alone. (A previous revision kept a second
+        // hit counter inside the cache and `debug_assert_eq!`-ed the two
+        // here, but the cache lookup and the atomic increment are separate
+        // steps — a concurrent submission between them made the assert fire
+        // spuriously under load.)
+        let (cache_entries, cache_entries_peak) = inner.cache.stats();
         let (active_sessions, resident_bytes) = {
             let reg = lock(&inner.registry);
             (reg.sessions.len(), reg.tenants.values().map(|t| t.resident_bytes).sum())
         };
-        debug_assert_eq!(hits, s.analysis_hits.load(Ordering::Relaxed));
-        let _ = misses; // cache also counts misses for patterns never inserted
         ServerStats {
             submissions: s.submissions.load(Ordering::Relaxed),
             analysis_hits: s.analysis_hits.load(Ordering::Relaxed),

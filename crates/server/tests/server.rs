@@ -401,3 +401,60 @@ fn non_spd_submission_is_a_typed_factor_error_and_releases_reservation() {
     // The tenant is not poisoned: a good submission still works.
     server.submit("neg", &a).expect("SPD submission after a failed one");
 }
+
+#[test]
+fn missing_diagonal_is_rejected_at_admission_and_server_survives() {
+    use mf_sparse::{AnalyzeError, Triplet};
+    // Hostile structural input: column 1 carries off-diagonal entries but no
+    // pivot. Admission must reject it with a typed error — serially and
+    // through the parallel analysis path — not unwind the caller's thread.
+    let mut t = Triplet::new(4);
+    t.push(0, 0, 4.0);
+    t.push(2, 2, 4.0);
+    t.push(3, 3, 4.0);
+    t.push(3, 1, -1.0);
+    let hostile = t.assemble();
+    for workers in [0, 4] {
+        let server = Server::start(ServerConfig {
+            solver: SolverOptions { analysis_workers: workers, ..opts() },
+            ..cfg()
+        });
+        match server.submit("hostile", &hostile) {
+            Err(SubmitError::Analyze(AnalyzeError::MissingDiagonal { col })) => {
+                // The check runs on the caller's matrix, before any
+                // permutation, so the reported column is the original one.
+                assert_eq!(col, 1);
+            }
+            other => panic!("expected Analyze rejection, got {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.active_sessions, 0);
+        assert_eq!(stats.resident_bytes, 0, "rejected submission charges nothing");
+        // The server is not poisoned: a well-formed system still round-trips.
+        let a = laplacian_2d(6, 5, Stencil::Faces);
+        let sid = server.submit("hostile", &a).expect("good submission after rejection");
+        let b = rhs(a.order(), 1, 7);
+        let x = server.solve(sid, b.clone()).expect("solve after rejection");
+        assert_bitwise(&x, &serial_answer(&a, &b, 1), "post-rejection solve");
+    }
+}
+
+#[test]
+fn parallel_analysis_answers_match_serial_configuration_bitwise() {
+    let a = laplacian_3d(6, 5, 4, Stencil::Faces);
+    let b = rhs(a.order(), 2, 99);
+    let serial = {
+        let server = Server::start(cfg());
+        let sid = server.submit("t", &a).unwrap();
+        server.solve_many(sid, b.clone(), 2).unwrap()
+    };
+    for workers in [2, 8] {
+        let server = Server::start(ServerConfig {
+            solver: SolverOptions { analysis_workers: workers, ..opts() },
+            ..cfg()
+        });
+        let sid = server.submit("t", &a).unwrap();
+        let x = server.solve_many(sid, b.clone(), 2).unwrap();
+        assert_bitwise(&x, &serial, &format!("analysis_workers={workers}"));
+    }
+}

@@ -174,6 +174,61 @@ pub fn column_counts<T: Scalar>(a: &SymCsc<T>, etree: &EliminationTree) -> Vec<u
     cc
 }
 
+/// Parallel column counts, bitwise identical to [`column_counts`] at every
+/// worker count.
+///
+/// Rows are independent in the row-subtree algorithm: row `i` walks the
+/// etree from each entry of its strict upper row and bumps every column on
+/// the path, guarded by a per-row mark. Contiguous row chunks therefore run
+/// as independent tasks that accumulate into per-worker count arrays; the
+/// final merge sums `usize` contributions per column, which is commutative
+/// and exact, so the result does not depend on which worker ran which chunk.
+pub fn column_counts_parallel<T: Scalar>(
+    a: &SymCsc<T>,
+    etree: &EliminationTree,
+    workers: usize,
+) -> Vec<usize> {
+    let n = a.order();
+    let (uptr, urows) = a.upper_pattern();
+    // Chunk rows contiguously, a few chunks per worker so the stealing
+    // runtime can balance the skewed per-row costs near the dense tail.
+    let workers = workers.max(1);
+    let chunk = (n / (workers * 4)).max(64);
+    let ntasks = n.div_ceil(chunk);
+    let rt = mf_runtime::Runtime::new(workers.min(ntasks.max(1)));
+    let graph = mf_runtime::TaskGraph::new(ntasks);
+    // Per-worker state: a local count accumulator (increments only, the
+    // shared `+1` diagonal is added at merge time) and a row-stamped mark.
+    let states: Vec<(Vec<usize>, Vec<usize>)> =
+        (0..rt.workers()).map(|_| (vec![0usize; n], vec![NONE; n])).collect();
+    let (states, _errs) = rt.run(&graph, states, |(cc, mark), t| -> Result<(), ()> {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(n);
+        for i in lo..hi {
+            mark[i] = i;
+            for &j0 in &urows[uptr[i]..uptr[i + 1]] {
+                let mut j = j0;
+                while j < i && mark[j] != i {
+                    cc[j] += 1;
+                    mark[j] = i;
+                    j = etree.parent[j];
+                    if j == NONE {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+    let mut cc = vec![1usize; n]; // diagonal
+    for (local, _) in &states {
+        for (c, l) in cc.iter_mut().zip(local) {
+            *c += l;
+        }
+    }
+    cc
+}
+
 /// Number of children of every node.
 pub fn child_counts(etree: &EliminationTree) -> Vec<usize> {
     let mut nc = vec![0usize; etree.len()];
@@ -307,6 +362,28 @@ mod tests {
         let cc = column_counts(&a, &t);
         for (j, &c) in cc.iter().enumerate() {
             assert_eq!(c, n - j, "col {j}");
+        }
+    }
+
+    #[test]
+    fn parallel_column_counts_match_serial() {
+        let mats = [tridiag(300), arrow(257), {
+            let n = 129;
+            let mut tp = Triplet::new(n);
+            for i in 0..n {
+                tp.push(i, i, 4.0);
+                if i > 0 {
+                    tp.push(i, 0, -1.0); // dense first column ⇒ full fill
+                }
+            }
+            tp.assemble()
+        }];
+        for a in &mats {
+            let t = elimination_tree(a);
+            let serial = column_counts(a, &t);
+            for w in [1, 2, 4, 8] {
+                assert_eq!(column_counts_parallel(a, &t, w), serial, "workers={w}");
+            }
         }
     }
 

@@ -27,8 +27,13 @@ pub mod supernode;
 pub mod symbolic;
 
 pub use csc::{SymCsc, Triplet};
-pub use etree::{column_counts, elimination_tree, EliminationTree};
-pub use ordering::{order, OrderingKind};
+pub use etree::{column_counts, column_counts_parallel, elimination_tree, EliminationTree};
+pub use ordering::{nested_dissection_parallel, order, order_parallel, OrderingKind};
 pub use perm::Permutation;
-pub use supernode::{amalgamate, fundamental_supernodes, AmalgamationOptions, SupernodePartition};
-pub use symbolic::{analyze, symbolic_factor, Analysis, SymbolicFactor};
+pub use supernode::{
+    amalgamate, fundamental_supernodes, supernode_forest, AmalgamationOptions, SupernodePartition,
+};
+pub use symbolic::{
+    analyze, analyze_parallel, symbolic_factor, symbolic_factor_parallel, Analysis, AnalyzeError,
+    SymbolicFactor,
+};

@@ -18,7 +18,7 @@ mod nd;
 mod rcm;
 
 pub use mindeg::minimum_degree;
-pub use nd::{nested_dissection, NdOptions};
+pub use nd::{nested_dissection, nested_dissection_parallel, NdOptions};
 pub use rcm::reverse_cuthill_mckee;
 
 use crate::csc::SymCsc;
@@ -47,6 +47,22 @@ pub fn order<T: Scalar>(a: &SymCsc<T>, kind: OrderingKind) -> Permutation {
         OrderingKind::Rcm => reverse_cuthill_mckee(&g),
         OrderingKind::MinimumDegree => minimum_degree(&g),
         OrderingKind::NestedDissection => nested_dissection(&g, &NdOptions::default()),
+    }
+}
+
+/// Parallel variant of [`order`], bitwise identical at every worker count.
+///
+/// Nested dissection — the default and by far the most expensive ordering
+/// on the paper's 3-D suite — runs its disjoint recursions on the
+/// mf-runtime pool ([`nested_dissection_parallel`]); the remaining kinds
+/// are cheap or inherently sequential and fall through to the serial
+/// implementation (which is already deterministic).
+pub fn order_parallel<T: Scalar>(a: &SymCsc<T>, kind: OrderingKind, workers: usize) -> Permutation {
+    match kind {
+        OrderingKind::NestedDissection => {
+            nested_dissection_parallel(&a.to_adjacency(), &NdOptions::default(), workers)
+        }
+        _ => order(a, kind),
     }
 }
 

@@ -59,6 +59,166 @@ pub fn nested_dissection(g: &Adjacency, opts: &NdOptions) -> Permutation {
     Permutation::from_vec(order)
 }
 
+/// Parallel nested dissection on the mf-runtime pool, bitwise identical to
+/// [`nested_dissection`] at every worker count.
+///
+/// The serial recursion composes: `dissect` on a part either orders it as a
+/// leaf, or recurses on disjoint sub-parts and appends each sub-order
+/// contiguously (A, B, separator). The driver exploits that by expanding
+/// the dissection front *serially* — always splitting the largest pending
+/// part, exactly as `dissect` would — until there are a few parts per
+/// worker, then runs each part's full serial `dissect` as an independent
+/// task and splices the per-part orders back in the serial emission order.
+/// Scheduling cannot perturb the result: `split`, `components`,
+/// `order_leaf`, and `dissect` depend only on the graph and the part (BFS
+/// scratch is stamp-guarded and the mask baseline is restored to all-false
+/// after every use), and the merge order is fixed by the plan, not by task
+/// completion order.
+pub fn nested_dissection_parallel(g: &Adjacency, opts: &NdOptions, workers: usize) -> Permutation {
+    let n = g.len();
+    let mut work = BfsWork::new(n);
+    work.mask = vec![true; n];
+    let mut assigned = vec![false; n];
+    let mut top_comps = Vec::new();
+    for seed in 0..n {
+        if assigned[seed] {
+            continue;
+        }
+        let _ = work.bfs(g, seed);
+        let comp: Vec<usize> = work.visited().to_vec();
+        for &v in &comp {
+            assigned[v] = true;
+        }
+        top_comps.push(comp);
+    }
+    work.mask.fill(false);
+
+    // Plan tree: `Part` runs as one task, `Seq` splices children in
+    // emission order, `Lit` is a separator emitted verbatim.
+    enum Node {
+        Part(Vec<usize>),
+        Seq(Vec<usize>),
+        Lit(Vec<usize>),
+    }
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut roots = Vec::new();
+    // Max-heap on (size, id): always expand the largest pending part, so
+    // task granularity evens out quickly.
+    let mut heap = std::collections::BinaryHeap::new();
+    for comp in top_comps {
+        let id = nodes.len();
+        heap.push((comp.len(), id));
+        nodes.push(Node::Part(comp));
+        roots.push(id);
+    }
+    let target = workers.max(1) * 4;
+    let mut nparts = heap.len();
+    while nparts < target {
+        let Some((len, id)) = heap.pop() else { break };
+        if len <= opts.leaf_size {
+            // The largest pending part is already a leaf: nothing to split.
+            heap.push((len, id));
+            break;
+        }
+        let Node::Part(vs) = std::mem::replace(&mut nodes[id], Node::Seq(Vec::new())) else {
+            unreachable!("heap only references Part nodes")
+        };
+        // Mirror `dissect` exactly: components first, then split.
+        let comps = components(g, &vs, &mut work);
+        let mut seq = Vec::new();
+        if comps.len() > 1 {
+            for comp in comps {
+                let cid = nodes.len();
+                heap.push((comp.len(), cid));
+                nodes.push(Node::Part(comp));
+                seq.push(cid);
+                nparts += 1;
+            }
+        } else {
+            match split(g, &vs, opts, &mut work) {
+                None => {
+                    // Unsplittable: leave it as one leaf task (off the heap).
+                    nodes[id] = Node::Part(vs);
+                    continue;
+                }
+                Some((a, b, sep)) => {
+                    for half in [a, b] {
+                        if half.is_empty() {
+                            continue;
+                        }
+                        let cid = nodes.len();
+                        heap.push((half.len(), cid));
+                        nodes.push(Node::Part(half));
+                        seq.push(cid);
+                        nparts += 1;
+                    }
+                    let lid = nodes.len();
+                    nodes.push(Node::Lit(sep));
+                    seq.push(lid);
+                }
+            }
+        }
+        nparts -= 1;
+        nodes[id] = Node::Seq(seq);
+    }
+
+    // Flatten the plan in emission order into task parts + literal runs.
+    enum Seg {
+        Task(usize),
+        Lit(Vec<usize>),
+    }
+    let mut tasks: Vec<Vec<usize>> = Vec::new();
+    let mut schedule: Vec<Seg> = Vec::new();
+    let mut stack: Vec<usize> = roots.iter().rev().copied().collect();
+    while let Some(id) = stack.pop() {
+        match std::mem::replace(&mut nodes[id], Node::Seq(Vec::new())) {
+            Node::Part(vs) => {
+                schedule.push(Seg::Task(tasks.len()));
+                tasks.push(vs);
+            }
+            Node::Lit(sep) => schedule.push(Seg::Lit(sep)),
+            Node::Seq(seq) => stack.extend(seq.iter().rev()),
+        }
+    }
+
+    // Run every part's full serial dissection as an independent task; the
+    // graph is edgeless (parts are vertex-disjoint by construction).
+    let ntasks = tasks.len();
+    let graph = mf_runtime::TaskGraph::new(ntasks);
+    let rt = mf_runtime::Runtime::new(workers.max(1).min(ntasks.max(1)));
+    // Per-worker scratch plus the (task id, emitted order) pairs it ran.
+    type NdWorkerState = (BfsWork, Vec<(usize, Vec<usize>)>);
+    let states: Vec<NdWorkerState> = (0..rt.workers())
+        .map(|_| {
+            let mut w = BfsWork::new(n);
+            w.mask = vec![false; n];
+            (w, Vec::new())
+        })
+        .collect();
+    let tasks_ref = &tasks;
+    let (states, _errs) = rt.run(&graph, states, |st, t| -> Result<(), ()> {
+        let mut out = Vec::with_capacity(tasks_ref[t].len());
+        dissect(g, tasks_ref[t].clone(), opts, &mut st.0, &mut out);
+        st.1.push((t, out));
+        Ok(())
+    });
+    let mut results: Vec<Vec<usize>> = vec![Vec::new(); ntasks];
+    for (_, done) in states {
+        for (t, out) in done {
+            results[t] = out;
+        }
+    }
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    for seg in schedule {
+        match seg {
+            Seg::Task(t) => order.append(&mut results[t]),
+            Seg::Lit(sep) => order.extend(sep),
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    Permutation::from_vec(order)
+}
+
 /// Recursively order the connected vertex set `verts` (mask-restricted),
 /// appending to `order`. Uses an explicit work stack with a post-step to
 /// append separators after both halves — written iteratively so deep
@@ -305,6 +465,41 @@ mod tests {
         }
         let p = nested_dissection(&t.assemble().to_adjacency(), &NdOptions::default());
         assert_eq!(p.len(), 8);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise_at_every_worker_count() {
+        let grids = [grid2d(23, 19), grid2d(400, 3), grid2d(6, 6)];
+        for a in &grids {
+            let g = a.to_adjacency();
+            let serial = nested_dissection(&g, &NdOptions::default());
+            for workers in [1, 2, 4, 8] {
+                let par = nested_dissection_parallel(&g, &NdOptions::default(), workers);
+                assert_eq!(par.as_slice(), serial.as_slice(), "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_disconnected_graph() {
+        use crate::csc::Triplet;
+        let mut t = Triplet::new(600);
+        // Three disjoint paths of 200 — big enough to expand past the
+        // top-level components.
+        for base in [0usize, 200, 400] {
+            for i in 0..200 {
+                t.push(base + i, base + i, 2.0);
+                if i + 1 < 200 {
+                    t.push(base + i + 1, base + i, -1.0);
+                }
+            }
+        }
+        let g = t.assemble().to_adjacency();
+        let serial = nested_dissection(&g, &NdOptions::default());
+        for workers in [1, 2, 4, 8] {
+            let par = nested_dissection_parallel(&g, &NdOptions::default(), workers);
+            assert_eq!(par.as_slice(), serial.as_slice(), "workers={workers}");
+        }
     }
 
     #[test]

@@ -72,6 +72,38 @@ impl SupernodePartition {
     }
 }
 
+/// Children lists (ascending) and postorder (children before parents) of a
+/// supernodal forest given by its parent array ([`NONE`] marks roots).
+///
+/// Shared by the serial and parallel symbolic factorizations so both walk
+/// exactly the same traversal — the postorder is part of the bitwise
+/// determinism contract on [`crate::symbolic::SymbolicFactor`].
+pub fn supernode_forest(sn_parent: &[usize]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let nsn = sn_parent.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); nsn];
+    let mut roots = Vec::new();
+    for (s, &p) in sn_parent.iter().enumerate() {
+        match p {
+            NONE => roots.push(s),
+            p => children[p].push(s),
+        }
+    }
+    let mut postorder = Vec::with_capacity(nsn);
+    let mut stack: Vec<(usize, bool)> = roots.iter().rev().map(|&r| (r, false)).collect();
+    while let Some((s, expanded)) = stack.pop() {
+        if expanded {
+            postorder.push(s);
+        } else {
+            stack.push((s, true));
+            for &c in children[s].iter().rev() {
+                stack.push((c, false));
+            }
+        }
+    }
+    assert_eq!(postorder.len(), nsn, "supernodal forest must cover all supernodes");
+    (children, postorder)
+}
+
 /// Detect **fundamental supernodes** from the elimination tree and column
 /// counts: column `j+1` joins `j`'s supernode iff `parent(j) == j+1`,
 /// `cc[j+1] == cc[j] − 1`, and `j+1` has exactly one etree child.

@@ -7,13 +7,15 @@
 //! repeated factorizations with the same pattern.
 
 use crate::csc::SymCsc;
-use crate::etree::{column_counts, elimination_tree, EliminationTree, NONE};
-use crate::ordering::{order, OrderingKind};
+use crate::etree::{column_counts, column_counts_parallel, elimination_tree, EliminationTree};
+use crate::ordering::{order, order_parallel, OrderingKind};
 use crate::perm::Permutation;
 use crate::supernode::{
-    amalgamate, fundamental_supernodes, AmalgamationOptions, SupernodePartition,
+    amalgamate, fundamental_supernodes, supernode_forest, AmalgamationOptions, SupernodePartition,
 };
 use mf_dense::{FuFlops, Scalar};
+use mf_runtime::{Runtime, TaskGraph};
+use std::sync::OnceLock;
 
 /// Per-supernode symbolic information.
 #[derive(Debug, Clone)]
@@ -25,7 +27,8 @@ pub struct SupernodeInfo {
     /// Sorted row indices of the front. The first `k` entries are exactly
     /// `col_start..col_end`; the remaining `m` are the update rows.
     pub rows: Vec<usize>,
-    /// Parent supernode in the supernodal elimination tree, or [`NONE`].
+    /// Parent supernode in the supernodal elimination tree, or
+    /// [`crate::etree::NONE`].
     pub parent: usize,
 }
 
@@ -181,6 +184,54 @@ impl SymbolicFactor {
     }
 }
 
+/// Sorted row structure of one supernode's front: the pivot columns
+/// `c0..c1` followed by the merged, deduplicated, sorted update rows from
+/// the matrix pattern and the children's update rows. Shared by the serial
+/// and parallel drivers so both compute byte-identical structures; `mark`
+/// is an `n`-length scratch stamped with the supernode id (safe to reuse
+/// across calls because every supernode is processed exactly once).
+fn supernode_row_structure<'a, T: Scalar>(
+    a: &SymCsc<T>,
+    part: &SupernodePartition,
+    s: usize,
+    children: &[usize],
+    mark: &mut [usize],
+    child_rows: impl Fn(usize) -> &'a [usize],
+) -> Vec<usize> {
+    let c0 = part.starts[s];
+    let c1 = part.starts[s + 1];
+    let mut rows: Vec<usize> = Vec::new();
+    // Pivot rows first (always present).
+    for m in &mut mark[c0..c1] {
+        *m = s;
+    }
+    // Pattern of A in the supernode's columns, below c0.
+    for c in c0..c1 {
+        for &i in a.col_rows(c) {
+            if i >= c1 && mark[i] != s {
+                mark[i] = s;
+                rows.push(i);
+            }
+        }
+    }
+    // Children update rows (all ≥ c0 by the etree parent property).
+    for &ch in children {
+        let chk = part.width(ch);
+        for &i in &child_rows(ch)[chk..] {
+            debug_assert!(i >= c0);
+            if i >= c1 && mark[i] != s {
+                mark[i] = s;
+                rows.push(i);
+            }
+        }
+    }
+    rows.sort_unstable();
+    let mut full = Vec::with_capacity(c1 - c0 + rows.len());
+    full.extend(c0..c1);
+    full.extend(rows);
+    full
+}
+
 /// Compute the supernodal symbolic factorization given a partition.
 pub fn symbolic_factor<T: Scalar>(
     a: &SymCsc<T>,
@@ -191,65 +242,14 @@ pub fn symbolic_factor<T: Scalar>(
     let nsn = part.len();
     let sn_parent = part.supernode_etree(etree);
     let col_to_sn = part.col_to_sn();
-
-    // Children lists + supernode postorder (children before parents).
-    let mut children: Vec<Vec<usize>> = vec![Vec::new(); nsn];
-    let mut roots = Vec::new();
-    for (s, &p) in sn_parent.iter().enumerate() {
-        match p {
-            NONE => roots.push(s),
-            p => children[p].push(s),
-        }
-    }
-    let mut postorder = Vec::with_capacity(nsn);
-    let mut stack: Vec<(usize, bool)> = roots.iter().rev().map(|&r| (r, false)).collect();
-    while let Some((s, expanded)) = stack.pop() {
-        if expanded {
-            postorder.push(s);
-        } else {
-            stack.push((s, true));
-            for &c in children[s].iter().rev() {
-                stack.push((c, false));
-            }
-        }
-    }
-    assert_eq!(postorder.len(), nsn, "supernodal forest must cover all supernodes");
+    let (children, postorder) = supernode_forest(&sn_parent);
 
     // Row structures, bottom-up.
     let mut rows_of: Vec<Vec<usize>> = vec![Vec::new(); nsn];
     let mut mark = vec![usize::MAX; n];
     for &s in &postorder {
-        let c0 = part.starts[s];
-        let c1 = part.starts[s + 1];
-        let mut rows: Vec<usize> = Vec::new();
-        // Pivot rows first (always present).
-        for m in &mut mark[c0..c1] {
-            *m = s;
-        }
-        // Pattern of A in the supernode's columns, below c0.
-        for c in c0..c1 {
-            for &i in a.col_rows(c) {
-                if i >= c1 && mark[i] != s {
-                    mark[i] = s;
-                    rows.push(i);
-                }
-            }
-        }
-        // Children update rows (all ≥ c0 by the etree parent property).
-        for &ch in &children[s] {
-            let chk = part.width(ch);
-            for &i in &rows_of[ch][chk..] {
-                debug_assert!(i >= c0);
-                if i >= c1 && mark[i] != s {
-                    mark[i] = s;
-                    rows.push(i);
-                }
-            }
-        }
-        rows.sort_unstable();
-        let mut full = Vec::with_capacity(c1 - c0 + rows.len());
-        full.extend(c0..c1);
-        full.extend(rows);
+        let full =
+            supernode_row_structure(a, part, s, &children[s], &mut mark, |ch| &rows_of[ch][..]);
         rows_of[s] = full;
     }
 
@@ -265,6 +265,97 @@ pub fn symbolic_factor<T: Scalar>(
     SymbolicFactor { n, supernodes, postorder, children, col_to_sn }
 }
 
+/// Parallel supernodal symbolic factorization, bitwise identical to
+/// [`symbolic_factor`] at every worker count.
+///
+/// The per-supernode row structure depends only on the matrix pattern and
+/// the children's structures, so the supernodal elimination tree *is* the
+/// task DAG: [`TaskGraph::from_parents`] releases a parent only after all
+/// of its children completed, and the runtime's release/acquire on the
+/// dependency counters makes every child's published rows visible. Each
+/// structure is written exactly once into a [`OnceLock`] slot; per-worker
+/// mark scratch is stamped by supernode id, which never repeats.
+pub fn symbolic_factor_parallel<T: Scalar>(
+    a: &SymCsc<T>,
+    etree: &EliminationTree,
+    part: &SupernodePartition,
+    workers: usize,
+) -> SymbolicFactor {
+    let n = a.order();
+    let nsn = part.len();
+    let sn_parent = part.supernode_etree(etree);
+    let col_to_sn = part.col_to_sn();
+    let (children, postorder) = supernode_forest(&sn_parent);
+
+    let slots: Vec<OnceLock<Vec<usize>>> = (0..nsn).map(|_| OnceLock::new()).collect();
+    let graph = TaskGraph::from_parents(&sn_parent);
+    let rt = Runtime::new(workers.max(1).min(nsn.max(1)));
+    let states: Vec<Vec<usize>> = (0..rt.workers()).map(|_| vec![usize::MAX; n]).collect();
+    let (_, errs) = rt.run(&graph, states, |mark, s| -> Result<(), ()> {
+        let full = supernode_row_structure(a, part, s, &children[s], mark, |ch| {
+            slots[ch].get().expect("child row structure must be published").as_slice()
+        });
+        let _ = slots[s].set(full);
+        Ok(())
+    });
+    debug_assert!(errs.is_empty(), "symbolic tasks are infallible");
+
+    let supernodes: Vec<SupernodeInfo> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(s, slot)| SupernodeInfo {
+            col_start: part.starts[s],
+            col_end: part.starts[s + 1],
+            rows: slot.into_inner().expect("every supernode task must run"),
+            parent: sn_parent[s],
+        })
+        .collect();
+
+    SymbolicFactor { n, supernodes, postorder, children, col_to_sn }
+}
+
+/// Typed failure of the analysis pipeline on hostile input.
+///
+/// The analysis path must never panic on untrusted matrices — mf-server
+/// admits caller-supplied patterns directly into [`analyze`], so every
+/// structural precondition is checked up front and surfaced as a variant
+/// here instead of tripping an `unwrap` deep inside ordering or numeric
+/// code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// Column `col` has no structural diagonal entry. An SPD matrix always
+    /// has a nonzero diagonal; without it the ordering and pivot paths
+    /// would index a missing entry.
+    MissingDiagonal {
+        /// Offending column (0-based, in the input numbering).
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::MissingDiagonal { col } => {
+                write!(f, "structurally missing diagonal entry in column {col}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Verify every column has a structural diagonal entry. Rows within a
+/// column are sorted and ≥ the column index, so the diagonal is present
+/// iff it is the first stored row (an empty column has no diagonal).
+fn check_diagonal<T: Scalar>(a: &SymCsc<T>) -> Result<(), AnalyzeError> {
+    for j in 0..a.order() {
+        if a.col_rows(j).first() != Some(&j) {
+            return Err(AnalyzeError::MissingDiagonal { col: j });
+        }
+    }
+    Ok(())
+}
+
 /// Result of the full analysis pipeline.
 #[derive(Debug, Clone)]
 pub struct Analysis {
@@ -272,8 +363,57 @@ pub struct Analysis {
     pub perm: Permutation,
     /// Permuted matrix `P·A·Pᵀ`.
     pub permuted: SymCscF64Holder,
+    /// Elimination tree of the permuted matrix.
+    pub etree: EliminationTree,
     /// Symbolic factorization of the permuted matrix.
     pub symbolic: SymbolicFactor,
+}
+
+impl Analysis {
+    /// FNV-1a fingerprint over everything the bitwise-determinism contract
+    /// covers: the permutation, the permuted pattern and value bits, the
+    /// elimination tree, and the full supernodal structure (spans, parents,
+    /// row structures, postorder). Two analyses agree on this fingerprint
+    /// iff every byte a downstream numeric phase consumes is identical —
+    /// the CI invariant asserted by the `symbolic` bench and the
+    /// determinism suite for [`analyze_parallel`].
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(mut h: u64, x: u64) -> u64 {
+            for b in x.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = OFFSET;
+        h = mix(h, self.symbolic.n as u64);
+        for &p in self.perm.as_slice() {
+            h = mix(h, p as u64);
+        }
+        for &p in &self.etree.parent {
+            h = mix(h, p as u64);
+        }
+        let pa = &self.permuted.0;
+        for j in 0..pa.order() {
+            for (&i, &v) in pa.col_rows(j).iter().zip(pa.col_vals(j)) {
+                h = mix(h, i as u64);
+                h = mix(h, v.to_bits());
+            }
+        }
+        for s in &self.symbolic.supernodes {
+            h = mix(h, s.col_start as u64);
+            h = mix(h, s.col_end as u64);
+            h = mix(h, s.parent as u64);
+            for &r in &s.rows {
+                h = mix(h, r as u64);
+            }
+        }
+        for &s in &self.symbolic.postorder {
+            h = mix(h, s as u64);
+        }
+        h
+    }
 }
 
 /// Holder newtype so `Analysis` stays scalar-agnostic at the API boundary
@@ -287,7 +427,8 @@ pub fn analyze(
     a: &SymCsc<f64>,
     ordering: OrderingKind,
     amalg: Option<&AmalgamationOptions>,
-) -> Analysis {
+) -> Result<Analysis, AnalyzeError> {
+    check_diagonal(a)?;
     let perm = order(a, ordering);
     let pa = perm.permute_sym(a);
     let et = elimination_tree(&pa);
@@ -298,13 +439,48 @@ pub fn analyze(
         None => fund,
     };
     let symbolic = symbolic_factor(&pa, &et, &part);
-    Analysis { perm, permuted: SymCscF64Holder(pa), symbolic }
+    Ok(Analysis { perm, permuted: SymCscF64Holder(pa), etree: et, symbolic })
+}
+
+/// Parallel analysis on the mf-runtime pool, bitwise identical to
+/// [`analyze`] at every worker count.
+///
+/// Three pipeline stages run on the work-stealing pool: nested-dissection
+/// recursion over disjoint parts
+/// ([`crate::ordering::nested_dissection_parallel`]), column counts over
+/// row chunks ([`column_counts_parallel`]), and per-supernode row
+/// structures over the supernodal elimination tree
+/// ([`symbolic_factor_parallel`]). Each stage merges its partial results
+/// in a schedule-independent order, so the returned [`Analysis`] — and
+/// its [`Analysis::fingerprint`] — matches the serial pipeline byte for
+/// byte. `workers == 1` still exercises the parallel drivers (on the
+/// calling thread), which keeps single-worker runs meaningful in the
+/// determinism suite.
+pub fn analyze_parallel(
+    a: &SymCsc<f64>,
+    ordering: OrderingKind,
+    amalg: Option<&AmalgamationOptions>,
+    workers: usize,
+) -> Result<Analysis, AnalyzeError> {
+    check_diagonal(a)?;
+    let perm = order_parallel(a, ordering, workers);
+    let pa = perm.permute_sym(a);
+    let et = elimination_tree(&pa);
+    let cc = column_counts_parallel(&pa, &et, workers);
+    let fund = fundamental_supernodes(&et, &cc);
+    let part = match amalg {
+        Some(opts) => amalgamate(&fund, &et, &cc, opts),
+        None => fund,
+    };
+    let symbolic = symbolic_factor_parallel(&pa, &et, &part, workers);
+    Ok(Analysis { perm, permuted: SymCscF64Holder(pa), etree: et, symbolic })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::csc::Triplet;
+    use crate::etree::NONE;
 
     fn tridiag(n: usize) -> SymCsc<f64> {
         let mut t = Triplet::new(n);
@@ -361,7 +537,7 @@ mod tests {
     #[test]
     fn rows_sorted_and_prefixed_by_pivots() {
         let a = grid2d(7, 6);
-        let analysis = analyze(&a, OrderingKind::NestedDissection, None);
+        let analysis = analyze(&a, OrderingKind::NestedDissection, None).unwrap();
         for s in &analysis.symbolic.supernodes {
             let k = s.k();
             for (i, c) in (s.col_start..s.col_end).enumerate() {
@@ -455,7 +631,7 @@ mod tests {
     #[test]
     fn panel_ptr_is_the_prefix_sum_of_panel_rectangles() {
         let a = grid2d(9, 8);
-        let analysis = analyze(&a, OrderingKind::NestedDissection, None);
+        let analysis = analyze(&a, OrderingKind::NestedDissection, None).unwrap();
         let sym = &analysis.symbolic;
         let ptr = sym.panel_ptr();
         assert_eq!(ptr.len(), sym.num_supernodes() + 1);
@@ -494,6 +670,55 @@ mod tests {
                     assert!(peaks[s] <= peaks[info.parent]);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn missing_diagonal_is_a_typed_error_not_a_panic() {
+        // No (1,1) entry; column 1 still has sub-diagonal structure.
+        let mut t = Triplet::new(3);
+        t.push(0, 0, 2.0);
+        t.push(2, 2, 2.0);
+        t.push(2, 1, -1.0);
+        let a = t.assemble();
+        for kind in [OrderingKind::Natural, OrderingKind::NestedDissection] {
+            assert_eq!(
+                analyze(&a, kind, None).unwrap_err(),
+                AnalyzeError::MissingDiagonal { col: 1 }
+            );
+            assert_eq!(
+                analyze_parallel(&a, kind, None, 4).unwrap_err(),
+                AnalyzeError::MissingDiagonal { col: 1 }
+            );
+        }
+        // Completely empty column (no entries at all) is caught too.
+        let mut t = Triplet::new(2);
+        t.push(1, 1, 1.0);
+        let b = t.assemble();
+        assert_eq!(
+            analyze(&b, OrderingKind::Natural, None).unwrap_err(),
+            AnalyzeError::MissingDiagonal { col: 0 }
+        );
+    }
+
+    #[test]
+    fn parallel_analysis_is_bitwise_identical_to_serial() {
+        let a = grid2d(13, 11);
+        let amalg = AmalgamationOptions::default();
+        let serial = analyze(&a, OrderingKind::NestedDissection, Some(&amalg)).unwrap();
+        for workers in [1, 2, 4, 8] {
+            let par = analyze_parallel(&a, OrderingKind::NestedDissection, Some(&amalg), workers)
+                .unwrap();
+            assert_eq!(par.perm.as_slice(), serial.perm.as_slice(), "workers={workers}");
+            assert_eq!(par.etree.parent, serial.etree.parent, "workers={workers}");
+            assert_eq!(par.symbolic.postorder, serial.symbolic.postorder, "workers={workers}");
+            for (ps, ss) in par.symbolic.supernodes.iter().zip(&serial.symbolic.supernodes) {
+                assert_eq!(ps.col_start, ss.col_start);
+                assert_eq!(ps.col_end, ss.col_end);
+                assert_eq!(ps.parent, ss.parent);
+                assert_eq!(ps.rows, ss.rows);
+            }
+            assert_eq!(par.fingerprint(), serial.fingerprint(), "workers={workers}");
         }
     }
 

@@ -24,7 +24,7 @@ fn main() {
     let a = laplacian_3d(24, 24, 24, Stencil::Full);
     println!("matrix: N = {}", a.order());
     let analysis =
-        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default())).unwrap();
     let a32: SymCsc<f32> = analysis.permuted.0.cast();
 
     // Per-supernode durations for CPU-only (P1) and for GPU workers

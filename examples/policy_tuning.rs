@@ -22,7 +22,8 @@ fn main() {
     for (nx, ny, nz) in [(16, 16, 16), (22, 18, 12)] {
         let a = laplacian_3d(nx, ny, nz, Stencil::Full);
         let analysis =
-            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+                .unwrap();
         let a32: SymCsc<f32> = analysis.permuted.0.cast();
         let mut stats = Vec::new();
         for p in PolicyKind::ALL {

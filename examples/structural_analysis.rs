@@ -24,7 +24,7 @@ fn main() {
     );
 
     let analysis =
-        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default())).unwrap();
     println!(
         "analysis: {} supernodes, factor nnz = {}, {:.2e} flops",
         analysis.symbolic.num_supernodes(),

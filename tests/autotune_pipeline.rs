@@ -17,7 +17,7 @@ fn run(a32: &SymCsc<f32>, analysis: &Analysis, selector: PolicySelector) -> Fact
 
 fn dataset_of(a: &SymCsc<f64>) -> (Analysis, SymCsc<f32>, Dataset, [FactorStats; 4]) {
     let analysis =
-        analyze(a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        analyze(a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default())).unwrap();
     let a32: SymCsc<f32> = analysis.permuted.0.cast();
     let stats: Vec<FactorStats> = PolicyKind::ALL
         .into_iter()

@@ -19,7 +19,7 @@ use gpu_multifrontal::sparse::symbolic::{analyze, SymbolicFactor};
 use gpu_multifrontal::sparse::{AmalgamationOptions, Permutation};
 
 fn analysis_of(a: &SymCsc<f64>) -> gpu_multifrontal::sparse::symbolic::Analysis {
-    analyze(a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+    analyze(a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default())).unwrap()
 }
 
 fn baseline_opts() -> FactorOptions {
@@ -285,7 +285,7 @@ fn parallel_error_is_serial_first_error() {
         }
     }
     let a = t.assemble();
-    let an = analyze(&a, OrderingKind::Natural, None);
+    let an = analyze(&a, OrderingKind::Natural, None).unwrap();
     let mut serial_machine = Machine::paper_node();
     let serial_err = factor_permuted(
         &an.permuted.0,
@@ -525,4 +525,124 @@ fn sixty_four_concurrent_factorizations() {
             });
         }
     });
+}
+
+// ---------------------------------------------------------------------------
+// Analysis-pipeline determinism: `analyze_parallel` must reproduce the
+// serial `analyze` byte for byte — permutation, elimination tree, supernode
+// partition, per-supernode row structures, and the structural fingerprint —
+// at every worker count, across matrix families, and at both factor
+// precisions. (The `analysis_` prefix is load-bearing: ci.sh gates on these
+// tests by name at both default and single-threaded test settings.)
+// ---------------------------------------------------------------------------
+
+use gpu_multifrontal::sparse::symbolic::{analyze_parallel, Analysis};
+
+fn analysis_families() -> Vec<(&'static str, SymCsc<f64>)> {
+    vec![
+        ("laplacian_2d", laplacian_2d(19, 14, Stencil::Faces)),
+        ("laplacian_3d", laplacian_3d(7, 6, 5, Stencil::Full)),
+        ("elasticity_3d", elasticity_3d(4, 4, 3)),
+    ]
+}
+
+fn assert_analysis_identical(name: &str, workers: usize, serial: &Analysis, par: &Analysis) {
+    let tag = format!("{name} workers={workers}");
+    assert_eq!(par.perm.as_slice(), serial.perm.as_slice(), "{tag}: permutation");
+    assert_eq!(par.etree.parent, serial.etree.parent, "{tag}: etree parents");
+    assert_eq!(par.symbolic.postorder, serial.symbolic.postorder, "{tag}: postorder");
+    assert_eq!(
+        par.symbolic.num_supernodes(),
+        serial.symbolic.num_supernodes(),
+        "{tag}: supernode count"
+    );
+    for (s, (ps, ss)) in par.symbolic.supernodes.iter().zip(&serial.symbolic.supernodes).enumerate()
+    {
+        assert_eq!(ps.col_start, ss.col_start, "{tag}: supernode {s} col_start");
+        assert_eq!(ps.col_end, ss.col_end, "{tag}: supernode {s} col_end");
+        assert_eq!(ps.parent, ss.parent, "{tag}: supernode {s} parent");
+        assert_eq!(ps.rows, ss.rows, "{tag}: supernode {s} rows");
+    }
+    assert_eq!(par.fingerprint(), serial.fingerprint(), "{tag}: fingerprint");
+}
+
+#[test]
+fn analysis_parallel_structures_identical_all_families() {
+    let amalg = AmalgamationOptions::default();
+    for (name, a) in analysis_families() {
+        let serial = analyze(&a, OrderingKind::NestedDissection, Some(&amalg)).unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            let par = analyze_parallel(&a, OrderingKind::NestedDissection, Some(&amalg), workers)
+                .unwrap();
+            assert_analysis_identical(name, workers, &serial, &par);
+        }
+    }
+}
+
+#[test]
+fn analysis_parallel_identical_without_amalgamation_and_natural_order() {
+    // Fundamental supernodes only, and the ordering kinds that fall through
+    // to the serial path — the parallel driver must be exact everywhere.
+    for (name, a) in analysis_families() {
+        for kind in [OrderingKind::Natural, OrderingKind::NestedDissection] {
+            let serial = analyze(&a, kind, None).unwrap();
+            for workers in [2usize, 8] {
+                let par = analyze_parallel(&a, kind, None, workers).unwrap();
+                assert_analysis_identical(name, workers, &serial, &par);
+            }
+        }
+    }
+}
+
+#[test]
+fn analysis_parallel_factors_bitwise_identical_f64() {
+    // The downstream check: a factor built from the parallel analysis is
+    // bitwise the factor built from the serial one.
+    let amalg = AmalgamationOptions::default();
+    for (name, a) in analysis_families() {
+        let serial = analyze(&a, OrderingKind::NestedDissection, Some(&amalg)).unwrap();
+        let opts = baseline_opts();
+        let mut m0 = Machine::paper_node();
+        let (f0, _) =
+            factor_permuted(&serial.permuted.0, &serial.symbolic, &serial.perm, &mut m0, &opts)
+                .unwrap();
+        for workers in [2usize, 4] {
+            let par = analyze_parallel(&a, OrderingKind::NestedDissection, Some(&amalg), workers)
+                .unwrap();
+            let mut m = Machine::paper_node();
+            let (f, _) =
+                factor_permuted(&par.permuted.0, &par.symbolic, &par.perm, &mut m, &opts).unwrap();
+            assert_eq!(
+                panel_bits(&f0),
+                panel_bits(&f),
+                "{name} workers={workers}: f64 factor from parallel analysis diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn analysis_parallel_factors_bitwise_identical_f32() {
+    let amalg = AmalgamationOptions::default();
+    for (name, a) in analysis_families() {
+        let serial = analyze(&a, OrderingKind::NestedDissection, Some(&amalg)).unwrap();
+        let opts =
+            FactorOptions { selector: PolicySelector::Fixed(PolicyKind::P4), ..Default::default() };
+        let a32s: SymCsc<f32> = serial.permuted.0.cast();
+        let mut m0 = Machine::paper_node();
+        let (f0, _) =
+            factor_permuted(&a32s, &serial.symbolic, &serial.perm, &mut m0, &opts).unwrap();
+        for workers in [2usize, 8] {
+            let par = analyze_parallel(&a, OrderingKind::NestedDissection, Some(&amalg), workers)
+                .unwrap();
+            let a32p: SymCsc<f32> = par.permuted.0.cast();
+            let mut m = Machine::paper_node();
+            let (f, _) = factor_permuted(&a32p, &par.symbolic, &par.perm, &mut m, &opts).unwrap();
+            assert_eq!(
+                panel_bits(&f0),
+                panel_bits(&f),
+                "{name} workers={workers}: f32 factor from parallel analysis diverged"
+            );
+        }
+    }
 }

@@ -24,6 +24,7 @@ fn opts(selector: PolicySelector, precision: Precision) -> SolverOptions {
         amalgamation: Some(AmalgamationOptions::default()),
         factor: FactorOptions { selector, ..Default::default() },
         precision,
+        analysis_workers: 0,
     }
 }
 
@@ -59,6 +60,7 @@ fn every_ordering_works_end_to_end() {
                 ..Default::default()
             },
             precision: Precision::F32,
+            analysis_workers: 0,
         };
         solve_and_check(&a, &o, 1e-7);
     }
@@ -107,6 +109,7 @@ fn amalgamation_changes_structure_not_solution() {
                 ..Default::default()
             },
             precision: Precision::F64,
+            analysis_workers: 0,
         };
         let mut machine = Machine::paper_node();
         let solver = SpdSolver::new(&a, &mut machine, &o).unwrap();

@@ -45,7 +45,7 @@ fn table3_rates_match_paper() {
 fn most_calls_are_small() {
     let a = laplacian_3d(16, 16, 16, Stencil::Faces);
     let analysis =
-        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default())).unwrap();
     let a32: SymCsc<f32> = analysis.permuted.0.cast();
     let st = policy_stats(&a32, &analysis, PolicySelector::Fixed(PolicyKind::P1));
     let small = st.records.iter().filter(|r| r.k <= 500 && r.m <= 1000).count();
@@ -114,7 +114,7 @@ fn policy_progression_with_size() {
 fn model_hybrid_near_ideal() {
     let a = laplacian_3d(14, 14, 14, Stencil::Full);
     let analysis =
-        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default())).unwrap();
     let a32: SymCsc<f32> = analysis.permuted.0.cast();
     let stats: Vec<_> = PolicyKind::ALL
         .into_iter()
@@ -147,7 +147,7 @@ fn speedup_ordering_matches_paper() {
     // (N ≈ 14k; the paper's are ~1M).
     let a = laplacian_3d(24, 24, 24, Stencil::Full);
     let analysis =
-        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()));
+        analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default())).unwrap();
     let a32: SymCsc<f32> = analysis.permuted.0.cast();
     let stats: Vec<_> = PolicyKind::ALL
         .into_iter()

@@ -50,6 +50,7 @@ proptest! {
             amalgamation: Some(AmalgamationOptions::default()),
             factor: FactorOptions { selector: PolicySelector::Fixed(policy), ..Default::default() },
             precision: Precision::F32,
+            analysis_workers: 0,
         };
         let solver = SpdSolver::new(&a, &mut machine, &opts).expect("diag-dominant ⇒ SPD");
         let (xtrue, b) = gpu_multifrontal::matgen::rhs_for_solution(&a, seed ^ 0xABCD);
@@ -76,6 +77,7 @@ proptest! {
                 amalgamation: None,
                 factor: FactorOptions { selector: PolicySelector::Fixed(p), ..Default::default() },
                 precision: Precision::F32,
+                analysis_workers: 0,
             };
             SpdSolver::new(&a, &mut machine, &opts).unwrap().factor_nnz()
         };
@@ -173,7 +175,7 @@ proptest! {
         use gpu_multifrontal::sparse::symbolic::analyze;
         let a = random_spd_sparse(n, density, seed);
         let amal = if amalgamate { Some(AmalgamationOptions::default()) } else { None };
-        let an = analyze(&a, ordering, amal.as_ref());
+        let an = analyze(&a, ordering, amal.as_ref()).expect("generated SPD matrices have full diagonals");
         let mut machine = Machine::paper_node();
         let (_, stats) = factor_permuted(
             &an.permuted.0,
@@ -375,5 +377,112 @@ proptest! {
         }
         let x: Vec<u32> = (0..n as u32).collect();
         prop_assert_eq!(p.unpermute_vec(&p.permute_vec(&x)), x);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-input properties: no structurally singular or non-finite input may
+// panic the analysis, the solver constructor, or server admission — every
+// path must surface the same typed error.
+// ---------------------------------------------------------------------------
+
+/// `a` with all of column `knockout`'s entries (including its diagonal)
+/// removed — a structurally singular pattern no ordering can repair.
+fn knock_out_diagonal(a: &SymCsc<f64>, knockout: usize) -> SymCsc<f64> {
+    let mut t = Triplet::new(a.order());
+    for j in 0..a.order() {
+        for (&i, &v) in a.col_rows(j).iter().zip(a.col_vals(j)) {
+            if i != knockout && j != knockout {
+                t.push(i, j, v);
+            }
+        }
+    }
+    t.assemble()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A missing diagonal is a typed `AnalyzeError` from both analysis
+    /// drivers at every worker count — never a panic, never an `Ok`.
+    #[test]
+    fn missing_diagonal_is_typed_end_to_end(
+        n in 8usize..80,
+        density in 2usize..8,
+        seed in 0u64..500,
+        knockout_frac in 0.0f64..1.0,
+        ordering in ordering_strategy(),
+    ) {
+        use gpu_multifrontal::sparse::symbolic::{analyze, analyze_parallel, AnalyzeError};
+        let a = random_spd_sparse(n, density, seed);
+        let knockout = ((knockout_frac * n as f64) as usize).min(n - 1);
+        let bad = knock_out_diagonal(&a, knockout);
+        let want = AnalyzeError::MissingDiagonal { col: knockout };
+        prop_assert_eq!(analyze(&bad, ordering, None).unwrap_err(), want);
+        for workers in [1usize, 4] {
+            prop_assert_eq!(
+                analyze_parallel(&bad, ordering, None, workers).unwrap_err(),
+                want
+            );
+        }
+    }
+
+    /// The same hostile matrix through server admission: a typed
+    /// `SubmitError::Analyze`, and the server keeps serving afterwards.
+    #[test]
+    fn missing_diagonal_rejected_by_server_admission(
+        n in 8usize..48,
+        density in 2usize..6,
+        seed in 0u64..200,
+        workers in 0usize..5,
+    ) {
+        use gpu_multifrontal::server::{Server, ServerConfig, SubmitError};
+        use gpu_multifrontal::sparse::symbolic::AnalyzeError;
+        let a = random_spd_sparse(n, density, seed);
+        let knockout = (seed as usize) % n;
+        let bad = knock_out_diagonal(&a, knockout);
+        let server = Server::start(ServerConfig {
+            solver: SolverOptions {
+                precision: Precision::F64,
+                analysis_workers: workers,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let got = server.submit("prop", &bad);
+        prop_assert_eq!(
+            got,
+            Err(SubmitError::Analyze(AnalyzeError::MissingDiagonal { col: knockout }))
+        );
+        // The rejection must not poison the service.
+        let sid = server.submit("prop", &a).expect("well-formed submission still admits");
+        let b = vec![1.0; n];
+        prop_assert!(server.solve(sid, b).is_ok());
+    }
+
+    /// Non-finite values in a Matrix Market stream are parse errors, never
+    /// matrices.
+    #[test]
+    fn non_finite_matrix_market_is_a_parse_error(
+        n in 1usize..20,
+        bad_kind in 0usize..3,
+        bad_pos in 0usize..20,
+    ) {
+        use gpu_multifrontal::sparse::io::{read_matrix_market, MmError};
+        use std::io::BufReader;
+        let bad_tok = ["nan", "inf", "-inf"][bad_kind];
+        let bad_pos = bad_pos.min(n - 1);
+        let mut text = format!(
+            "%%MatrixMarket matrix coordinate real symmetric\n{n} {n} {n}\n"
+        );
+        for i in 1..=n {
+            if i - 1 == bad_pos {
+                text.push_str(&format!("{i} {i} {bad_tok}\n"));
+            } else {
+                text.push_str(&format!("{i} {i} 2.0\n"));
+            }
+        }
+        let r: Result<SymCsc<f64>, _> = read_matrix_market(BufReader::new(text.as_bytes()));
+        prop_assert!(matches!(r, Err(MmError::Parse(_))), "{} must not parse", bad_tok);
     }
 }
