@@ -89,8 +89,38 @@ cargo bench -p mf-bench --bench solve
 echo "==> symbolic bench (analysis fingerprint gate, writes BENCH_symbolic.json)"
 cargo bench -p mf-bench --bench symbolic
 
+# The multi-GPU driver's determinism contracts (bitwise-identical factors at
+# every workers × devices combination, OOM-fallback parity with the serial
+# drain driver, clean NotPositiveDefinite recovery) run by name and are
+# counted, so a filter typo or a renamed test cannot silently skip them.
+echo "==> multi-GPU determinism suite (explicit, default + single test thread)"
+for t in "" "RUST_TEST_THREADS=1"; do
+  out=$(env $t cargo test --release --test determinism multigpu_ 2>&1) || {
+    echo "$out"
+    exit 1
+  }
+  echo "$out" | grep -q "3 passed" || {
+    echo "expected exactly 3 multi-GPU determinism tests to run:"
+    echo "$out"
+    exit 1
+  }
+done
+
+# Property tests for the peer-copy primitive the multi-GPU extend-add path
+# rides on: event forward-progress/transitivity across arbitrary device
+# chains, and bitwise h2d -> d2d -> d2h roundtrips over arbitrary shapes.
+echo "==> gpusim peer-copy property suite"
+cargo test -q --release -p mf-gpusim --test peer_properties
+
 echo "==> gpu_pipeline bench (writes BENCH_gpu.json)"
 cargo bench -p mf-bench --bench gpu_pipeline
+
+# Multi-GPU strong scaling. Asserted inside the bench (panic fails this
+# step): bitwise identity with the serial drain driver at 1/2/4/8 devices,
+# 2 devices beating 1 on every suite matrix, and peer extend-add traffic
+# appearing wherever the proportional mapping splits a subtree.
+echo "==> multigpu bench (writes BENCH_multigpu.json)"
+cargo bench -p mf-bench --bench multigpu
 
 # Open-loop load bench for the service layer. Three invariants are asserted
 # inside the bench and panic (failing this step) on violation: every response

@@ -84,6 +84,29 @@ impl MatrixRuns {
         stats
     }
 
+    /// Like [`Self::run_pipelined`], but across `ndev` simulated devices
+    /// through the multi-GPU driver (proportional subtree mapping,
+    /// peer-copy extend-add, cross-device look-ahead — DESIGN.md §4.13).
+    pub fn run_multigpu(&self, selector: PolicySelector, ndev: usize) -> FactorStats {
+        let mut machine = Machine::paper_node();
+        let a32: SymCsc<f32> = self.analysis.permuted.0.cast();
+        let opts = FactorOptions {
+            selector,
+            pipeline: mf_core::PipelineOptions::pipelined(),
+            devices: mf_core::MultiGpuOptions::devices(ndev),
+            ..Default::default()
+        };
+        let (_, stats) = factor_permuted(
+            &a32,
+            &self.analysis.symbolic,
+            &self.analysis.perm,
+            &mut machine,
+            &opts,
+        )
+        .expect("suite matrices are SPD");
+        stats
+    }
+
     /// *Measured* wall-clock seconds of one serial baseline-hybrid
     /// factorization on this host — real elapsed time, not the simulated
     /// `total_time` the other columns report.
@@ -243,6 +266,27 @@ mod tests {
         // P1 and P4 must differ in total time.
         assert!(m.stats[0].total_time != m.stats[3].total_time);
         assert_eq!(m.dataset.len(), n);
+    }
+
+    #[test]
+    fn paper_stand_ins_have_pairwise_distinct_fingerprints() {
+        // Guards against grid-size rounding collisions (audikw_1 and
+        // nastran-b once collapsed to the same 7³ elasticity grid at the
+        // default bench scale, producing byte-identical BENCH rows).
+        for scale in [ExpConfig::test_small().scale, 0.3, 0.5, 1.0] {
+            let suite = paper_suite(scale);
+            for i in 0..suite.len() {
+                for j in i + 1..suite.len() {
+                    assert_ne!(
+                        suite[i].1.fingerprint(),
+                        suite[j].1.fingerprint(),
+                        "{} and {} share a fingerprint at scale {scale}",
+                        suite[i].0.name(),
+                        suite[j].0.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

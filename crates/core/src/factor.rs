@@ -14,14 +14,15 @@
 use crate::arena::FrontArena;
 use crate::features::LinearPolicyModel;
 use crate::frontal::{
-    assemble_front_into, charge_panel_extract, charge_update_extract, copy_update_packed,
-    extract_panel_copy, extract_panel_into, ChildUpdate, Front,
+    assemble_front_into, charge_assemble, charge_panel_extract, charge_update_extract,
+    copy_update_packed, extract_panel_copy, extract_panel_into, ChildUpdate, Front,
 };
 use crate::fu::{
     dispatch_fu, enqueue_batch_downloads, enqueue_downloads, execute_fu, finish_fu,
     try_dispatch_gpu, try_dispatch_gpu_batch, BatchError, FuBatchPending, FuContext, FuError,
     FuPending, DEFAULT_PANEL_WIDTH,
 };
+use crate::multigpu::MultiGpuOptions;
 use crate::pinned_pool::PinnedPool;
 use crate::policy::{BaselineThresholds, PolicyKind};
 use crate::stats::{FactorStats, FuRecord};
@@ -142,6 +143,10 @@ pub struct FactorOptions {
     /// driver, and the parallel driver additionally schedules their tile
     /// tasks across workers.
     pub tiling: TilingOptions,
+    /// Multi-device execution (see [`MultiGpuOptions`]). With `count > 1`
+    /// on a GPU machine and pipelining enabled, the factorization routes
+    /// to the multi-GPU driver of [`crate::multigpu`].
+    pub devices: MultiGpuOptions,
 }
 
 impl Default for FactorOptions {
@@ -155,6 +160,7 @@ impl Default for FactorOptions {
             front_storage: FrontStorage::default(),
             pipeline: PipelineOptions::default(),
             tiling: TilingOptions::default(),
+            devices: MultiGpuOptions::default(),
         }
     }
 }
@@ -362,6 +368,9 @@ pub fn factor_permuted<T: Scalar>(
     machine: &mut Machine,
     opts: &FactorOptions,
 ) -> Result<(CholeskyFactor<T>, FactorStats), FactorError> {
+    if opts.devices.count > 1 && opts.pipeline.enabled && machine.gpu.is_some() {
+        return crate::multigpu::factor_permuted_multigpu(a, symbolic, perm, machine, opts);
+    }
     if opts.pipeline.enabled && machine.gpu.is_some() {
         return factor_permuted_pipelined(a, symbolic, perm, machine, opts);
     }
@@ -493,17 +502,29 @@ pub fn factor_permuted<T: Scalar>(
 // ----- pipelined driver ------------------------------------------------------
 
 /// Build the standard (non-timing-only, serial) F-U context.
-fn fu_ctx<'a>(
+pub(crate) fn fu_ctx<'a>(
     machine: &'a mut Machine,
     pool: &'a mut PinnedPool,
     opts: &FactorOptions,
+) -> FuContext<'a> {
+    fu_ctx_mode(machine, pool, opts, false)
+}
+
+/// [`fu_ctx`] with an explicit timing-only flag — the rehearsal drivers
+/// behind the pipelined-vs-drain cost model run the full F-U schedule with
+/// every numeric touch suppressed.
+pub(crate) fn fu_ctx_mode<'a>(
+    machine: &'a mut Machine,
+    pool: &'a mut PinnedPool,
+    opts: &FactorOptions,
+    timing_only: bool,
 ) -> FuContext<'a> {
     FuContext {
         machine,
         pool,
         panel_width: opts.panel_width,
         copy_optimized: opts.copy_optimized,
-        timing_only: false,
+        timing_only,
         kernel_threads: None,
         tiling: opts.tiling,
     }
@@ -561,6 +582,12 @@ struct PipeDriver<'a, T> {
     rel: Vec<usize>,
     live: usize,
     peak: usize,
+    /// Timing-only rehearsal mode: charge every simulated cost the real run
+    /// would charge, touch no numeric data. Simulated durations depend only
+    /// on shapes and machine configuration, so the rehearsed makespan is
+    /// exact — this is what the pipelined-vs-drain cost model runs on a
+    /// virtual twin machine.
+    timing: bool,
 }
 
 impl<T: Scalar> PipeDriver<'_, T> {
@@ -646,11 +673,27 @@ impl<T: Scalar> PipeDriver<'_, T> {
         let symbolic = self.symbolic;
         let info = &symbolic.supernodes[sn];
         let s = info.front_size();
+        self.stats.front_alloc_events += 1;
+        if self.timing {
+            for &c in &symbolic.children[sn] {
+                self.updates[c].take().expect("child update must exist in postorder");
+            }
+            self.live += s * s;
+            self.peak = self.peak.max(self.live);
+            let a_nnz = (info.col_start..info.col_end).map(|c| a.col_rows(c).len()).sum();
+            charge_assemble::<T>(
+                a_nnz,
+                s,
+                info.k(),
+                symbolic.children[sn].iter().map(|&c| symbolic.supernodes[c].m()),
+                &mut machine.host,
+            );
+            return Vec::new();
+        }
         let child_bufs: Vec<(usize, Vec<T>)> = symbolic.children[sn]
             .iter()
             .map(|&c| (c, self.updates[c].take().expect("child update must exist in postorder")))
             .collect();
-        self.stats.front_alloc_events += 1;
         let mut front_data = vec![T::ZERO; s * s];
         self.live += s * s;
         self.peak = self.peak.max(self.live);
@@ -670,6 +713,15 @@ impl<T: Scalar> PipeDriver<'_, T> {
     fn extract_inline(&mut self, sn: usize, front: &Front<'_, T>, machine: &mut Machine) {
         let info = &self.symbolic.supernodes[sn];
         let (s, k, m) = (info.front_size(), info.k(), info.m());
+        if self.timing {
+            charge_panel_extract::<T>(s, k, &mut machine.host);
+            charge_update_extract::<T>(m, &mut machine.host);
+            if m > 0 {
+                self.stats.front_alloc_events += 1;
+                self.updates[sn] = Some(Vec::new());
+            }
+            return;
+        }
         let (p0, p1) = (self.panel_ptr[sn], self.panel_ptr[sn + 1]);
         extract_panel_into(front, &mut self.slab[p0..p1], &mut machine.host);
         charge_update_extract::<T>(m, &mut machine.host);
@@ -689,7 +741,7 @@ impl<T: Scalar> PipeDriver<'_, T> {
     fn flush_staged(&mut self, machine: &mut Machine, pool: &mut PinnedPool) {
         let Some(StagedFront { sns, mut bufs, kind }) = self.staged.take() else { return };
         let symbolic = self.symbolic;
-        let mut ctx = fu_ctx(machine, pool, self.opts);
+        let mut ctx = fu_ctx_mode(machine, pool, self.opts, self.timing);
         let pending = match kind {
             StagedKind::Single(mut pending) => {
                 let info = &symbolic.supernodes[sns[0]];
@@ -714,14 +766,21 @@ impl<T: Scalar> PipeDriver<'_, T> {
             let info = &symbolic.supernodes[sn];
             let (s, k, m) = (info.front_size(), info.k(), info.m());
             let front = Front { s, k, data: &mut buf[..] };
-            let (p0, p1) = (self.panel_ptr[sn], self.panel_ptr[sn + 1]);
-            extract_panel_copy(&front, &mut self.slab[p0..p1]);
-            if m > 0 {
-                self.stats.front_alloc_events += 1;
-                let mut u = vec![T::ZERO; m * m];
-                copy_update_packed(front.data, s, k, &mut u);
-                self.live += m * m;
-                self.updates[sn] = Some(u);
+            if self.timing {
+                if m > 0 {
+                    self.stats.front_alloc_events += 1;
+                    self.updates[sn] = Some(Vec::new());
+                }
+            } else {
+                let (p0, p1) = (self.panel_ptr[sn], self.panel_ptr[sn + 1]);
+                extract_panel_copy(&front, &mut self.slab[p0..p1]);
+                if m > 0 {
+                    self.stats.front_alloc_events += 1;
+                    let mut u = vec![T::ZERO; m * m];
+                    copy_update_packed(front.data, s, k, &mut u);
+                    self.live += m * m;
+                    self.updates[sn] = Some(u);
+                }
             }
             self.live -= s * s;
             extracts.push((s, k, m));
@@ -734,7 +793,7 @@ impl<T: Scalar> PipeDriver<'_, T> {
     /// drain driver's per-front order.
     fn finish_entry(&mut self, entry: InflightFront, machine: &mut Machine, pool: &mut PinnedPool) {
         let InflightFront { extracts, mut pending, .. } = entry;
-        let mut ctx = fu_ctx(machine, pool, self.opts);
+        let mut ctx = fu_ctx_mode(machine, pool, self.opts, self.timing);
         finish_fu(&mut pending, &mut ctx);
         for (s, k, m) in extracts {
             charge_panel_extract::<T>(s, k, &mut machine.host);
@@ -771,7 +830,7 @@ impl<T: Scalar> PipeDriver<'_, T> {
         let mut front_data = self.assemble(a, sn, machine);
         let mut front = Front { s, k, data: &mut front_data };
         let policy = self.opts.selector.choose(sn, m, k);
-        let mut ctx = fu_ctx(machine, pool, self.opts);
+        let mut ctx = fu_ctx_mode(machine, pool, self.opts, self.timing);
         let dispatched = try_dispatch_gpu(&mut front, policy, &mut ctx)
             .map_err(|e| fu_err_to_factor(info.col_start, e))?;
         let pending = match dispatched {
@@ -781,7 +840,7 @@ impl<T: Scalar> PipeDriver<'_, T> {
                 // before retrying, so P1-fallback decisions match it.
                 self.flush_staged(machine, pool);
                 self.drain_inflight(machine, pool);
-                let mut ctx = fu_ctx(machine, pool, self.opts);
+                let mut ctx = fu_ctx_mode(machine, pool, self.opts, self.timing);
                 dispatch_fu(&mut front, policy, &mut ctx)
                     .map_err(|e| fu_err_to_factor(info.col_start, e))?
             }
@@ -821,7 +880,7 @@ impl<T: Scalar> PipeDriver<'_, T> {
             self.ready_children(sn, machine, pool);
             bufs.push(self.assemble(a, sn, machine));
         }
-        let mut ctx = fu_ctx(machine, pool, self.opts);
+        let mut ctx = fu_ctx_mode(machine, pool, self.opts, self.timing);
         let mut fronts: Vec<Front<'_, T>> = sns
             .iter()
             .zip(bufs.iter_mut())
@@ -840,7 +899,7 @@ impl<T: Scalar> PipeDriver<'_, T> {
                 // and retry once before degrading to per-member dispatch.
                 self.flush_staged(machine, pool);
                 self.drain_inflight(machine, pool);
-                let mut ctx = fu_ctx(machine, pool, self.opts);
+                let mut ctx = fu_ctx_mode(machine, pool, self.opts, self.timing);
                 let mut fronts: Vec<Front<'_, T>> = sns
                     .iter()
                     .zip(bufs.iter_mut())
@@ -868,7 +927,7 @@ impl<T: Scalar> PipeDriver<'_, T> {
                     let info = &symbolic.supernodes[sn];
                     let (s, k) = (info.front_size(), info.k());
                     let mut front = Front { s, k, data: &mut buf[..] };
-                    let mut ctx = fu_ctx(machine, pool, self.opts);
+                    let mut ctx = fu_ctx_mode(machine, pool, self.opts, self.timing);
                     let mut pending = dispatch_fu(&mut front, PolicyKind::P4, &mut ctx)
                         .map_err(|e| fu_err_to_factor(info.col_start, e))?;
                     enqueue_downloads(&mut front, &mut pending, &mut ctx);
@@ -883,6 +942,75 @@ impl<T: Scalar> PipeDriver<'_, T> {
         }
         Ok(())
     }
+}
+
+/// Timing-only rehearsal of one driver schedule on a *virtual twin* of
+/// `machine`: same CPU and GPU configuration, fresh clocks, device memory
+/// and staging pool in virtual mode. Every simulated duration depends only
+/// on shapes and configuration — never on numeric data — so the rehearsed
+/// makespan equals the corresponding real driver's exactly, including OOM
+/// fallback decisions and pinned-pool waits. Costs two data-free passes
+/// over the supernode list; no numeric buffer is allocated or touched.
+fn rehearse_makespan<T: Scalar>(
+    a: &SymCsc<T>,
+    symbolic: &SymbolicFactor,
+    opts: &FactorOptions,
+    machine: &Machine,
+    pipelined: bool,
+) -> f64 {
+    let gpu_cfg = machine.gpu.as_ref().expect("pipelined routing requires a GPU").config().clone();
+    let mut twin = Machine::with_gpu(machine.host.config().clone(), gpu_cfg);
+    if let Some(g) = twin.gpu.as_mut() {
+        g.set_virtual(true);
+    }
+    let mut pool =
+        if opts.pinned_reuse { PinnedPool::new(2) } else { PinnedPool::without_reuse(2) };
+    pool.set_virtual(true);
+    if pipelined {
+        let nsn = symbolic.num_supernodes();
+        let mut drv = PipeDriver {
+            symbolic,
+            opts,
+            panel_ptr: symbolic.panel_ptr(),
+            slab: Vec::new(),
+            updates: (0..nsn).map(|_| None).collect(),
+            staged: None,
+            inflight: Vec::new(),
+            stats: FactorStats::default(),
+            rel: Vec::new(),
+            live: 0,
+            peak: 0,
+            timing: true,
+        };
+        drv.run(a, &mut twin, &mut pool)
+            .expect("timing-only rehearsal sees no data, so no pivot can fail");
+    } else {
+        // The drain driver's per-front charge sequence, data-free: assembly,
+        // the full F-U schedule (drained per front), panel and update
+        // extraction. Arena/heap front storage charge identically, so the
+        // rehearsal needs neither.
+        let mut empty: [T; 0] = [];
+        for &sn in &symbolic.postorder {
+            let info = &symbolic.supernodes[sn];
+            let (s, k, m) = (info.front_size(), info.k(), info.m());
+            let a_nnz = (info.col_start..info.col_end).map(|c| a.col_rows(c).len()).sum();
+            charge_assemble::<T>(
+                a_nnz,
+                s,
+                k,
+                symbolic.children[sn].iter().map(|&c| symbolic.supernodes[c].m()),
+                &mut twin.host,
+            );
+            let mut front = Front { s, k, data: &mut empty };
+            let policy = opts.selector.choose(sn, m, k);
+            let mut ctx = fu_ctx_mode(&mut twin, &mut pool, opts, true);
+            execute_fu(&mut front, policy, &mut ctx)
+                .expect("timing-only rehearsal sees no data, so no pivot can fail");
+            charge_panel_extract::<T>(s, k, &mut twin.host);
+            charge_update_extract::<T>(m, &mut twin.host);
+        }
+    }
+    twin.elapsed()
 }
 
 /// The pipelined counterpart of [`factor_permuted`] (selected via
@@ -903,6 +1031,23 @@ fn factor_permuted_pipelined<T: Scalar>(
     machine: &mut Machine,
     opts: &FactorOptions,
 ) -> Result<(CholeskyFactor<T>, FactorStats), FactorError> {
+    // Cost-model gate: rehearse both schedules on a virtual twin and keep
+    // the pipeline only when it is predicted to win. Both drivers produce
+    // bitwise-identical factors, so this is purely a makespan decision —
+    // and not a heuristic one: the rehearsal replays every simulated charge
+    // the real run would make, so the prediction is exact. Matrices whose
+    // front mix loses more to pinned-pool growth and look-ahead chaining
+    // than overlap buys back (narrow-treed P2-heavy suites) run the drain
+    // schedule and report speedup 1.0 instead of a regression.
+    let t_pipe = rehearse_makespan(a, symbolic, opts, machine, true);
+    let t_drain = rehearse_makespan(a, symbolic, opts, machine, false);
+    if t_pipe >= t_drain {
+        let drain = FactorOptions {
+            pipeline: PipelineOptions { enabled: false, ..opts.pipeline },
+            ..opts.clone()
+        };
+        return factor_permuted(a, symbolic, perm, machine, &drain);
+    }
     let nsn = symbolic.num_supernodes();
     let mut pool =
         if opts.pinned_reuse { PinnedPool::new(2) } else { PinnedPool::without_reuse(2) };
@@ -919,6 +1064,7 @@ fn factor_permuted_pipelined<T: Scalar>(
         rel: Vec::new(),
         live: 0,
         peak: 0,
+        timing: false,
     };
     drv.run(a, machine, &mut pool)?;
     let PipeDriver { panel_ptr, slab, mut stats, peak, .. } = drv;
@@ -1143,6 +1289,54 @@ mod tests {
                 assert!(util.busy_fraction() > 0.0 && util.busy_fraction() <= 1.0);
             }
             assert!(sd.gpu.is_some(), "drain driver reports utilization too");
+        }
+    }
+
+    #[test]
+    fn pipelined_cost_model_never_loses_and_falls_back_exactly() {
+        // elasticity_3d(4,4,3) under fixed P2 in f32 is a pipeline loser
+        // (pinned-pool growth under look-ahead outweighs what overlap buys
+        // back on its narrow tree): the rehearsal gate must detect it and
+        // reproduce the drain timeline *exactly* — same bits, same
+        // simulated makespan to the last ulp. Under P4 the pipeline wins on
+        // the same matrix and must stay strictly ahead.
+        let a = mf_matgen::elasticity_3d(4, 4, 3);
+        let analysis =
+            analyze(&a, OrderingKind::NestedDissection, Some(&AmalgamationOptions::default()))
+                .unwrap();
+        let a32: SymCsc<f32> = analysis.permuted.0.cast();
+        let run = |pipeline: PipelineOptions, policy: PolicyKind| {
+            let mut machine = Machine::paper_node();
+            let opts = FactorOptions {
+                selector: PolicySelector::Fixed(policy),
+                pipeline,
+                ..Default::default()
+            };
+            factor_permuted(&a32, &analysis.symbolic, &analysis.perm, &mut machine, &opts).unwrap()
+        };
+        for (policy, wins) in [(PolicyKind::P2, false), (PolicyKind::P4, true)] {
+            let (fd, sd) = run(PipelineOptions::default(), policy);
+            let (fp, sp) = run(PipelineOptions::pipelined(), policy);
+            let bd: Vec<u32> = fd.slab.iter().map(|x| x.to_bits()).collect();
+            let bp: Vec<u32> = fp.slab.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bd, bp, "{policy}: cost-model route must not change the bits");
+            if wins {
+                assert!(
+                    sp.total_time < sd.total_time,
+                    "{policy}: predicted winner must stay strictly ahead ({:.6e} vs {:.6e})",
+                    sp.total_time,
+                    sd.total_time
+                );
+            } else {
+                assert_eq!(
+                    sp.total_time.to_bits(),
+                    sd.total_time.to_bits(),
+                    "{policy}: predicted loser must fall back to the exact drain schedule \
+                     ({:.6e} vs {:.6e})",
+                    sp.total_time,
+                    sd.total_time
+                );
+            }
         }
     }
 

@@ -165,6 +165,25 @@ pub fn assemble_front_into<'a, 'c, T: Scalar + 'c>(
     Front { s, k, data }
 }
 
+/// The simulated cost of [`assemble_front_into`] alone, computed from
+/// structure: `a_nnz` entries scattered from `A`'s supernode columns, one
+/// extend-add triangle per child update size, and the zero-fill trapezoid.
+/// Charges exactly the bytes the real assembly charges — the timing-only
+/// rehearsal behind the pipelined-vs-drain cost model leans on this parity.
+pub(crate) fn charge_assemble<T: Scalar>(
+    a_nnz: usize,
+    s: usize,
+    k: usize,
+    child_ms: impl Iterator<Item = usize>,
+    host: &mut HostClock,
+) {
+    let m = s - k;
+    let zeroed = lower_trapezoid_len(s, k) + m * (m + 1) / 2;
+    let extended: usize = child_ms.map(|cm| cm * (cm + 1) / 2).sum();
+    let bytes = (a_nnz + extended) * 2 * T::BYTES + zeroed * T::BYTES;
+    host.charge_memop(bytes, ASSEMBLY_BW);
+}
+
 /// Copy the factored panel (lower trapezoid of columns `0..k`) from the
 /// front into `dst` — the supernode's `s × k` region of the contiguous
 /// factor slab. `dst` starts zeroed (slab init), so skipping the

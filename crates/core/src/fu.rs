@@ -34,9 +34,10 @@ pub const DEFAULT_PANEL_WIDTH: usize = 64;
 /// Block-column width for P2's overlapped `syrk` downloads.
 const P2_DOWNLOAD_BLOCK: usize = 512;
 
-/// Stream ids on the device.
-const S_COMPUTE: usize = 0;
-const S_COPY: usize = 1;
+/// Stream ids on the device (the multi-GPU driver adds a third for
+/// incoming peer copies).
+pub(crate) const S_COMPUTE: usize = 0;
+pub(crate) const S_COPY: usize = 1;
 
 /// Failure of a factor-update step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -357,6 +358,138 @@ pub fn enqueue_downloads<T: Scalar>(
     pending.state = PendingState::Downloaded(finish);
 }
 
+/// A device-resident contribution block left behind by
+/// [`enqueue_downloads_keep_update`]: the `m × m` update of a factored
+/// front, still on its device, ready to be peer-copied into the device
+/// that owns the parent front instead of round-tripping through the host.
+///
+/// The consumer owns `buf` and must free it on the producing device once
+/// the peer copy has been issued (or once it decides to fall back to host
+/// staging).
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteUpdate {
+    /// Device buffer holding (or containing) the update block.
+    pub buf: DevBuf,
+    /// View of the `m × m` update block within `buf`.
+    pub view: DevMat,
+    /// Update order `m`.
+    pub m: usize,
+    /// Event after which the update bytes are final on the device.
+    pub ready: Event,
+}
+
+/// Phase 2 variant for the multi-GPU driver: identical host numerics to
+/// [`enqueue_downloads`] — the simulator's eager transfers mean a d2h is a
+/// straight memcpy of the device bytes, so reading the device buffer in
+/// place yields bit-identical values — but the update block's download is
+/// *skipped* and its device buffer returned as a [`RemoteUpdate`] for a
+/// peer-copy extend-add. Only simulated time changes, never bits.
+///
+/// Returns `None` (after performing a normal phase 2) when there is nothing
+/// to export: a P1/finished front, an `m = 0` front, or timing-only mode
+/// (where device buffers hold no data to keep).
+pub fn enqueue_downloads_keep_update<T: Scalar>(
+    front: &mut Front<'_, T>,
+    pending: &mut FuPending,
+    ctx: &mut FuContext<'_>,
+) -> Option<RemoteUpdate> {
+    if ctx.timing_only {
+        enqueue_downloads(front, pending, ctx);
+        return None;
+    }
+    let plan = match std::mem::replace(&mut pending.state, PendingState::Done) {
+        PendingState::Computed(p) => p,
+        other => {
+            pending.state = other;
+            return None;
+        }
+    };
+    if let DownloadPlan::P4 { s, k, .. } = &plan {
+        if *s == *k {
+            // No update block to export — run the normal download path.
+            pending.state = PendingState::Computed(plan);
+            enqueue_downloads(front, pending, ctx);
+            return None;
+        }
+    }
+    let (host, gpu, pool) = split_ctx(ctx);
+    let (finish, remote) = match plan {
+        DownloadPlan::P2 { d_l2, d_w, m, sp, su, chunks } => {
+            let ready = chunks.last().expect("m > 0 fronts enqueue at least one chunk").2;
+            {
+                let w = gpu.peek(d_w).expect("update buffer is live");
+                apply_update_numerics(front, &w[..m * m]);
+            }
+            pool.retire(su, ready.0, host);
+            pool.retire(sp, ready.0, host);
+            (
+                FinishPlan { done: ready, bufs: vec![d_l2], apply_bytes: 0 },
+                RemoteUpdate { buf: d_w, view: DevMat::whole(d_w, m), m, ready },
+            )
+        }
+        DownloadPlan::P3 { d_panel, d_l1, d_w, m, k, sp, su, ev_trsm, ev_syrk } => {
+            let copy = gpu.stream(S_COPY);
+            let pv = DevMat::whole(d_panel, m);
+            // The panel still crosses to the host (its columns land in the
+            // factor slab); the update block stays device-resident.
+            gpu.wait_event(copy, ev_trsm);
+            gpu.d2h(copy, pv, m, k, pool.slot_mut(sp), m, true, CopyMode::Async, host);
+            let ev_dl = gpu.record_event(copy);
+            unstage_block(front, k, 0, m, k, &pool.slot(sp)[..m * k]);
+            {
+                let w = gpu.peek(d_w).expect("update buffer is live");
+                apply_update_numerics(front, &w[..m * m]);
+            }
+            let done = Event(ev_dl.0.max(ev_syrk.0));
+            pool.retire(su, done.0, host);
+            pool.retire(sp, done.0, host);
+            (
+                FinishPlan { done, bufs: vec![d_panel, d_l1], apply_bytes: 0 },
+                RemoteUpdate { buf: d_w, view: DevMat::whole(d_w, m), m, ready: ev_syrk },
+            )
+        }
+        DownloadPlan::P4 { d_front, s, k, sp, stage_len: _, copy_optimized } => {
+            let m = s - k;
+            let compute = gpu.stream(S_COMPUTE);
+            let fv = DevMat::whole(d_front, s);
+            // Kernels are all enqueued; the update bytes are final after
+            // this point on the compute stream.
+            let ready = gpu.record_event(compute);
+            gpu.d2h(
+                compute,
+                fv,
+                s,
+                k,
+                &mut pool.slot_mut(sp)[..s * k],
+                s,
+                true,
+                CopyMode::Async,
+                host,
+            );
+            let done = gpu.record_event(compute);
+            {
+                let dev = gpu.peek(d_front).expect("front buffer is live");
+                if copy_optimized {
+                    unstage_block(front, 0, 0, s, k, &dev[..s * k]);
+                    unstage_block_ld(front, k, k, m, m, &dev[k + k * s..], s);
+                } else {
+                    // The naive plan round-trips the whole s×s front; the
+                    // device buffer *is* that packed front, so unstaging it
+                    // in place reproduces the exact same bytes.
+                    unstage_block(front, 0, 0, s, s, &dev[..s * s]);
+                }
+            }
+            pool.retire(sp, done.0, host);
+            (
+                FinishPlan { done, bufs: Vec::new(), apply_bytes: 0 },
+                RemoteUpdate { buf: d_front, view: fv.offset(k, k), m, ready },
+            )
+        }
+    };
+    pending.state = PendingState::Downloaded(finish);
+    Some(remote)
+}
+
 /// Phase 3 — the only host block: wait for the front's `done` event, free
 /// its device buffers and land the deferred host charges.
 pub fn finish_fu(pending: &mut FuPending, ctx: &mut FuContext<'_>) {
@@ -585,6 +718,24 @@ fn stage_block<T: Scalar>(
     for j in 0..cols {
         let src = &front.data[(col0 + j) * s + row0..(col0 + j) * s + row0 + rows];
         stage_to_f32(src, &mut dst[j * rows..(j + 1) * rows]);
+    }
+}
+
+/// Unstage an f32 buffer with leading dimension `src_ld` back into a front
+/// sub-block (the packed variant below has `src_ld == rows`).
+fn unstage_block_ld<T: Scalar>(
+    front: &mut Front<'_, T>,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    src: &[f32],
+    src_ld: usize,
+) {
+    let s = front.s;
+    for j in 0..cols {
+        let dst = &mut front.data[(col0 + j) * s + row0..(col0 + j) * s + row0 + rows];
+        unstage_from_f32(&src[j * src_ld..j * src_ld + rows], dst);
     }
 }
 
@@ -1309,6 +1460,105 @@ mod tests {
         let t1 = estimate_fu_time(&mut machine, 10_000, 10_000, PolicyKind::P1, 64, true);
         let t4 = estimate_fu_time(&mut machine, 10_000, 10_000, PolicyKind::P4, 64, true);
         assert!(t4 < t1 / 4.0, "P4 {t4} vs P1 {t1}");
+    }
+
+    #[test]
+    fn keep_update_path_is_bitwise_identical_to_download_path() {
+        // The multi-GPU driver's remote-child path must mutate the front
+        // exactly like the normal download path — same bytes, different
+        // simulated time — and export the exact device update block.
+        let (s, k) = (96, 36);
+        let m = s - k;
+        for (policy, copy_optimized) in [
+            (PolicyKind::P2, false),
+            (PolicyKind::P3, false),
+            (PolicyKind::P4, false),
+            (PolicyKind::P4, true),
+        ] {
+            let run_once = |keep: bool| -> (Vec<f64>, Option<Vec<f32>>) {
+                let mut machine = Machine::paper_node();
+                let mut pool = PinnedPool::new(2);
+                let mut data = spd_data(s, 63);
+                let mut front = Front { s, k, data: &mut data };
+                let mut ctx = FuContext {
+                    machine: &mut machine,
+                    pool: &mut pool,
+                    panel_width: 16,
+                    copy_optimized,
+                    timing_only: false,
+                    kernel_threads: None,
+                    tiling: TilingOptions::default(),
+                };
+                let mut pending = dispatch_fu(&mut front, policy, &mut ctx).unwrap();
+                let export = if keep {
+                    enqueue_downloads_keep_update(&mut front, &mut pending, &mut ctx)
+                } else {
+                    enqueue_downloads(&mut front, &mut pending, &mut ctx);
+                    None
+                };
+                finish_fu(&mut pending, &mut ctx);
+                let block = export.map(|r| {
+                    assert_eq!(r.m, m);
+                    let gpu = machine.gpu.as_ref().unwrap();
+                    let dev = gpu.peek(r.view.buf).unwrap();
+                    let mut packed = vec![0.0f32; m * m];
+                    for j in 0..m {
+                        let off = r.view.off + j * r.view.ld;
+                        packed[j * m..(j + 1) * m].copy_from_slice(&dev[off..off + m]);
+                    }
+                    machine.gpu.as_mut().unwrap().free(r.buf).unwrap();
+                    packed
+                });
+                assert_eq!(machine.gpu.as_ref().unwrap().mem_used(), 0);
+                (data, block)
+            };
+            let (normal, none) = run_once(false);
+            assert!(none.is_none());
+            let (kept, block) = run_once(true);
+            assert_eq!(
+                normal.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                kept.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{policy} copy_optimized={copy_optimized}: keep-update changed front bytes"
+            );
+            let block = block.expect("m > 0 GPU fronts export an update");
+            // The exported block's lower triangle must be the device-exact
+            // −L₂L₂ᵀ the normal path applied.
+            let mut machine = Machine::paper_node();
+            let mut pool = PinnedPool::new(2);
+            let mut data = spd_data(s, 63);
+            let mut front = Front { s, k, data: &mut data };
+            let before: Vec<f64> = (0..m)
+                .flat_map(|j| (j..m).map(move |i| (i, j)))
+                .map(|(i, j)| front.at(k + i, k + j))
+                .collect();
+            let mut ctx = FuContext {
+                machine: &mut machine,
+                pool: &mut pool,
+                panel_width: 16,
+                copy_optimized,
+                timing_only: false,
+                kernel_threads: None,
+                tiling: TilingOptions::default(),
+            };
+            execute_fu(&mut front, policy, &mut ctx).unwrap();
+            let mut idx = 0;
+            for j in 0..m {
+                for i in j..m {
+                    let expect = match policy {
+                        // P4 factors the update block in place, so the
+                        // device block holds A₂₂ − L₂L₂ᵀ, not the raw W.
+                        PolicyKind::P4 => continue,
+                        _ => front.at(k + i, k + j) - before[idx],
+                    };
+                    let got = block[j * m + i] as f64;
+                    assert!(
+                        (got - expect).abs() <= 1e-6 * (1.0 + expect.abs()),
+                        "{policy}: W[{i},{j}] = {got}, expected {expect}"
+                    );
+                    idx += 1;
+                }
+            }
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod factor;
 pub mod features;
 pub mod frontal;
 pub mod fu;
+pub mod multigpu;
 pub mod parallel;
 pub mod pinned_pool;
 pub mod policy;
@@ -52,6 +53,10 @@ pub use fu::{
     dispatch_fu, enqueue_batch_downloads, enqueue_downloads, estimate_fu_time, execute_fu,
     finish_fu, try_dispatch_gpu, try_dispatch_gpu_batch, BatchError, FuBatchPending, FuContext,
     FuError, FuOutcome, FuPending, DEFAULT_PANEL_WIDTH,
+};
+pub use multigpu::{
+    factor_permuted_multigpu, factor_permuted_parallel_multigpu, proportional_map, DeviceMap,
+    MultiGpuOptions,
 };
 pub use parallel::{
     durations_by_supernode, factor_permuted_parallel, simulate_tiled_schedule,
@@ -74,6 +79,7 @@ pub use mf_sparse::{analyze, analyze_parallel, Analysis, AnalyzeError};
 /// Convenient glob-import of the solver-facing API.
 pub mod prelude {
     pub use crate::factor::{FactorOptions, PipelineOptions, PolicySelector};
+    pub use crate::multigpu::MultiGpuOptions;
     pub use crate::policy::{BaselineThresholds, PolicyKind};
     pub use crate::solver::{
         Precision, RefactorError, RefineStop, RefinedManySolution, RefinedSolution, SolveError,

@@ -498,6 +498,14 @@ pub fn factor_permuted_parallel<T: Scalar>(
 ) -> Result<(CholeskyFactor<T>, FactorStats), FactorError> {
     let workers = machines.len();
     assert!(workers >= 1, "need at least one worker machine");
+    // Multi-device runs route to the cooperative multi-GPU driver: devices
+    // are dealt round-robin over the GPU-bearing machines, and
+    // `ParallelOptions` (a tree-level work-stealing knob) does not apply.
+    if opts.devices.count > 1 && opts.pipeline.enabled && machines.iter().any(|m| m.gpu.is_some()) {
+        return crate::multigpu::factor_permuted_parallel_multigpu(
+            a, symbolic, perm, machines, opts,
+        );
+    }
     let nsn = symbolic.num_supernodes();
     let wall0 = Instant::now();
 

@@ -59,7 +59,7 @@ impl FuRecord {
                     KernelKind::Trsm => self.t_trsm += d,
                     KernelKind::Syrk | KernelKind::Gemm => self.t_syrk += d,
                 },
-                Component::CopyH2D | Component::CopyD2H => self.t_copy += d,
+                Component::CopyH2D | Component::CopyD2H | Component::CopyP2P => self.t_copy += d,
                 Component::PinnedAlloc | Component::HostMemop => self.t_assemble += d,
             }
         }
@@ -140,6 +140,14 @@ pub struct FactorStats {
     /// one entry per worker device (busy seconds summed, `gpus` counted),
     /// so utilization stays normalised per engine.
     pub gpu: Option<GpuUtilization>,
+    /// Per-device engine accounting from the multi-GPU driver, in global
+    /// device order (device 0 is the caller's own device). Empty for
+    /// single-device runs; `gpu` still carries the aggregate.
+    pub gpu_devices: Vec<GpuUtilization>,
+    /// Total bytes moved over peer (device-to-device) links by the
+    /// multi-GPU driver's peer-copy extend-adds. Zero for single-device
+    /// runs or with `MultiGpuOptions::peer_extend_add` off.
+    pub peer_bytes: usize,
 }
 
 impl FactorStats {

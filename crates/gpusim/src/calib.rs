@@ -146,6 +146,11 @@ pub struct GpuConfig {
     pub kernels: KernelRates,
     /// PCIe link model.
     pub pcie: PcieModel,
+    /// Peer (device-to-device) link bandwidth in bytes/s: the rate of a
+    /// `p2p` copy between two devices of this kind. One hop over the peer
+    /// link is faster than a pinned PCIe transfer, so a d2d copy beats the
+    /// d2h → host-assemble → h2d staging path it replaces.
+    pub p2p_bw: f64,
     /// Tile size for dim quantisation (CUBLAS-like jaggedness).
     pub tile: usize,
 }
@@ -239,6 +244,7 @@ pub fn tesla_t10() -> GpuConfig {
             panel_potrf: RateCurve { asymptote: 15.0e9, half_sat: 1.0e5, launch: 4.0e-6 },
         },
         pcie: PcieModel { pageable_bw: 1.4e9, pinned_bw: 3.2e9, latency: 1.0e-5 },
+        p2p_bw: 5.2e9,
         tile: 32,
     }
 }
@@ -260,6 +266,7 @@ pub fn fermi_like() -> GpuConfig {
             panel_potrf: RateCurve { asymptote: 35.0e9, half_sat: 8.0e4, launch: 3.0e-6 },
         },
         pcie: PcieModel { pageable_bw: 3.0e9, pinned_bw: 6.0e9, latency: 8.0e-6 },
+        p2p_bw: 11.0e9,
         tile: 32,
     }
 }

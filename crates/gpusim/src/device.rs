@@ -54,6 +54,14 @@ pub struct Gpu {
     compute_busy: f64,
     /// Accumulated busy time of the single copy engine.
     copy_busy: f64,
+    /// Time at which the dedicated peer (d2d) engine frees up. Peer copies
+    /// serialise on this engine on *both* endpoint devices, independently of
+    /// the PCIe copy engine — a p2p transfer overlaps h2d/d2h traffic.
+    peer_free: f64,
+    /// Accumulated busy time of the peer engine.
+    peer_busy: f64,
+    /// Bytes received over the peer link (accounted on the destination).
+    peer_bytes: usize,
     /// Accumulated busy time charged through each stream (kernels + copies
     /// issued on it), indexed like `streams`.
     stream_busy: Vec<f64>,
@@ -73,6 +81,9 @@ impl Gpu {
             copy_free: 0.0,
             compute_busy: 0.0,
             copy_busy: 0.0,
+            peer_free: 0.0,
+            peer_busy: 0.0,
+            peer_bytes: 0,
             stream_busy: vec![0.0],
             records: Vec::new(),
             recording: false,
@@ -203,7 +214,7 @@ impl Gpu {
     /// Block the host until the whole device drains.
     pub fn sync_all(&mut self, host: &mut HostClock) {
         let t = self.streams.iter().fold(0.0f64, |a, &b| a.max(b));
-        host.sync_to(t.max(self.compute_free).max(self.copy_free));
+        host.sync_to(t.max(self.compute_free).max(self.copy_free).max(self.peer_free));
     }
 
     /// Completion time of the latest work on `stream` (for schedulers).
@@ -219,6 +230,16 @@ impl Gpu {
     /// Accumulated copy-engine busy time since the last clock reset.
     pub fn copy_busy(&self) -> f64 {
         self.copy_busy
+    }
+
+    /// Accumulated peer-engine busy time since the last clock reset.
+    pub fn peer_busy(&self) -> f64 {
+        self.peer_busy
+    }
+
+    /// Bytes received over the peer link since the last clock reset.
+    pub fn peer_bytes(&self) -> usize {
+        self.peer_bytes
     }
 
     /// Accumulated busy time of work issued on `stream`.
@@ -486,7 +507,203 @@ impl Gpu {
         self.copy_free = 0.0;
         self.compute_busy = 0.0;
         self.copy_busy = 0.0;
+        self.peer_free = 0.0;
+        self.peer_busy = 0.0;
+        self.peer_bytes = 0;
         self.records.clear();
+    }
+
+    /// Peer (device-to-device) copy: move a `rows × cols` column-major block
+    /// from `src_view` on `src` into `dst_view` on `dst` over the p2p link.
+    ///
+    /// Event-chained exactly like `h2d`/`d2h`: the transfer starts no
+    /// earlier than `wait` (an event recorded on *any* device — events carry
+    /// absolute simulated time, so cross-device waits compose), no earlier
+    /// than either endpoint's peer engine frees up, and no earlier than the
+    /// tail of the destination stream it is issued on. The destination
+    /// stream's tail advances to the completion time, so later work issued
+    /// there observes the copied data; the returned event marks completion
+    /// and is forward-only (`≥ wait`).
+    ///
+    /// Data moves eagerly (a straight memcpy of what the source buffer holds
+    /// now), matching the simulator's eager-numerics discipline; only time
+    /// is scheduled. Traffic is accounted on the destination device.
+    #[allow(clippy::too_many_arguments)]
+    pub fn p2p(
+        src: &mut Gpu,
+        src_view: DevMat,
+        dst: &mut Gpu,
+        dst_stream: Stream,
+        dst_view: DevMat,
+        rows: usize,
+        cols: usize,
+        wait: Event,
+        host: &mut HostClock,
+    ) -> Event {
+        if !src.mem.virtual_mode && !dst.mem.virtual_mode {
+            let res = src.pack(src_view, rows, cols).and_then(|block| {
+                let data = dst.mem.get_mut(dst_view.buf)?;
+                for j in 0..cols {
+                    let doff = dst_view.off + j * dst_view.ld;
+                    data[doff..doff + rows].copy_from_slice(&block[j * rows..(j + 1) * rows]);
+                }
+                Ok(())
+            });
+            debug_assert!(res.is_ok(), "p2p: {:?}", res.err());
+        }
+        let bytes = rows * cols * 4;
+        let bw = src.cfg.p2p_bw.min(dst.cfg.p2p_bw);
+        let latency = src.cfg.pcie.latency.max(dst.cfg.pcie.latency);
+        let dur = latency + bytes as f64 / bw;
+        let start = host
+            .now()
+            .max(wait.0)
+            .max(src.peer_free)
+            .max(dst.peer_free)
+            .max(dst.streams[dst_stream.0]);
+        let end = start + dur;
+        dst.streams[dst_stream.0] = end;
+        dst.stream_busy[dst_stream.0] += dur;
+        src.peer_free = end;
+        dst.peer_free = end;
+        src.peer_busy += dur;
+        dst.peer_busy += dur;
+        dst.peer_bytes += bytes;
+        host.charge_issue();
+        if dst.recording {
+            dst.records.push(ProfileRecord {
+                component: Component::CopyP2P,
+                ops: 0.0,
+                bytes,
+                start,
+                end,
+            });
+        }
+        Event(end)
+    }
+}
+
+/// A set of simulated devices sharing one host timeline — the multi-GPU
+/// node. Devices keep fully independent clocks, streams and memories;
+/// cross-device ordering flows only through events (absolute simulated
+/// times, so a wait on a remote event is just a `max`) and through the
+/// [`Gpu::p2p`] peer-copy primitive.
+///
+/// Slots are `Option<Gpu>` so a driver can [`DeviceSet::take`] a device out,
+/// run the existing single-device dispatch machinery against it, and
+/// [`DeviceSet::restore`] it — peer copies against the remaining devices
+/// stay available throughout.
+#[derive(Debug)]
+pub struct DeviceSet {
+    gpus: Vec<Option<Gpu>>,
+}
+
+impl DeviceSet {
+    /// `n` fresh devices of the same configuration.
+    pub fn uniform(cfg: GpuConfig, n: usize) -> Self {
+        DeviceSet { gpus: (0..n).map(|_| Some(Gpu::new(cfg.clone()))).collect() }
+    }
+
+    /// Wrap existing devices (device 0 keeps its clocks and memory — the
+    /// multi-GPU driver promotes the machine's device this way).
+    pub fn from_gpus(gpus: Vec<Gpu>) -> Self {
+        DeviceSet { gpus: gpus.into_iter().map(Some).collect() }
+    }
+
+    /// Number of device slots (taken or not).
+    pub fn len(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Whether the set has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.gpus.is_empty()
+    }
+
+    /// Shared access to device `i`. Panics if `i` is out of range or taken.
+    pub fn device(&self, i: usize) -> &Gpu {
+        self.gpus[i].as_ref().expect("device taken out of the set")
+    }
+
+    /// Exclusive access to device `i`. Panics if out of range or taken.
+    pub fn device_mut(&mut self, i: usize) -> &mut Gpu {
+        self.gpus[i].as_mut().expect("device taken out of the set")
+    }
+
+    /// Move device `i` out of the set (for running single-device drivers
+    /// against it). Panics if already taken.
+    pub fn take(&mut self, i: usize) -> Gpu {
+        self.gpus[i].take().expect("device already taken")
+    }
+
+    /// Return a previously [`Self::take`]n device to slot `i`.
+    pub fn restore(&mut self, i: usize, gpu: Gpu) {
+        debug_assert!(self.gpus[i].is_none(), "restoring over a present device");
+        self.gpus[i] = Some(gpu);
+    }
+
+    /// Split-borrow two distinct devices at once.
+    pub fn pair_mut(&mut self, a: usize, b: usize) -> (&mut Gpu, &mut Gpu) {
+        assert_ne!(a, b, "pair_mut needs two distinct devices");
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (left, right) = self.gpus.split_at_mut(hi);
+        let l = left[lo].as_mut().expect("device taken out of the set");
+        let r = right[0].as_mut().expect("device taken out of the set");
+        if a < b {
+            (l, r)
+        } else {
+            (r, l)
+        }
+    }
+
+    /// Peer copy between two devices of the set (see [`Gpu::p2p`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn p2p(
+        &mut self,
+        src: usize,
+        src_view: DevMat,
+        dst: usize,
+        dst_stream: Stream,
+        dst_view: DevMat,
+        rows: usize,
+        cols: usize,
+        wait: Event,
+        host: &mut HostClock,
+    ) -> Event {
+        let (s, d) = self.pair_mut(src, dst);
+        Gpu::p2p(s, src_view, d, dst_stream, dst_view, rows, cols, wait, host)
+    }
+
+    /// Block the host until every present device drains.
+    pub fn sync_all(&mut self, host: &mut HostClock) {
+        for g in self.gpus.iter_mut().flatten() {
+            g.sync_all(host);
+        }
+    }
+
+    /// Per-device engine accounting over a common span.
+    pub fn utilizations(&self, span: f64) -> Vec<GpuUtilization> {
+        self.gpus
+            .iter()
+            .map(|g| g.as_ref().map(|g| g.utilization(span)).unwrap_or_default())
+            .collect()
+    }
+
+    /// Total bytes moved over peer links (summed over receiving devices).
+    pub fn peer_bytes(&self) -> usize {
+        self.gpus.iter().flatten().map(|g| g.peer_bytes()).sum()
+    }
+
+    /// Reset every present device's clocks (memory kept).
+    pub fn reset_clocks(&mut self) {
+        for g in self.gpus.iter_mut().flatten() {
+            g.reset_clock();
+        }
+    }
+
+    /// Consume the set, yielding the present devices in slot order.
+    pub fn into_gpus(self) -> Vec<Gpu> {
+        self.gpus.into_iter().flatten().collect()
     }
 }
 
@@ -742,6 +959,147 @@ mod tests {
         assert_eq!(gpu.compute_busy(), 0.0);
         assert_eq!(gpu.copy_busy(), 0.0);
         assert_eq!(gpu.stream_busy(s0), 0.0);
+    }
+
+    #[test]
+    fn p2p_moves_bytes_and_chains_events() {
+        let mut set = DeviceSet::uniform(tesla_t10(), 2);
+        let mut host = HostClock::new(xeon_5160_core());
+        let n = 64;
+        let src_buf = set.device_mut(0).alloc(n * n).unwrap();
+        let dst_buf = set.device_mut(1).alloc(n * n).unwrap();
+        let data: Vec<f32> = (0..n * n).map(|i| i as f32 * 0.5).collect();
+        let s0 = set.device(0).default_stream();
+        let s1 = set.device(1).default_stream();
+        set.device_mut(0).h2d(
+            s0,
+            DevMat::whole(src_buf, n),
+            n,
+            n,
+            &data,
+            n,
+            true,
+            CopyMode::Async,
+            &mut host,
+        );
+        let ready = set.device_mut(0).record_event(s0);
+        let ev = set.p2p(
+            0,
+            DevMat::whole(src_buf, n),
+            1,
+            s1,
+            DevMat::whole(dst_buf, n),
+            n,
+            n,
+            ready,
+            &mut host,
+        );
+        assert!(ev.0 >= ready.0, "peer-copy events are forward-only");
+        assert_eq!(set.device(1).peek(dst_buf).unwrap(), &data[..], "d2d moves exact bytes");
+        assert_eq!(set.peer_bytes(), n * n * 4);
+        assert!(set.device(0).peer_busy() > 0.0 && set.device(1).peer_busy() > 0.0);
+        // The destination stream tail advanced to the copy's completion.
+        assert!((set.device(1).stream_tail(s1) - ev.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn p2p_overlaps_pcie_copy_engine() {
+        // A peer copy runs on its own engine: issue a long h2d on the
+        // destination's copy engine, then a p2p — the p2p must not queue
+        // behind it.
+        let mut set = DeviceSet::uniform(tesla_t10(), 2);
+        let mut host = HostClock::new(xeon_5160_core());
+        let n = 1 << 10;
+        let a = set.device_mut(0).alloc(n * n).unwrap();
+        let b = set.device_mut(1).alloc(n * n).unwrap();
+        let big = vec![0.25f32; n * n];
+        let s1 = set.device(1).default_stream();
+        let s1b = set.device_mut(1).stream(1);
+        set.device_mut(1).h2d(
+            s1,
+            DevMat::whole(b, n),
+            n,
+            n,
+            &big,
+            n,
+            true,
+            CopyMode::Async,
+            &mut host,
+        );
+        let h2d_end = set.device(1).stream_tail(s1);
+        set.device_mut(1).set_recording(true);
+        set.p2p(0, DevMat::whole(a, n), 1, s1b, DevMat::whole(b, n), 64, 64, Event(0.0), &mut host);
+        let recs = set.device_mut(1).take_records();
+        assert_eq!(recs.len(), 1);
+        assert!(matches!(recs[0].component, Component::CopyP2P));
+        assert!(recs[0].start < h2d_end, "p2p must overlap the PCIe copy engine");
+    }
+
+    #[test]
+    fn p2p_serializes_on_the_peer_engine() {
+        let mut set = DeviceSet::uniform(tesla_t10(), 3);
+        let mut host = HostClock::new(xeon_5160_core());
+        let a = set.device_mut(0).alloc(4096).unwrap();
+        let b = set.device_mut(1).alloc(4096).unwrap();
+        let c = set.device_mut(2).alloc(4096).unwrap();
+        let s1 = set.device(1).default_stream();
+        let ev1 = set.p2p(
+            0,
+            DevMat::whole(a, 64),
+            1,
+            s1,
+            DevMat::whole(b, 64),
+            64,
+            64,
+            Event(0.0),
+            &mut host,
+        );
+        // Device 1's peer engine is busy until ev1; a second copy into it
+        // (from a third device) must start no earlier.
+        let ev2 = set.p2p(
+            2,
+            DevMat::whole(c, 64),
+            1,
+            s1,
+            DevMat::whole(b, 64),
+            64,
+            64,
+            Event(0.0),
+            &mut host,
+        );
+        assert!(ev2.0 >= ev1.0 * 2.0 - 1e-12, "peer copies serialise on the shared engine");
+    }
+
+    #[test]
+    fn device_set_take_restore_and_reset() {
+        let mut set = DeviceSet::uniform(tesla_t10(), 2);
+        let mut host = HostClock::new(xeon_5160_core());
+        let g = set.take(0);
+        // Remaining device still works.
+        let buf = set.device_mut(1).alloc(16).unwrap();
+        let s = set.device(1).default_stream();
+        set.device_mut(1).h2d(
+            s,
+            DevMat::whole(buf, 4),
+            4,
+            4,
+            &[2.0; 16],
+            4,
+            false,
+            CopyMode::Sync,
+            &mut host,
+        );
+        set.restore(0, g);
+        assert_eq!(set.len(), 2);
+        set.sync_all(&mut host);
+        let us = set.utilizations(host.now());
+        assert_eq!(us.len(), 2);
+        assert!(us[1].copy_busy > 0.0);
+        set.reset_clocks();
+        assert_eq!(set.device(1).copy_busy(), 0.0);
+        assert_eq!(set.peer_bytes(), 0);
+        assert_eq!(set.device(1).peek(buf).unwrap()[0], 2.0, "reset keeps memory");
+        assert_eq!(set.into_gpus().len(), 2);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub use calib::{
     exact_ops, fermi_like, tesla_t10, xeon_5160_core, CpuConfig, GpuConfig, KernelKind,
     KernelRates, PcieModel, PinnedAllocModel, RateCurve,
 };
-pub use device::{CopyMode, Event, Gpu, Stream};
+pub use device::{CopyMode, DeviceSet, Event, Gpu, Stream};
 pub use host::{HostClock, ISSUE_OVERHEAD};
 pub use memory::{DevBuf, DevMat, DeviceOom, InvalidBuffer};
 pub use profile::{Component, GpuUtilization, ProfileRecord, ProfileSummary};
@@ -46,9 +46,10 @@ impl core::fmt::Display for NoGpu {
 impl std::error::Error for NoGpu {}
 
 /// A host/device pair with aligned virtual timelines — the "machine" on
-/// which a factorization executes. Multi-GPU configurations hold one
-/// [`Machine`] per worker (per-worker timelines are combined by the
-/// list scheduler in `mf-core::parallel`).
+/// which a factorization executes. Multi-GPU configurations either hold one
+/// [`Machine`] per worker (per-worker timelines combined by the list
+/// scheduler in `mf-core::parallel`) or drive a [`DeviceSet`] of several
+/// devices from one host timeline (`mf-core::multigpu`).
 #[derive(Debug)]
 pub struct Machine {
     /// Host timeline.

@@ -18,6 +18,8 @@ pub enum Component {
     CopyH2D,
     /// Device→host transfer.
     CopyD2H,
+    /// Device→device peer transfer over the p2p link.
+    CopyP2P,
     /// Pinned host memory allocation.
     PinnedAlloc,
     /// Host-side memory operation (extend-add assembly, packing).
@@ -141,7 +143,7 @@ impl ProfileSummary {
             match r.component {
                 Component::CpuKernel(_) => s.cpu_kernel_time += d,
                 Component::GpuKernel(_) => s.gpu_kernel_time += d,
-                Component::CopyH2D | Component::CopyD2H => s.copy_time += d,
+                Component::CopyH2D | Component::CopyD2H | Component::CopyP2P => s.copy_time += d,
                 Component::PinnedAlloc => s.pinned_time += d,
                 Component::HostMemop => s.memop_time += d,
             }

@@ -78,7 +78,14 @@ impl PaperMatrix {
             PaperMatrix::Audikw1 => elasticity_3d(s(22), s(22), s(22)),
             PaperMatrix::Kyushu => laplacian_3d(s(34), s(34), s(34), Stencil::Full),
             PaperMatrix::Lmco => elasticity_3d(s(20), s(20), s(20)),
-            PaperMatrix::NastranB => elasticity_3d(s(24), s(24), s(24)),
+            PaperMatrix::NastranB => {
+                // Keep nastran-b strictly larger than audikw_1 at every
+                // scale: at small scales both 22·scale and 24·scale round to
+                // the same grid (e.g. 7³ at scale 0.30), which silently made
+                // the two stand-ins byte-identical in the benches.
+                let d = s(24).max(s(22) + 1);
+                elasticity_3d(d, d, d)
+            }
             PaperMatrix::Sgi1M => laplacian_3d(s(36), s(36), s(36), Stencil::Full),
         }
     }
@@ -134,6 +141,27 @@ mod tests {
         };
         assert!(density(PaperMatrix::Lmco) > density(PaperMatrix::Kyushu));
         assert!(density(PaperMatrix::Audikw1) > density(PaperMatrix::Kyushu));
+    }
+
+    #[test]
+    fn stand_ins_pairwise_distinct_at_bench_scale() {
+        // The bench suite default is scale 0.30; the nastran-b/audikw_1
+        // grids must not collapse onto each other there (or at full scale).
+        for scale in [0.3, 1.0] {
+            let suite = paper_suite(scale);
+            for i in 0..suite.len() {
+                for j in i + 1..suite.len() {
+                    let (ma, a) = &suite[i];
+                    let (mb, b) = &suite[j];
+                    assert!(
+                        a.order() != b.order() || a.nnz_lower() != b.nnz_lower(),
+                        "{} and {} generate identical stand-ins at scale {scale}",
+                        ma.name(),
+                        mb.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

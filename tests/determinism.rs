@@ -373,6 +373,183 @@ fn pipelined_bitwise_identical_f64() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-GPU determinism: the multi-device driver (proportional subtree
+// mapping, peer-copy extend-add, cross-device look-ahead) reorders when
+// fronts run and where their contribution blocks travel — never the numeric
+// op content or the extend-add order — so factor slabs must be bitwise
+// identical to the serial drain driver at every (workers × devices)
+// combination. (The `multigpu_` prefix is load-bearing: ci.sh gates on
+// these tests by name at both default and single-threaded test settings.)
+// ---------------------------------------------------------------------------
+
+fn assert_multigpu_bitwise<T: Scalar>(
+    a: &SymCsc<T>,
+    symbolic: &SymbolicFactor,
+    perm: &Permutation,
+    selector: PolicySelector,
+) {
+    use gpu_multifrontal::core::{MultiGpuOptions, PipelineOptions};
+    let serial_opts = FactorOptions { selector: selector.clone(), ..Default::default() };
+    let mut m0 = Machine::paper_node();
+    let (fs, ss) = factor_permuted(a, symbolic, perm, &mut m0, &serial_opts).unwrap();
+    let reference = panel_bits(&fs);
+    for ndev in [1usize, 2, 4, 8] {
+        let opts = FactorOptions {
+            selector: selector.clone(),
+            pipeline: PipelineOptions::pipelined(),
+            devices: MultiGpuOptions::devices(ndev),
+            ..Default::default()
+        };
+        // Single-machine entry: one host timeline drives all `ndev` lanes.
+        let mut m = Machine::paper_node();
+        let (f1, s1) = factor_permuted(a, symbolic, perm, &mut m, &opts).unwrap();
+        assert_eq!(reference, panel_bits(&f1), "serial × {ndev} devices diverged");
+        assert_eq!(s1.oom_fallbacks, ss.oom_fallbacks, "{ndev}-device OOM decisions");
+        assert!(m.gpu.is_some(), "machine must get its device back ({ndev} devices)");
+        // Parallel entry: devices dealt round-robin over the machines.
+        for workers in [1usize, 2, 4, 8] {
+            let mut machines: Vec<Machine> = (0..workers).map(|_| Machine::paper_node()).collect();
+            let (fp, sp) = factor_permuted_parallel(
+                a,
+                symbolic,
+                perm,
+                &mut machines,
+                &opts,
+                &ParallelOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                reference,
+                panel_bits(&fp),
+                "{workers} workers × {ndev} devices diverged from serial"
+            );
+            assert_eq!(sp.oom_fallbacks, ss.oom_fallbacks);
+            if ndev > 1 {
+                assert_eq!(sp.gpu_devices.len(), ndev, "per-device stats must cover the set");
+            }
+            assert!(machines.iter().all(|mm| mm.gpu.is_some()), "devices must be restored");
+        }
+    }
+}
+
+#[test]
+fn multigpu_bitwise_identical_f32_all_families() {
+    for a in [
+        laplacian_2d(18, 15, Stencil::Faces),
+        laplacian_3d(7, 6, 6, Stencil::Faces),
+        elasticity_3d(4, 3, 3),
+    ] {
+        let an = analysis_of(&a);
+        let a32: SymCsc<f32> = an.permuted.0.cast();
+        for selector in [
+            PolicySelector::Baseline(BaselineThresholds::default()),
+            PolicySelector::Fixed(PolicyKind::P4),
+        ] {
+            assert_multigpu_bitwise(&a32, &an.symbolic, &an.perm, selector);
+        }
+    }
+}
+
+#[test]
+fn multigpu_bitwise_identical_f64_all_families() {
+    for a in [
+        laplacian_2d(18, 15, Stencil::Faces),
+        laplacian_3d(7, 6, 6, Stencil::Faces),
+        elasticity_3d(4, 3, 3),
+    ] {
+        let an = analysis_of(&a);
+        assert_multigpu_bitwise(
+            &an.permuted.0,
+            &an.symbolic,
+            &an.perm,
+            PolicySelector::Baseline(BaselineThresholds::default()),
+        );
+    }
+}
+
+#[test]
+fn multigpu_oom_pressure_matches_serial_and_recovers() {
+    // Undersized devices: multi-device OOM retries must make the same
+    // P1-fallback decisions as the serial drain driver (after draining the
+    // affected device), and a failed factorization must surface the typed
+    // error while leaving every machine's device restored — the machines
+    // stay usable for the next run, nothing is poisoned.
+    use gpu_multifrontal::core::{MultiGpuOptions, PipelineOptions};
+    use gpu_multifrontal::gpusim::{tesla_t10, xeon_5160_core};
+    let small_machines = |workers: usize| -> Vec<Machine> {
+        (0..workers)
+            .map(|_| {
+                let mut cfg = tesla_t10();
+                cfg.mem_bytes = 2_000; // 500 f32 elements — only tiny fronts fit
+                Machine::with_gpu(xeon_5160_core(), cfg)
+            })
+            .collect()
+    };
+    let a = laplacian_3d(6, 6, 5, Stencil::Faces);
+    let an = analysis_of(&a);
+    let a32: SymCsc<f32> = an.permuted.0.cast();
+    let serial_opts =
+        FactorOptions { selector: PolicySelector::Fixed(PolicyKind::P4), ..Default::default() };
+    let mut m0 = small_machines(1);
+    let (fs, ss) = factor_permuted(&a32, &an.symbolic, &an.perm, &mut m0[0], &serial_opts).unwrap();
+    assert!(ss.oom_fallbacks > 0, "test needs OOM pressure to be meaningful");
+    let opts = FactorOptions {
+        pipeline: PipelineOptions::pipelined(),
+        devices: MultiGpuOptions::devices(4),
+        ..serial_opts.clone()
+    };
+    for workers in [1usize, 2] {
+        let mut machines = small_machines(workers);
+        let (fm, sm) = factor_permuted_parallel(
+            &a32,
+            &an.symbolic,
+            &an.perm,
+            &mut machines,
+            &opts,
+            &ParallelOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(panel_bits(&fs), panel_bits(&fm), "{workers}-worker OOM bits diverged");
+        assert_eq!(sm.oom_fallbacks, ss.oom_fallbacks);
+
+        // An indefinite matrix through the same machines: typed error out,
+        // devices back, and the very same machines factor the SPD matrix
+        // again afterwards.
+        let mut t = Triplet::new(8);
+        for i in 0..8 {
+            t.push(i, i, if i == 5 { -3.0 } else { 4.0 });
+            if i + 1 < 8 {
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        let bad = t.assemble();
+        let ban = analyze(&bad, OrderingKind::Natural, None).unwrap();
+        let b32: SymCsc<f32> = ban.permuted.0.cast();
+        let err = factor_permuted_parallel(
+            &b32,
+            &ban.symbolic,
+            &ban.perm,
+            &mut machines,
+            &opts,
+            &ParallelOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, FactorError::NotPositiveDefinite { column: 5 });
+        assert!(machines.iter().all(|m| m.gpu.is_some()), "error must not strand devices");
+        let (fr, _) = factor_permuted_parallel(
+            &a32,
+            &an.symbolic,
+            &an.perm,
+            &mut machines,
+            &opts,
+            &ParallelOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(panel_bits(&fs), panel_bits(&fr), "machines must stay usable after an error");
+    }
+}
+
 /// A deterministic, full-rank block of `nrhs` right-hand sides.
 fn rhs_block<T: Scalar>(n: usize, nrhs: usize) -> Vec<T> {
     (0..n * nrhs)
