@@ -106,6 +106,39 @@ for t in "" "RUST_TEST_THREADS=1"; do
   }
 done
 
+# The out-of-core (memory-budgeted) driver's determinism contracts — ladder-off
+# runs bitwise identical to in-core at every budget × worker count × precision,
+# residency provably under budget, bf16 spill halving traffic without moving
+# the eviction schedule, typed infeasible-budget errors, streaming solve parity
+# and refinement through 16-bit spill storage — run by name and are counted,
+# so a filter typo or a renamed test cannot silently skip them.
+echo "==> out-of-core determinism suite (explicit, default + single test thread)"
+for t in "" "RUST_TEST_THREADS=1"; do
+  out=$(env $t cargo test --release --test determinism ooc_ 2>&1) || {
+    echo "$out"
+    exit 1
+  }
+  echo "$out" | grep -q "9 passed" || {
+    echo "expected exactly 9 out-of-core determinism tests to run:"
+    echo "$out"
+    exit 1
+  }
+done
+
+# Property tests for the out-of-core planner: residency never exceeds the
+# budget at any event for arbitrary structures/budgets/ladders, and f64
+# refinement converges through 16-bit spill storage.
+echo "==> out-of-core property suite (explicit, counted)"
+out=$(cargo test --release --test property ooc_ 2>&1) || {
+  echo "$out"
+  exit 1
+}
+echo "$out" | grep -q "2 passed" || {
+  echo "expected exactly 2 out-of-core property tests to run:"
+  echo "$out"
+  exit 1
+}
+
 # Property tests for the peer-copy primitive the multi-GPU extend-add path
 # rides on: event forward-progress/transitivity across arbitrary device
 # chains, and bitwise h2d -> d2d -> d2h roundtrips over arbitrary shapes.
@@ -129,5 +162,13 @@ cargo bench -p mf-bench --bench multigpu
 # bursts shedding load without corrupting accepted requests.
 echo "==> server load bench (writes BENCH_server.json)"
 cargo bench -p mf-bench --bench server
+
+# Out-of-core traffic/wall-clock sweep over budget fractions and the spill
+# ladder. Four invariants are asserted inside the bench and panic (failing
+# this step) on violation: residency never over budget, ladder-off runs
+# bitwise identical to in-core, bf16 cutting spill traffic >= 1.8x at the
+# same schedule, and f64 refinement converging through bf16 spill storage.
+echo "==> ooc bench (writes BENCH_ooc.json)"
+cargo bench -p mf-bench --bench ooc
 
 echo "CI OK"

@@ -24,6 +24,15 @@ pub struct FrontArena<T> {
     buf: Vec<T>,
     top: usize,
     high_water: usize,
+    /// Peak *tier-resident* bytes an out-of-core driver reported via
+    /// [`Self::note_resident_bytes`]. Kept separate from `high_water`,
+    /// which stays the logical (symbolic-bound) figure: under a memory
+    /// budget the logical stack extent is unchanged — eviction only
+    /// changes which bytes are device-resident — so the PR 4
+    /// `peak == symbolic bound` invariant keeps holding for
+    /// `FactorStats::peak_front_bytes` while the budgeted residency is
+    /// reported here.
+    resident_high_water: usize,
 }
 
 impl<T: Scalar> FrontArena<T> {
@@ -31,7 +40,7 @@ impl<T: Scalar> FrontArena<T> {
     /// re-zero their lower trapezoid afterwards, so the first use of every
     /// region must find zeros just like a fresh heap buffer would provide).
     pub fn with_len(len: usize) -> Self {
-        FrontArena { buf: vec![T::ZERO; len], top: 0, high_water: 0 }
+        FrontArena { buf: vec![T::ZERO; len], top: 0, high_water: 0, resident_high_water: 0 }
     }
 
     /// Current stack top (scalars in live use below it).
@@ -89,6 +98,26 @@ impl<T: Scalar> FrontArena<T> {
     pub fn update_at(&self, off: usize, m: usize) -> &[T] {
         &self.buf[off..off + m * m]
     }
+
+    /// Mutable view of a packed update region — the out-of-core driver
+    /// degrades spill-bound updates in place through this.
+    pub fn update_at_mut(&mut self, off: usize, m: usize) -> &mut [T] {
+        &mut self.buf[off..off + m * m]
+    }
+
+    /// Record the device-resident bytes an out-of-core plan kept of this
+    /// arena's blocks during one elimination step (fronts + live updates
+    /// minus evicted ones). Monotone max.
+    pub fn note_resident_bytes(&mut self, bytes: usize) {
+        self.resident_high_water = self.resident_high_water.max(bytes);
+    }
+
+    /// Peak tier-resident bytes reported via [`Self::note_resident_bytes`];
+    /// `0` for in-core runs, where residency equals the logical
+    /// [`Self::high_water`] extent.
+    pub fn resident_high_water_bytes(&self) -> usize {
+        self.resident_high_water
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +174,25 @@ mod tests {
         arena.pop_and_compact(4, 4, 4, child_off);
         assert_eq!(arena.top(), 0);
         assert_eq!(arena.high_water(), 4 + 16);
+    }
+
+    #[test]
+    fn resident_tracking_is_separate_from_logical_high_water() {
+        let mut arena = FrontArena::<f64>::with_len(32);
+        let _ = arena.split_for_front(16);
+        assert_eq!(arena.high_water(), 16);
+        // In-core runs never note residency.
+        assert_eq!(arena.resident_high_water_bytes(), 0);
+        // An out-of-core driver reports what the plan kept resident; the
+        // logical figure must not move.
+        arena.note_resident_bytes(40);
+        arena.note_resident_bytes(24);
+        assert_eq!(arena.resident_high_water_bytes(), 40);
+        assert_eq!(arena.high_water(), 16);
+        // update_at_mut exposes the same region update_at reads.
+        arena.pop_and_compact(0, 4, 2, 0);
+        arena.update_at_mut(0, 2)[0] = 3.5;
+        assert_eq!(arena.update_at(0, 2)[0], 3.5);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::policy::{BaselineThresholds, PolicyKind};
 use crate::stats::{FactorStats, FuRecord};
 use crate::tile::TilingOptions;
 use mf_dense::{FuFlops, Scalar};
-use mf_gpusim::Machine;
+use mf_gpusim::{Machine, TierParams};
 use mf_sparse::symbolic::SymbolicFactor;
 use mf_sparse::{AnalyzeError, Permutation, SymCsc};
 
@@ -147,6 +147,23 @@ pub struct FactorOptions {
     /// on a GPU machine and pipelining enabled, the factorization routes
     /// to the multi-GPU driver of [`crate::multigpu`].
     pub devices: MultiGpuOptions,
+    /// Out-of-core residency budget in bytes for the factor slab plus the
+    /// front arena (see `mf-core::ooc`, DESIGN.md §4.14). `None` runs
+    /// fully in core. With a budget set, the drivers replay the
+    /// deterministic spill schedule of [`crate::ooc::plan_ooc`]: transfers
+    /// are charged on the executing clock, `FactorStats::ooc` reports the
+    /// traffic, and pipelined/multi-GPU dispatch falls back to the drain
+    /// schedule (whose front lifetimes the residency plan models exactly).
+    /// Budgets below [`crate::ooc::min_feasible_budget`] fail with
+    /// [`FactorError::BudgetTooSmall`].
+    pub memory_budget: Option<usize>,
+    /// Storage precision of spilled blocks (see
+    /// [`crate::ooc::PrecisionLadder`]); only meaningful with a budget.
+    /// Off by default — budgeted runs are then bitwise identical to
+    /// in-core runs.
+    pub ladder: crate::ooc::PrecisionLadder,
+    /// Spill-tier capacities and bandwidths (see [`TierParams`]).
+    pub tiers: TierParams,
 }
 
 impl Default for FactorOptions {
@@ -161,7 +178,19 @@ impl Default for FactorOptions {
             pipeline: PipelineOptions::default(),
             tiling: TilingOptions::default(),
             devices: MultiGpuOptions::default(),
+            memory_budget: None,
+            ladder: crate::ooc::PrecisionLadder::default(),
+            tiers: TierParams::default(),
         }
+    }
+}
+
+impl FactorOptions {
+    /// Options for a memory-budgeted (out-of-core) run: residency of the
+    /// factor slab + front arena capped at `bytes`, everything else
+    /// default. The quickstart constructor of DESIGN.md §4.14.
+    pub fn memory_budget(bytes: usize) -> Self {
+        FactorOptions { memory_budget: Some(bytes), ..Default::default() }
     }
 }
 
@@ -183,6 +212,16 @@ pub enum FactorError {
     },
     /// The symbolic analysis rejected the matrix before any numbers moved.
     Analyze(AnalyzeError),
+    /// The out-of-core memory budget is below the minimum feasible
+    /// working set ([`crate::ooc::min_feasible_budget`]): some supernode's
+    /// pinned set — child updates + front + panel — cannot fit even with
+    /// everything else spilled.
+    BudgetTooSmall {
+        /// The requested budget in bytes.
+        budget: usize,
+        /// The smallest feasible budget in bytes.
+        required: usize,
+    },
 }
 
 impl std::fmt::Display for FactorError {
@@ -201,6 +240,11 @@ impl std::fmt::Display for FactorError {
                 )
             }
             FactorError::Analyze(e) => write!(f, "analysis failed: {e}"),
+            FactorError::BudgetTooSmall { budget, required } => write!(
+                f,
+                "memory budget of {budget} bytes is below the minimum feasible \
+                 out-of-core working set of {required} bytes"
+            ),
         }
     }
 }
@@ -210,6 +254,16 @@ impl std::error::Error for FactorError {}
 impl From<AnalyzeError> for FactorError {
     fn from(e: AnalyzeError) -> Self {
         FactorError::Analyze(e)
+    }
+}
+
+impl From<crate::ooc::OocError> for FactorError {
+    fn from(e: crate::ooc::OocError) -> Self {
+        match e {
+            crate::ooc::OocError::BudgetTooSmall { budget, required } => {
+                FactorError::BudgetTooSmall { budget, required }
+            }
+        }
     }
 }
 
@@ -368,12 +422,25 @@ pub fn factor_permuted<T: Scalar>(
     machine: &mut Machine,
     opts: &FactorOptions,
 ) -> Result<(CholeskyFactor<T>, FactorStats), FactorError> {
-    if opts.devices.count > 1 && opts.pipeline.enabled && machine.gpu.is_some() {
+    // A memory budget forces the drain schedule: the pipelined/multi-GPU
+    // drivers overlap front lifetimes in ways the LIFO residency plan does
+    // not model, and drain keeps budgeted numerics identical at every
+    // driver and worker count.
+    let in_core = opts.memory_budget.is_none();
+    if in_core && opts.devices.count > 1 && opts.pipeline.enabled && machine.gpu.is_some() {
         return crate::multigpu::factor_permuted_multigpu(a, symbolic, perm, machine, opts);
     }
-    if opts.pipeline.enabled && machine.gpu.is_some() {
+    if in_core && opts.pipeline.enabled && machine.gpu.is_some() {
         return factor_permuted_pipelined(a, symbolic, perm, machine, opts);
     }
+    // Pin the deterministic out-of-core schedule before any numbers move;
+    // infeasible budgets fail typed here.
+    let ooc_plan = match opts.memory_budget {
+        Some(budget) => {
+            Some(crate::ooc::plan_ooc(symbolic, T::BYTES, budget, opts.ladder, &opts.tiers)?)
+        }
+        None => None,
+    };
     let nsn = symbolic.num_supernodes();
     let mut pool =
         if opts.pinned_reuse { PinnedPool::new(2) } else { PinnedPool::without_reuse(2) };
@@ -393,7 +460,10 @@ pub fn factor_permuted<T: Scalar>(
             let mut arena = FrontArena::<T>::with_len(symbolic.update_stack_peak());
             // Where each retired supernode's packed update sits in the arena.
             let mut upd_off = vec![0usize; nsn];
-            for &sn in &symbolic.postorder {
+            for (r, &sn) in symbolic.postorder.iter().enumerate() {
+                if let Some(plan) = &ooc_plan {
+                    replay_step_io(plan, r, machine, opts);
+                }
                 let info = &symbolic.supernodes[sn];
                 let (s, k) = (info.front_size(), info.k());
                 let front_off = arena.top();
@@ -433,8 +503,29 @@ pub fn factor_permuted<T: Scalar>(
                 let dest = kids.first().map_or(front_off, |&c| upd_off[c]);
                 arena.pop_and_compact(front_off, s, k, dest);
                 upd_off[sn] = dest;
+                if let Some(plan) = &ooc_plan {
+                    // Blocks the plan ever stores encoded are degraded
+                    // once, at production, to their tier read-back values —
+                    // numerics then cannot depend on when transfers happen.
+                    if s > k && plan.degrade_update[sn] {
+                        opts.ladder.degrade_slice(arena.update_at_mut(dest, s - k));
+                    }
+                    if plan.degrade_panel[sn] {
+                        opts.ladder.degrade_slice(&mut slab[panel_ptr[sn]..panel_ptr[sn + 1]]);
+                    }
+                    arena.note_resident_bytes(plan.arena_step_resident[r]);
+                }
             }
             stats.peak_front_bytes = arena.high_water() * T::BYTES;
+            if let Some(plan) = &ooc_plan {
+                // The arena's tier-resident high water must mirror the
+                // plan; the logical high water above stays the symbolic
+                // bound regardless of the budget.
+                debug_assert_eq!(
+                    arena.resident_high_water_bytes(),
+                    plan.stats.arena_resident_peak_bytes
+                );
+            }
         }
         FrontStorage::Heap => {
             // Reference path: per-front allocations, as the pre-arena code
@@ -444,7 +535,10 @@ pub fn factor_permuted<T: Scalar>(
             let mut updates: Vec<Option<Vec<T>>> = (0..nsn).map(|_| None).collect();
             let mut live = 0usize;
             let mut peak = 0usize;
-            for &sn in &symbolic.postorder {
+            for (r, &sn) in symbolic.postorder.iter().enumerate() {
+                if let Some(plan) = &ooc_plan {
+                    replay_step_io(plan, r, machine, opts);
+                }
                 let info = &symbolic.supernodes[sn];
                 let (s, k, m) = (info.front_size(), info.k(), info.m());
                 let child_bufs: Vec<(usize, Vec<T>)> = symbolic.children[sn]
@@ -484,19 +578,51 @@ pub fn factor_permuted<T: Scalar>(
                     stats.front_alloc_events += 1;
                     let mut u = vec![T::ZERO; m * m];
                     copy_update_packed(&front_data, s, k, &mut u);
+                    if let Some(plan) = &ooc_plan {
+                        if plan.degrade_update[sn] {
+                            opts.ladder.degrade_slice(&mut u);
+                        }
+                    }
                     live += m * m;
                     updates[sn] = Some(u);
+                }
+                if let Some(plan) = &ooc_plan {
+                    if plan.degrade_panel[sn] {
+                        opts.ladder.degrade_slice(&mut slab[panel_ptr[sn]..panel_ptr[sn + 1]]);
+                    }
                 }
             }
             stats.peak_front_bytes = peak * T::BYTES;
         }
     }
 
+    if let Some(plan) = ooc_plan {
+        stats.ooc = Some(plan.stats);
+    }
     stats.total_time = machine.elapsed();
     stats.gpu = machine.gpu.as_ref().map(|g| g.utilization(stats.total_time));
     stats.wall_time = wall0.elapsed().as_secs_f64();
     machine.set_recording(false);
     Ok((CholeskyFactor { symbolic: symbolic.clone(), perm: perm.clone(), slab, panel_ptr }, stats))
+}
+
+/// Replay one supernode's planned spill transfers on the executing clock,
+/// then drop any profile records the charges produced so they do not leak
+/// into the next front's assembly bucket (`FuRecord::absorb` books
+/// `HostMemop` under `t_assemble`).
+pub(crate) fn replay_step_io(
+    plan: &crate::ooc::OocPlan,
+    rank: usize,
+    machine: &mut Machine,
+    opts: &FactorOptions,
+) {
+    for op in &plan.step_io[rank] {
+        let bw = if op.write { opts.tiers.write_bw(op.tier) } else { opts.tiers.read_bw(op.tier) };
+        machine.host.charge_memop(op.bytes, bw);
+    }
+    if opts.record_stats && !plan.step_io[rank].is_empty() {
+        let _ = machine.take_records();
+    }
 }
 
 // ----- pipelined driver ------------------------------------------------------
@@ -1229,6 +1355,7 @@ mod tests {
             }
             FactorError::WorkerLost { .. } => panic!("serial factorization cannot lose a worker"),
             FactorError::Analyze(_) => panic!("analysis already succeeded before the factor"),
+            FactorError::BudgetTooSmall { .. } => panic!("no memory budget was requested"),
         }
     }
 

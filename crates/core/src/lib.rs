@@ -34,6 +34,7 @@ pub mod features;
 pub mod frontal;
 pub mod fu;
 pub mod multigpu;
+pub mod ooc;
 pub mod parallel;
 pub mod pinned_pool;
 pub mod policy;
@@ -58,6 +59,10 @@ pub use multigpu::{
     factor_permuted_multigpu, factor_permuted_parallel_multigpu, proportional_map, DeviceMap,
     MultiGpuOptions,
 };
+pub use ooc::{
+    in_core_bytes, min_feasible_budget, plan_ooc, rehearse_stream_solve, OocError, OocEvent,
+    OocEventKind, OocPlan, OocStats, PrecisionLadder, StreamSolveStats,
+};
 pub use parallel::{
     durations_by_supernode, factor_permuted_parallel, simulate_tiled_schedule,
     simulate_tree_schedule, MoldableModel, ParallelOptions, ScheduleResult,
@@ -65,8 +70,8 @@ pub use parallel::{
 pub use pinned_pool::PinnedPool;
 pub use policy::{BaselineThresholds, PolicyKind};
 pub use solver::{
-    estimated_memory_bytes, Precision, RefactorError, RefineInfo, RefineStop, RefinedManySolution,
-    RefinedSolution, SolveError, SolverOptions, SpdSolver,
+    estimated_memory_bytes, estimated_memory_bytes_budgeted, Precision, RefactorError, RefineInfo,
+    RefineStop, RefinedManySolution, RefinedSolution, SolveError, SolverOptions, SpdSolver,
 };
 pub use stats::{FactorStats, FuRecord, TaskKind, TaskRecord};
 pub use tile::{process_front_tiled, FrontView, TileKernel, TilePlan, TilingOptions};
@@ -80,6 +85,7 @@ pub use mf_sparse::{analyze, analyze_parallel, Analysis, AnalyzeError};
 pub mod prelude {
     pub use crate::factor::{FactorOptions, PipelineOptions, PolicySelector};
     pub use crate::multigpu::MultiGpuOptions;
+    pub use crate::ooc::{in_core_bytes, min_feasible_budget, OocError, PrecisionLadder};
     pub use crate::policy::{BaselineThresholds, PolicyKind};
     pub use crate::solver::{
         Precision, RefactorError, RefineStop, RefinedManySolution, RefinedSolution, SolveError,

@@ -501,13 +501,28 @@ pub fn factor_permuted_parallel<T: Scalar>(
     // Multi-device runs route to the cooperative multi-GPU driver: devices
     // are dealt round-robin over the GPU-bearing machines, and
     // `ParallelOptions` (a tree-level work-stealing knob) does not apply.
-    if opts.devices.count > 1 && opts.pipeline.enabled && machines.iter().any(|m| m.gpu.is_some()) {
+    if opts.memory_budget.is_none()
+        && opts.devices.count > 1
+        && opts.pipeline.enabled
+        && machines.iter().any(|m| m.gpu.is_some())
+    {
         return crate::multigpu::factor_permuted_parallel_multigpu(
             a, symbolic, perm, machines, opts,
         );
     }
     let nsn = symbolic.num_supernodes();
     let wall0 = Instant::now();
+
+    // Budgeted runs consume the same deterministic out-of-core schedule as
+    // the serial driver: the plan decides residency and which blocks get
+    // ladder-degraded; workers only replay its transfers and apply its
+    // flags, so the factor bits cannot depend on worker count.
+    let ooc_plan = match opts.memory_budget {
+        Some(budget) => {
+            Some(crate::ooc::plan_ooc(symbolic, T::BYTES, budget, opts.ladder, &opts.tiers)?)
+        }
+        None => None,
+    };
 
     // Postorder rank of each supernode: its execution position in the
     // serial driver. Used to merge stats and to pick the serial-first error.
@@ -519,8 +534,9 @@ pub fn factor_permuted_parallel<T: Scalar>(
 
     // Pipelined dispatch (per worker, against its own device). Per-call
     // records are not collected in this mode — with fronts overlapping on
-    // the device, per-front time attribution is ill-defined.
-    let pipelined = opts.pipeline.enabled;
+    // the device, per-front time attribution is ill-defined. A memory
+    // budget forces the drain schedule (see `factor_permuted`).
+    let pipelined = opts.pipeline.enabled && ooc_plan.is_none();
 
     // Intra-front tile expansion: fronts the serial driver runs through the
     // canonical tiled CPU body (`fu_p1` at or above the tiling threshold)
@@ -663,6 +679,13 @@ pub fn factor_permuted_parallel<T: Scalar>(
 
     let runtime = Runtime::new(workers);
     let (mut states, errors) = runtime.run(&graph, states, |st: &mut WorkerCtx<'_, T>, t| {
+        // Budgeted runs replay the supernode's planned spill transfers on
+        // the executing worker's clock at its entry task.
+        if let Some(plan) = &ooc_plan {
+            if let NodeTask::Whole(sn) | NodeTask::Assemble(sn) = node_of[t] {
+                crate::factor::replay_step_io(plan, plan.rank[sn], st.machine, opts);
+            }
+        }
         let sn = match node_of[t] {
             NodeTask::Whole(sn) => sn,
             NodeTask::Assemble(sn) => {
@@ -770,11 +793,21 @@ pub fn factor_permuted_parallel<T: Scalar>(
                     let front = Front { s, k, data: &mut *front_data };
                     extract_panel_into(&front, panel_out, &mut st.machine.host);
                 }
+                if let Some(plan) = &ooc_plan {
+                    if plan.degrade_panel[sn] {
+                        opts.ladder.degrade_slice(panel_out);
+                    }
+                }
                 charge_update_extract::<T>(m, &mut st.machine.host);
                 if m > 0 {
                     st.allocs += 1;
                     let mut u = vec![T::ZERO; m * m];
                     copy_update_packed(front_data, s, k, &mut u);
+                    if let Some(plan) = &ooc_plan {
+                        if plan.degrade_update[sn] {
+                            opts.ladder.degrade_slice(&mut u);
+                        }
+                    }
                     *updates[sn].lock().unwrap_or_else(|poison| poison.into_inner()) = Some(u);
                 }
                 if opts.record_stats {
@@ -989,10 +1022,20 @@ pub fn factor_permuted_parallel<T: Scalar>(
             });
             st.records.push((rank[sn], rec));
         }
+        if let Some(plan) = &ooc_plan {
+            if plan.degrade_panel[sn] {
+                opts.ladder.degrade_slice(panel_out);
+            }
+        }
         if m > 0 {
             st.allocs += 1;
             let mut u = vec![T::ZERO; m * m];
             copy_update_packed(front_data, s, k, &mut u);
+            if let Some(plan) = &ooc_plan {
+                if plan.degrade_update[sn] {
+                    opts.ladder.degrade_slice(&mut u);
+                }
+            }
             *updates[sn].lock().unwrap_or_else(|poison| poison.into_inner()) = Some(u);
         }
         Ok(())
@@ -1103,6 +1146,7 @@ pub fn factor_permuted_parallel<T: Scalar>(
         states.iter_mut().map(|st| std::mem::take(&mut st.records)).collect();
     buffers.push(synth);
     stats.merge_worker_records(buffers);
+    stats.ooc = ooc_plan.map(|p| p.stats);
     stats.wall_time = wall0.elapsed().as_secs_f64();
     drop(states);
     drop(tile_bufs);

@@ -198,6 +198,23 @@ fn validate_rhs(n: usize, b: &[f64], nrhs: usize) -> Result<(), SolveError> {
 /// this form lets admission control run **before** the numeric
 /// factorization spends the memory.
 pub fn estimated_memory_bytes(analysis: &Analysis, precision: Precision) -> usize {
+    estimated_memory_bytes_budgeted(analysis, precision, None)
+}
+
+/// [`estimated_memory_bytes`] for a session that factors under a memory
+/// budget ([`FactorOptions::memory_budget`]): the factor slab + update
+/// stack term is capped at the budget — a budgeted run keeps at most
+/// `budget` bytes of numeric storage tier-resident, spilling the rest —
+/// while the two retained pattern copies are charged in full (they are
+/// never spilled). Admission control should reserve this figure, **not**
+/// the symbolic bound, for budgeted sessions; whether the budget is
+/// feasible at all is a separate check
+/// ([`crate::ooc::min_feasible_budget`]).
+pub fn estimated_memory_bytes_budgeted(
+    analysis: &Analysis,
+    precision: Precision,
+    memory_budget: Option<usize>,
+) -> usize {
     let scalar = match precision {
         Precision::F64 => std::mem::size_of::<f64>(),
         Precision::F32 => std::mem::size_of::<f32>(),
@@ -207,8 +224,12 @@ pub fn estimated_memory_bytes(analysis: &Analysis, precision: Precision) -> usiz
     let pa = &analysis.permuted.0;
     let factor_slab = sym.factor_slab_len() * scalar;
     let update_stack = sym.update_stack_peak() * scalar;
+    let mut numeric = factor_slab + update_stack;
+    if let Some(budget) = memory_budget {
+        numeric = numeric.min(budget);
+    }
     let pattern = pa.nnz_lower() * (idx + std::mem::size_of::<f64>()) + (pa.order() + 1) * idx;
-    factor_slab + update_stack + 2 * pattern
+    numeric + 2 * pattern
 }
 
 /// Failure of [`SpdSolver::refactor`].
@@ -329,8 +350,16 @@ impl SpdSolver {
     /// copies it retains (the original matrix and the permuted copy inside
     /// the cached analysis). This is the quantity a serving layer should
     /// charge a tenant for keeping the session resident and refactorable.
+    ///
+    /// A solver factoring under [`FactorOptions::memory_budget`] charges the
+    /// budget cap instead of the full symbolic bound for its numeric
+    /// storage — see [`estimated_memory_bytes_budgeted`].
     pub fn memory_bytes(&self) -> usize {
-        estimated_memory_bytes(&self.analysis, self.opts.precision)
+        estimated_memory_bytes_budgeted(
+            &self.analysis,
+            self.opts.precision,
+            self.opts.factor.memory_budget,
+        )
     }
 
     /// One direct solve (no refinement); accuracy is limited by the factor
@@ -792,6 +821,64 @@ mod tests {
         let t = SpdSolver::new(&small, &mut machine, &solver_opts(PolicyKind::P1, Precision::F64))
             .unwrap();
         assert!(t.memory_bytes() < s64.memory_bytes());
+    }
+
+    #[test]
+    fn budgeted_solver_reserves_the_cap_not_the_symbolic_bound() {
+        use crate::ooc::min_feasible_budget;
+
+        let a = laplacian_3d(7, 7, 7, Stencil::Faces);
+        let mut machine = Machine::paper_node();
+        let full_opts = solver_opts(PolicyKind::P1, Precision::F64);
+        let full = SpdSolver::new(&a, &mut machine, &full_opts).unwrap();
+
+        // A budget at 40% of the symbolic numeric bound.
+        let sym = &full.analysis().symbolic;
+        let numeric_bound = (sym.factor_slab_len() + sym.update_stack_peak()) * 8;
+        let budget = (numeric_bound * 2 / 5).max(min_feasible_budget(sym, 8));
+        let opts = SolverOptions {
+            factor: FactorOptions { memory_budget: Some(budget), ..full_opts.factor.clone() },
+            ..full_opts.clone()
+        };
+        let s = SpdSolver::new(&a, &mut machine, &opts).unwrap();
+
+        // The budgeted session charges strictly less than the in-core one,
+        // and the pre-admission estimate matches the built solver exactly.
+        assert!(s.memory_bytes() < full.memory_bytes());
+        assert_eq!(
+            s.memory_bytes(),
+            estimated_memory_bytes_budgeted(s.analysis(), Precision::F64, Some(budget))
+        );
+        assert_eq!(
+            full.memory_bytes(),
+            estimated_memory_bytes(full.analysis(), Precision::F64),
+            "no budget must reproduce the unbudgeted estimate"
+        );
+        // The difference is exactly the numeric storage the budget trimmed.
+        assert_eq!(full.memory_bytes() - s.memory_bytes(), numeric_bound - budget);
+
+        // The budgeted factor still solves to f64 accuracy.
+        let (xtrue, b) = rhs_for_solution(&a, 8);
+        let x = s.solve(&b).unwrap();
+        let err = x.iter().zip(&xtrue).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-8, "forward error {err}");
+        assert!(s.stats().ooc.is_some(), "a budgeted run must report OOC stats");
+    }
+
+    #[test]
+    fn infeasible_budget_is_a_typed_factor_error() {
+        let a = laplacian_3d(5, 5, 5, Stencil::Faces);
+        let mut machine = Machine::paper_node();
+        let mut opts = solver_opts(PolicyKind::P1, Precision::F64);
+        opts.factor.memory_budget = Some(64);
+        match SpdSolver::new(&a, &mut machine, &opts) {
+            Err(FactorError::BudgetTooSmall { budget, required }) => {
+                assert_eq!(budget, 64);
+                assert!(required > 64);
+            }
+            Err(other) => panic!("expected BudgetTooSmall, got {other:?}"),
+            Ok(_) => panic!("an infeasible budget must not factor"),
+        }
     }
 
     #[test]

@@ -148,6 +148,14 @@ pub struct FactorStats {
     /// multi-GPU driver's peer-copy extend-adds. Zero for single-device
     /// runs or with `MultiGpuOptions::peer_extend_add` off.
     pub peer_bytes: usize,
+    /// Residency/traffic accounting of a memory-budgeted run
+    /// (`FactorOptions::memory_budget`): tier traffic, eviction/reload
+    /// counts, and the resident peak that stayed under the budget.
+    /// `None` for in-core runs. Note `peak_front_bytes` above stays
+    /// *logical* (the symbolic-bound invariant) even under a budget; the
+    /// tier-resident figure lives here and in
+    /// `FrontArena::resident_high_water_bytes`.
+    pub ooc: Option<crate::ooc::OocStats>,
 }
 
 impl FactorStats {

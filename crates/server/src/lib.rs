@@ -26,7 +26,12 @@
 //!   symbolic working-storage-bound footprint
 //!   ([`mf_core::estimated_memory_bytes`]); a tenant over budget has idle
 //!   sessions evicted LRU, and a submission that cannot fit even then is
-//!   rejected with [`SubmitError::BudgetExceeded`].
+//!   rejected with [`SubmitError::BudgetExceeded`]. Sessions configured
+//!   with a factor memory budget spill to host/disk tiers instead of
+//!   holding the bound resident, so they reserve only the cap
+//!   ([`mf_core::estimated_memory_bytes_budgeted`]); a cap too small for
+//!   the largest front is rejected at admission with the typed
+//!   [`mf_core::FactorError::BudgetTooSmall`].
 //!
 //! ## Consistency model
 //!
@@ -65,7 +70,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use mf_core::{estimated_memory_bytes, FactorError, SolveError, SolverOptions, SpdSolver};
+use mf_core::{
+    estimated_memory_bytes_budgeted, min_feasible_budget, FactorError, Precision, SolveError,
+    SolverOptions, SpdSolver,
+};
 use mf_gpusim::Machine;
 use mf_runtime::ThreadBudget;
 use mf_sparse::symbolic::{analyze, analyze_parallel, Analysis, AnalyzeError, SymCscF64Holder};
@@ -376,9 +384,27 @@ impl Server {
             }
         };
 
-        // 2. Admission: reserve the tenant's bytes before the expensive
-        // numeric factorization, evicting idle sessions LRU to make room.
-        let required = estimated_memory_bytes(&analysis, inner.cfg.solver.precision);
+        // 2. Admission. A memory-budgeted session spills instead of holding
+        // the full symbolic bound resident, so it reserves the *cap*, not
+        // the bound — but only when the cap is feasible at all (the largest
+        // front's working set must fit). An infeasible cap is rejected here,
+        // typed, before any bytes are reserved or numeric work starts.
+        let factor_budget = inner.cfg.solver.factor.memory_budget;
+        if let Some(budget) = factor_budget {
+            let elem = match inner.cfg.solver.precision {
+                Precision::F64 => std::mem::size_of::<f64>(),
+                Precision::F32 => std::mem::size_of::<f32>(),
+            };
+            let required = min_feasible_budget(&analysis.symbolic, elem);
+            if budget < required {
+                inner.stats.rejected_budget.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Factor(FactorError::BudgetTooSmall { budget, required }));
+            }
+        }
+        // Reserve the tenant's bytes before the expensive numeric
+        // factorization, evicting idle sessions LRU to make room.
+        let required =
+            estimated_memory_bytes_budgeted(&analysis, inner.cfg.solver.precision, factor_budget);
         let id = {
             let mut reg = lock(&inner.registry);
             let resident_now = self.evict_until_fits(&mut reg, tenant, required);

@@ -304,6 +304,74 @@ fn tenant_budget_evicts_idle_sessions_lru_then_rejects() {
 }
 
 #[test]
+fn budgeted_sessions_reserve_the_cap_and_infeasible_caps_are_typed() {
+    use mf_core::{min_feasible_budget, FactorError, FactorOptions};
+
+    let a = laplacian_3d(6, 6, 6, Stencil::Faces);
+    let n = a.order();
+
+    // Meter the unbudgeted charge.
+    let full_charge = {
+        let server = Server::start(cfg());
+        server.submit("meter", &a).unwrap();
+        server.stats().resident_bytes
+    };
+
+    // A budgeted configuration: cap the numeric storage at 40% of the
+    // symbolic bound (kept feasible via min_feasible_budget on a metering
+    // analysis).
+    let analysis = mf_sparse::analyze(&a, opts().ordering, opts().amalgamation.as_ref()).unwrap();
+    let bound = (analysis.symbolic.factor_slab_len() + analysis.symbolic.update_stack_peak()) * 8;
+    let budget = (bound * 2 / 5).max(min_feasible_budget(&analysis.symbolic, 8));
+    let budgeted_cfg = ServerConfig {
+        solver: SolverOptions {
+            factor: FactorOptions { memory_budget: Some(budget), ..Default::default() },
+            ..opts()
+        },
+        ..cfg()
+    };
+    let server = Server::start(budgeted_cfg.clone());
+    let sess = server.submit("t", &a).unwrap();
+
+    // The budgeted session reserves the cap, not the symbolic bound.
+    let charged = server.stats().resident_bytes;
+    assert!(
+        charged < full_charge,
+        "budgeted session must charge less than the in-core bound ({charged} vs {full_charge})"
+    );
+    assert_eq!(full_charge - charged, bound - budget, "the saving is exactly the trimmed bound");
+
+    // And it still answers bitwise identically to the in-core serial
+    // reference — spilling moves bytes, never bits (ladder off).
+    let b = rhs(n, 2, 9);
+    let expected = serial_answer(&a, &b, 2);
+    assert_bitwise(&server.solve_many(sess, b, 2).unwrap(), &expected, "budgeted session");
+
+    // An infeasible cap (smaller than the largest front's working set) is
+    // rejected at admission with the typed factor error, before any bytes
+    // are reserved.
+    let tiny_cfg = ServerConfig {
+        solver: SolverOptions {
+            factor: FactorOptions { memory_budget: Some(256), ..Default::default() },
+            ..opts()
+        },
+        ..cfg()
+    };
+    let tiny = Server::start(tiny_cfg);
+    match tiny.submit("t", &a) {
+        Err(SubmitError::Factor(FactorError::BudgetTooSmall { budget, required })) => {
+            assert_eq!(budget, 256);
+            assert!(required > 256);
+        }
+        other => panic!("expected BudgetTooSmall, got {other:?}"),
+    }
+    let stats = tiny.stats();
+    assert_eq!(stats.rejected_budget, 1);
+    assert_eq!(stats.resident_bytes, 0, "a rejected submission must not hold a reservation");
+    assert_eq!(stats.active_sessions, 0);
+}
+
+#[test]
 fn malformed_requests_get_typed_rejections_and_leave_sessions_intact() {
     let server = Server::start(cfg());
     let a = laplacian_2d(8, 8, Stencil::Faces);

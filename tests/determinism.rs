@@ -823,3 +823,298 @@ fn analysis_parallel_factors_bitwise_identical_f32() {
         }
     }
 }
+
+// ───────────────────────── out-of-core (memory-budgeted) execution ─────────
+
+use gpu_multifrontal::core::{
+    in_core_bytes, min_feasible_budget, plan_ooc, PrecisionLadder, SolverOptions, SpdSolver,
+};
+use gpu_multifrontal::gpusim::{TierParams, DEFAULT_DEVICE_BUDGET};
+use gpu_multifrontal::matgen::HugeMatrix;
+
+/// Matrices whose elimination trees leave real spill headroom: the
+/// elongated Laplacian's root front is small relative to the total bound
+/// (min-feasible ≈ 20% of it), so even a 30% budget is honourable.
+fn ooc_families() -> Vec<(&'static str, SymCsc<f64>)> {
+    vec![
+        ("lap3d-6x6x60", laplacian_3d(6, 6, 60, Stencil::Faces)),
+        ("lap3d-7x7x7", laplacian_3d(7, 7, 7, Stencil::Faces)),
+        ("elasticity-4x4x3", elasticity_3d(4, 4, 3)),
+    ]
+}
+
+/// Budget for `frac` of the in-core bound, clamped up to feasibility (the
+/// root front's working set is a hard floor no schedule can dodge).
+fn budget_for(symbolic: &SymbolicFactor, elem: usize, frac: f64) -> usize {
+    let bound = in_core_bytes(symbolic, elem);
+    ((bound as f64 * frac) as usize).max(min_feasible_budget(symbolic, elem))
+}
+
+/// The tentpole determinism contract: with the ladder off, a budgeted
+/// factorization is bitwise identical to the in-core one — at every budget,
+/// every worker count, both precisions, and both storage backends.
+fn assert_ooc_bitwise_in_core<T: Scalar>(
+    name: &str,
+    a: &SymCsc<T>,
+    symbolic: &SymbolicFactor,
+    perm: &Permutation,
+) {
+    let in_core_opts = FactorOptions::default();
+    let mut m0 = Machine::paper_node();
+    let (f0, s0) = factor_permuted(a, symbolic, perm, &mut m0, &in_core_opts).unwrap();
+    let reference = panel_bits(&f0);
+    assert!(s0.ooc.is_none(), "{name}: in-core runs must not report OOC stats");
+
+    for frac in [1.0f64, 0.6, 0.3] {
+        let budget = budget_for(symbolic, T::BYTES, frac);
+        let opts = FactorOptions { memory_budget: Some(budget), ..Default::default() };
+
+        let mut ms = Machine::paper_node();
+        let (fs, ss) = factor_permuted(a, symbolic, perm, &mut ms, &opts).unwrap();
+        assert_eq!(
+            reference,
+            panel_bits(&fs),
+            "{name}: serial budgeted factor at {frac} of the bound diverged from in-core"
+        );
+        let ooc = ss.ooc.as_ref().expect("budgeted runs report OOC stats");
+        assert!(
+            ooc.resident_peak_bytes <= budget,
+            "{name}: residency {} exceeded budget {budget}",
+            ooc.resident_peak_bytes
+        );
+        assert_eq!(
+            ss.peak_front_bytes, s0.peak_front_bytes,
+            "{name}: the logical peak must stay the symbolic bound under a budget"
+        );
+        if frac >= 1.0 {
+            assert_eq!(ooc.traffic_bytes(), 0, "{name}: a full budget must not spill");
+        } else {
+            assert!(ooc.traffic_bytes() > 0, "{name}: a {frac} budget must actually spill");
+        }
+
+        for workers in [1usize, 2, 4, 8] {
+            let mut machines: Vec<Machine> = (0..workers).map(|_| Machine::paper_node()).collect();
+            let par = ParallelOptions { thread_budget: 4 };
+            let (fp, sp) =
+                factor_permuted_parallel(a, symbolic, perm, &mut machines, &opts, &par).unwrap();
+            assert_eq!(
+                reference,
+                panel_bits(&fp),
+                "{name}: {workers}-worker budgeted factor at {frac} diverged"
+            );
+            let pooc = sp.ooc.as_ref().expect("parallel budgeted runs report OOC stats");
+            assert_eq!(pooc, ooc, "{name}: OOC stats are schedule-independent");
+        }
+
+        // Heap storage replays the same plan.
+        let heap_opts = FactorOptions { front_storage: FrontStorage::Heap, ..opts.clone() };
+        let mut mh = Machine::paper_node();
+        let (fh, _) = factor_permuted(a, symbolic, perm, &mut mh, &heap_opts).unwrap();
+        assert_eq!(
+            reference,
+            panel_bits(&fh),
+            "{name}: heap-storage budgeted factor at {frac} diverged"
+        );
+    }
+}
+
+#[test]
+fn ooc_budgeted_bitwise_identical_to_in_core_f64() {
+    for (name, a) in ooc_families() {
+        let an = analysis_of(&a);
+        assert_ooc_bitwise_in_core(name, &an.permuted.0, &an.symbolic, &an.perm);
+    }
+}
+
+#[test]
+fn ooc_budgeted_bitwise_identical_to_in_core_f32() {
+    for (name, a) in ooc_families() {
+        let an = analysis_of(&a);
+        let a32: SymCsc<f32> = an.permuted.0.cast();
+        assert_ooc_bitwise_in_core(name, &a32, &an.symbolic, &an.perm);
+    }
+}
+
+#[test]
+fn ooc_bf16_ladder_fixed_config_is_schedule_independent() {
+    // With a 16-bit spill ladder the factor differs from in-core (storage
+    // rounding is real), but for a fixed (budget, ladder) pair it is still
+    // bitwise identical across serial/parallel and every worker count.
+    let a = laplacian_3d(6, 6, 60, Stencil::Faces);
+    let an = analysis_of(&a);
+    let a32: SymCsc<f32> = an.permuted.0.cast();
+    let budget = budget_for(&an.symbolic, 4, 0.4);
+
+    let mut m0 = Machine::paper_node();
+    let (f_incore, _) =
+        factor_permuted(&a32, &an.symbolic, &an.perm, &mut m0, &FactorOptions::default()).unwrap();
+
+    for ladder in [PrecisionLadder::Bf16, PrecisionLadder::F16] {
+        let opts = FactorOptions { memory_budget: Some(budget), ladder, ..Default::default() };
+        let mut ms = Machine::paper_node();
+        let (fs, ss) = factor_permuted(&a32, &an.symbolic, &an.perm, &mut ms, &opts).unwrap();
+        let reference = panel_bits(&fs);
+        assert_ne!(
+            reference,
+            panel_bits(&f_incore),
+            "{ladder:?}: a tight budget must actually degrade some spilled block"
+        );
+        // Traffic shrinks by exactly the storage ratio (2 B vs 4 B): the
+        // eviction schedule is chosen on native sizes, so it is identical.
+        assert_eq!(ss.ooc.as_ref().unwrap().elem_bytes, 4);
+        for workers in [1usize, 2, 4, 8] {
+            let mut machines: Vec<Machine> = (0..workers).map(|_| Machine::paper_node()).collect();
+            let par = ParallelOptions { thread_budget: 4 };
+            let (fp, _) =
+                factor_permuted_parallel(&a32, &an.symbolic, &an.perm, &mut machines, &opts, &par)
+                    .unwrap();
+            assert_eq!(
+                reference,
+                panel_bits(&fp),
+                "{ladder:?}: {workers}-worker ladder factor diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn ooc_ladder_halves_spill_traffic_without_changing_the_schedule() {
+    let a = laplacian_3d(6, 6, 60, Stencil::Faces);
+    let an = analysis_of(&a);
+    let tiers = TierParams::default();
+    let budget = budget_for(&an.symbolic, 4, 0.4);
+    let off = plan_ooc(&an.symbolic, 4, budget, PrecisionLadder::Off, &tiers).unwrap();
+    let bf16 = plan_ooc(&an.symbolic, 4, budget, PrecisionLadder::Bf16, &tiers).unwrap();
+    assert!(off.stats.traffic_bytes() > 0);
+    assert_eq!(
+        off.stats.traffic_bytes(),
+        2 * bf16.stats.traffic_bytes(),
+        "16-bit storage must exactly halve f32 spill traffic"
+    );
+    assert_eq!(off.stats.evictions, bf16.stats.evictions);
+    assert_eq!(off.stats.loads, bf16.stats.loads);
+}
+
+#[test]
+fn ooc_infeasible_budget_is_typed() {
+    let a = laplacian_3d(7, 7, 7, Stencil::Faces);
+    let an = analysis_of(&a);
+    let opts = FactorOptions { memory_budget: Some(1024), ..Default::default() };
+    let mut machine = Machine::paper_node();
+    match factor_permuted(&an.permuted.0, &an.symbolic, &an.perm, &mut machine, &opts) {
+        Err(FactorError::BudgetTooSmall { budget, required }) => {
+            assert_eq!(budget, 1024);
+            assert_eq!(required, min_feasible_budget(&an.symbolic, 8));
+        }
+        other => panic!("expected BudgetTooSmall, got {:?}", other.map(|(_, s)| s.total_time)),
+    }
+}
+
+#[test]
+fn ooc_streamed_solve_matches_in_core_solve_on_a_budgeted_factor() {
+    // Factor under a bf16 ladder (panels on disk hold rounded bits), then
+    // solve both ways: the streaming sweep reads the same re-promoted slab
+    // the in-core sweep does, so answers are bitwise identical.
+    let a = laplacian_3d(6, 6, 30, Stencil::Faces);
+    let an = analysis_of(&a);
+    let a32: SymCsc<f32> = an.permuted.0.cast();
+    let tiers = TierParams::default();
+    let budget = budget_for(&an.symbolic, 4, 0.4);
+    let opts = FactorOptions {
+        memory_budget: Some(budget),
+        ladder: PrecisionLadder::Bf16,
+        ..Default::default()
+    };
+    let mut machine = Machine::paper_node();
+    let (f, stats) = factor_permuted(&a32, &an.symbolic, &an.perm, &mut machine, &opts).unwrap();
+    assert!(stats.ooc.as_ref().unwrap().panels_spilled_at_end > 0, "panels must end spilled");
+
+    let nrhs = 3;
+    let b: Vec<f32> = rhs_block(a.order(), nrhs);
+    let reference = f.solve_many(&b, nrhs);
+    let (x, st) = f
+        .solve_many_streamed(&b, nrhs, budget, PrecisionLadder::Bf16, &tiers, &mut machine)
+        .unwrap();
+    assert_eq!(
+        reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "streamed solve must be bitwise identical to the in-core sweep"
+    );
+    assert!(st.loads > 0, "spilled panels must stream back in");
+    assert!(st.resident_peak_bytes <= budget);
+}
+
+#[test]
+fn ooc_huge_family_bounds_exceed_default_tier_budgets() {
+    // Analyze-only (the symbolic phase is cheap even at out-of-core size):
+    // at quarter scale the huge families already outgrow device + pinned
+    // host, which is what forces the disk tier into play at full scale.
+    let tiers = TierParams::default();
+    for huge in HugeMatrix::ALL {
+        let a = huge.generate_scaled(0.25);
+        let an = analysis_of(&a);
+        let bound = in_core_bytes(&an.symbolic, 4);
+        assert!(
+            bound > DEFAULT_DEVICE_BUDGET + tiers.host_capacity,
+            "{}: f32 bound {bound} must exceed device+host default budgets",
+            huge.name()
+        );
+        assert!(huge.full_order() >= 1_000_000, "{} is not huge-N", huge.name());
+    }
+}
+
+#[test]
+fn ooc_huge_family_factors_under_budget_at_test_scale() {
+    // Numeric check at a scale debug builds can afford: the sgi_4M family,
+    // shrunk, still factors bitwise-identically to in-core at 60% and 30%
+    // budgets.
+    let a = HugeMatrix::Sgi4M.generate_scaled(0.12);
+    let an = analysis_of(&a);
+    let a32: SymCsc<f32> = an.permuted.0.cast();
+    let mut m0 = Machine::paper_node();
+    let (f0, _) =
+        factor_permuted(&a32, &an.symbolic, &an.perm, &mut m0, &FactorOptions::default()).unwrap();
+    let reference = panel_bits(&f0);
+    for frac in [0.6f64, 0.3] {
+        let budget = budget_for(&an.symbolic, 4, frac);
+        let opts = FactorOptions { memory_budget: Some(budget), ..Default::default() };
+        let mut machine = Machine::paper_node();
+        let (f, stats) =
+            factor_permuted(&a32, &an.symbolic, &an.perm, &mut machine, &opts).unwrap();
+        assert_eq!(reference, panel_bits(&f), "sgi_4M at {frac} of the bound diverged");
+        let ooc = stats.ooc.unwrap();
+        assert!(ooc.resident_peak_bytes <= budget);
+        assert!(ooc.traffic_bytes() > 0);
+    }
+}
+
+#[test]
+fn ooc_budgeted_solver_refines_to_f64_accuracy() {
+    // End-to-end: f32 factor under a 40% budget with bf16 spill storage;
+    // f64 iterative refinement must still absorb both the compute and the
+    // storage error.
+    use gpu_multifrontal::matgen::rhs_for_solution;
+    let a = laplacian_3d(6, 6, 30, Stencil::Faces);
+    let an = analysis_of(&a);
+    let budget = budget_for(&an.symbolic, 4, 0.4);
+    let opts = SolverOptions {
+        ordering: OrderingKind::NestedDissection,
+        amalgamation: Some(AmalgamationOptions::default()),
+        factor: FactorOptions {
+            memory_budget: Some(budget),
+            ladder: PrecisionLadder::Bf16,
+            ..Default::default()
+        },
+        precision: Precision::F32,
+        analysis_workers: 0,
+    };
+    let mut machine = Machine::paper_node();
+    let s = SpdSolver::new(&a, &mut machine, &opts).unwrap();
+    let (_, b) = rhs_for_solution(&a, 13);
+    let refined = s.solve_refined(&b, 8, 1e-13).unwrap();
+    assert!(
+        refined.converged,
+        "refinement must converge through bf16 spill storage: {:?}",
+        refined.residual_history
+    );
+}
